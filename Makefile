@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build test race cover bench experiments fmt vet clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
+# data section of EXPERIMENTS.md.
+experiments:
+	go run ./cmd/rrbench -md experiments_generated.md
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...
+
+clean:
+	go clean ./...
+	rm -f experiments_generated.md

@@ -1,0 +1,157 @@
+package rrs
+
+// This file is the benchmark harness required by DESIGN.md §3: one
+// benchmark per experiment (table/figure), each regenerating its artifact
+// through the internal/exp registry in Quick mode, plus micro-benchmarks
+// of the hot paths (engine rounds, policy steps, offline bounds).
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/offline"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(exp.Config{Quick: true, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1AppendixA(b *testing.B)    { benchExperiment(b, "F1") }
+func BenchmarkF2AppendixB(b *testing.B)    { benchExperiment(b, "F2") }
+func BenchmarkF3Thrashing(b *testing.B)    { benchExperiment(b, "F3") }
+func BenchmarkT1Theorem1(b *testing.B)     { benchExperiment(b, "T1") }
+func BenchmarkT2Lemma32(b *testing.B)      { benchExperiment(b, "T2") }
+func BenchmarkT3Epochs(b *testing.B)       { benchExperiment(b, "T3") }
+func BenchmarkT4Augmentation(b *testing.B) { benchExperiment(b, "T4") }
+func BenchmarkT5Distribute(b *testing.B)   { benchExperiment(b, "T5") }
+func BenchmarkT6Solver(b *testing.B)       { benchExperiment(b, "T6") }
+func BenchmarkT7DSSeqEDF(b *testing.B)     { benchExperiment(b, "T7") }
+func BenchmarkT8Aggregate(b *testing.B)    { benchExperiment(b, "T8") }
+func BenchmarkT9Throughput(b *testing.B)   { benchExperiment(b, "T9") }
+func BenchmarkT10Punctualize(b *testing.B) { benchExperiment(b, "T10") }
+func BenchmarkT11Lemma35(b *testing.B)     { benchExperiment(b, "T11") }
+func BenchmarkT12Discretize(b *testing.B)  { benchExperiment(b, "T12") }
+func BenchmarkT13Adversary(b *testing.B)   { benchExperiment(b, "T13") }
+
+// Ablation benches (DESIGN.md §5).
+func BenchmarkAblationReplication(b *testing.B)  { benchExperiment(b, "A1") }
+func BenchmarkAblationSplit(b *testing.B)        { benchExperiment(b, "A2") }
+func BenchmarkAblationThreshold(b *testing.B)    { benchExperiment(b, "A3") }
+func BenchmarkAblationTimestampLag(b *testing.B) { benchExperiment(b, "A4") }
+func BenchmarkAblationAdaptive(b *testing.B)     { benchExperiment(b, "A5") }
+
+// — Micro-benchmarks of the hot paths —
+
+// benchPolicyRun measures end-to-end simulation throughput for a policy on
+// a fixed mid-size router trace; the per-op metric is one full run.
+func benchPolicyRun(b *testing.B, mk func() sched.Policy, n int) {
+	b.Helper()
+	inst := workload.Router(3, 4, 8, 4096, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(inst, mk(), sched.Options{N: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(inst.TotalJobs()))
+}
+
+func BenchmarkEngineDLRUEDF(b *testing.B) {
+	benchPolicyRun(b, func() sched.Policy { return core.NewDLRUEDF() }, 16)
+}
+
+func BenchmarkEngineDLRU(b *testing.B) {
+	benchPolicyRun(b, func() sched.Policy { return policy.NewDLRU() }, 16)
+}
+
+func BenchmarkEngineEDF(b *testing.B) {
+	benchPolicyRun(b, func() sched.Policy { return policy.NewEDF() }, 16)
+}
+
+func BenchmarkEngineNever(b *testing.B) {
+	benchPolicyRun(b, func() sched.Policy { return policy.NewNever() }, 16)
+}
+
+func BenchmarkSolvePipeline(b *testing.B) {
+	inst := workload.Router(3, 4, 8, 2048, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(inst.Clone(), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParEDFLowerBound(b *testing.B) {
+	inst := workload.Router(3, 4, 8, 4096, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.ParEDFDrops(inst, 2, 1)
+	}
+}
+
+func BenchmarkBruteForceTiny(b *testing.B) {
+	inst := workload.RandomSmall(5, 3, 2, 12, []int{1, 2, 4}, 3, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.BruteForce(inst.Clone(), 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleReplay(b *testing.B) {
+	inst := workload.Router(3, 4, 8, 2048, 12)
+	res, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: 16, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Replay(inst, res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateTransform(b *testing.B) {
+	inst := workload.RandomBatched(9, 8, 3, 256, []int{2, 4, 8}, 1.2, 0.6, false)
+	t, err := sched.Run(inst.Clone(), policy.NewSeqEDF(), sched.Options{N: 3, Record: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.Aggregate(inst.Clone(), t.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

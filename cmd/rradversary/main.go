@@ -1,0 +1,103 @@
+// Command rradversary hunts for worst-case inputs: it hill-climbs over
+// tiny instances maximizing a policy's cost ratio against the exact
+// offline optimum, and prints the worst instance found (optionally as a
+// trace file for replay with rrsim/rrtrace).
+//
+// Usage:
+//
+//	rradversary -policy dlru -restarts 20 -steps 100
+//	rradversary -policy greedy -o worst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "dlruedf", "policy to attack: dlruedf | dlru | edf | greedy | hysteresis | seqedf")
+		seed       = flag.Uint64("seed", 1, "search seed")
+		restarts   = flag.Int("restarts", 12, "hill-climbing restarts")
+		steps      = flag.Int("steps", 80, "mutation steps per restart")
+		n          = flag.Int("n", 8, "online resources")
+		m          = flag.Int("m", 1, "offline optimum resources")
+		maxRounds  = flag.Int("rounds", 16, "max instance rounds")
+		maxColors  = flag.Int("colors", 3, "max instance colors")
+		batched    = flag.Bool("batched", true, "restrict to batched rate-limited instances")
+		out        = flag.String("o", "", "write the worst instance as a JSON trace")
+	)
+	flag.Parse()
+
+	mk, err := policyFactory(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := adversary.Config{
+		Seed:            *seed,
+		Restarts:        *restarts,
+		StepsPerRestart: *steps,
+		N:               *n,
+		M:               *m,
+		MaxRounds:       *maxRounds,
+		MaxColors:       *maxColors,
+		Batched:         *batched,
+	}
+	res, err := adversary.Search(cfg, mk)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scored %d instances\n", res.Evaluated)
+	fmt.Printf("worst ratio: %.3f  (policy cost %d vs exact OPT %d with m=%d)\n",
+		res.Ratio, res.PolicyCost, res.Opt, *m)
+	fmt.Printf("worst instance: %d colors (delays %v), %d jobs over %d rounds, Δ=%d\n",
+		res.Instance.NumColors(), res.Instance.Delays,
+		res.Instance.TotalJobs(), res.Instance.NumRounds(), res.Instance.Delta)
+	for r, req := range res.Instance.Requests {
+		for _, b := range req {
+			fmt.Printf("  round %2d: %d × color %d\n", r, b.Count, b.Color)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteJSON(f, res.Instance); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func policyFactory(name string) (func() sched.Policy, error) {
+	switch name {
+	case "dlruedf":
+		return func() sched.Policy { return core.NewDLRUEDF() }, nil
+	case "dlru":
+		return func() sched.Policy { return policy.NewDLRU() }, nil
+	case "edf":
+		return func() sched.Policy { return policy.NewEDF() }, nil
+	case "greedy":
+		return func() sched.Policy { return policy.NewGreedyPending() }, nil
+	case "hysteresis":
+		return func() sched.Policy { return policy.NewHysteresis(1) }, nil
+	case "seqedf":
+		return func() sched.Policy { return policy.NewPureSeqEDF() }, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rradversary:", err)
+	os.Exit(1)
+}

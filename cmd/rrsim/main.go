@@ -1,0 +1,162 @@
+// Command rrsim runs one scheduling policy on one workload and prints the
+// cost breakdown, per-color statistics, an optional ASCII Gantt chart of
+// the schedule, and the certified offline lower bound.
+//
+// Usage:
+//
+//	rrsim -workload router -policy dlruedf -n 16 -rounds 2048 -load 6
+//	rrsim -workload appendixA -policy dlru -n 8 -j 6 -k 8
+//	rrsim -workload zipf -policy solve -n 16 -m 2 -lb
+//	rrsim -workload thrashing -policy edf -n 8 -gantt 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	rrs "repro"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "router", fmt.Sprintf("workload: %v", workload.Names()))
+		policyName   = flag.String("policy", "dlruedf", "policy: dlruedf | adaptive | solve | distribute | dlru | edf | seqedf | hysteresis | greedy | never | static")
+		n            = flag.Int("n", 16, "online resources")
+		m            = flag.Int("m", 2, "offline reference resources (for -lb)")
+		delta        = flag.Int("delta", 8, "reconfiguration cost Δ")
+		rounds       = flag.Int("rounds", 2048, "workload rounds")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		load         = flag.Float64("load", 6, "offered load (jobs/round) for stochastic workloads")
+		j            = flag.Int("j", 6, "Appendix A/B parameter j")
+		k            = flag.Int("k", 8, "Appendix A/B parameter k")
+		gap          = flag.Int("gap", 32, "idle gap for the thrashing workload")
+		lb           = flag.Bool("lb", false, "also print the certified lower bound with m resources")
+		perColor     = flag.Bool("colors", false, "print per-color executed/dropped table")
+		gantt        = flag.Int("gantt", 0, "render a Gantt chart of the first N rounds (direct policies only)")
+		analyze      = flag.Int("analyze", 0, "print a windowed timeline with the given window width and a per-QoS-class breakdown (direct policies only)")
+	)
+	flag.Parse()
+
+	inst, err := workload.ByName(*workloadName, workload.Params{
+		Seed: *seed, Delta: *delta, Rounds: *rounds, Load: *load,
+		N: *n, J: *j, K: *k, Gap: *gap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: %d colors, %d rounds, %d jobs, Δ=%d\n",
+		inst.Name, inst.NumColors(), inst.NumRounds(), inst.TotalJobs(), inst.Delta)
+
+	res, err := runPolicy(*policyName, inst, *n, *gantt > 0 || *analyze > 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+
+	if *analyze > 0 {
+		if res.Schedule == nil {
+			fmt.Println("(no schedule recorded for this policy mode; -analyze needs a direct policy)")
+		} else {
+			ws, err := analysis.Timeline(inst.Clone(), res.Schedule, *analyze)
+			if err != nil {
+				fatal(err)
+			}
+			if err := analysis.TimelineTable(ws, "timeline").Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if err := analysis.ClassTable(analysis.ByDelayClass(inst, res), "per delay class").Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *gantt > 0 {
+		if res.Schedule == nil {
+			fmt.Println("(no schedule recorded for this policy mode; -gantt needs a direct policy)")
+		} else if err := res.Schedule.RenderGantt(os.Stdout, 0, *gantt); err != nil {
+			fatal(err)
+		}
+	}
+	if *lb {
+		b := offline.LowerBound(inst.Clone(), *m)
+		fmt.Printf("certified LB (m=%d): %d  (ParEDF drops=%d, per-color Δ bound=%d)\n",
+			*m, b.Value(), b.ParEDFDrops, b.ColorCost)
+		fmt.Printf("cost ratio vs LB: %.3f\n", float64(res.Cost.Total())/float64(max64(b.Value(), 1)))
+	}
+	if *perColor {
+		printColors(inst, res)
+	}
+}
+
+func runPolicy(name string, inst *rrs.Instance, n int, record bool) (*rrs.Result, error) {
+	switch name {
+	case "solve":
+		return core.Solve(inst, n)
+	case "distribute":
+		return core.Distribute(inst, n)
+	case "static":
+		return offline.StaticCost(inst, offline.BestStaticColors(inst, n), n)
+	}
+	var pol sched.Policy
+	switch name {
+	case "dlruedf":
+		pol = core.NewDLRUEDF()
+	case "adaptive":
+		pol = core.NewDLRUEDF(core.WithAdaptiveSplit())
+	case "dlru":
+		pol = policy.NewDLRU()
+	case "edf":
+		pol = policy.NewEDF()
+	case "seqedf":
+		pol = policy.NewSeqEDF()
+	case "hysteresis":
+		pol = policy.NewHysteresis(1)
+	case "greedy":
+		pol = policy.NewGreedyPending()
+	case "never":
+		pol = policy.NewNever()
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+	return sched.Run(inst, pol, sched.Options{N: n, Record: record})
+}
+
+func printColors(inst *rrs.Instance, res *rrs.Result) {
+	per := inst.JobsPerColor()
+	type row struct{ c, jobs, exec, drop int }
+	var rows []row
+	for c := range per {
+		if per[c] > 0 {
+			rows = append(rows, row{c, per[c], res.ExecByColor[c], res.DropsByColor[c]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].jobs > rows[j].jobs })
+	tab := stats.NewTable("per-color", "color", "delay", "jobs", "executed", "dropped")
+	for _, r := range rows {
+		tab.AddRow(r.c, inst.Delays[r.c], r.jobs, r.exec, r.drop)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command rrtrace generates, converts and inspects workload traces in the
+// repository's JSON/CSV interchange formats, so instances used in
+// experiments can be exported, shared and replayed byte-for-byte.
+//
+// Usage:
+//
+//	rrtrace -gen router -rounds 2048 -seed 7 -o trace.json
+//	rrtrace -convert trace.json -o trace.csv
+//	rrtrace -stat trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", fmt.Sprintf("generate a workload: %v", workload.Names()))
+		convert = flag.String("convert", "", "convert an existing trace file (json⇄csv by extension)")
+		stat    = flag.String("stat", "", "print statistics of a trace file")
+		out     = flag.String("o", "", "output path (extension selects json or csv; default stdout as json)")
+		rounds  = flag.Int("rounds", 1024, "rounds for generated workloads")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		delta   = flag.Int("delta", 8, "reconfiguration cost Δ")
+		load    = flag.Float64("load", 6, "offered load for stochastic workloads")
+		n       = flag.Int("n", 8, "n parameter for appendix constructions")
+		j       = flag.Int("j", 6, "j parameter for appendix constructions")
+		k       = flag.Int("k", 8, "k parameter for appendix constructions")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		inst, err := generate(*gen, *rounds, *seed, *delta, *load, *n, *j, *k)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(inst, *out); err != nil {
+			fatal(err)
+		}
+	case *convert != "":
+		inst, err := readTrace(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(inst, *out); err != nil {
+			fatal(err)
+		}
+	case *stat != "":
+		inst, err := readTrace(*stat)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(inst)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(name string, rounds int, seed uint64, delta int, load float64, n, j, k int) (*sched.Instance, error) {
+	return workload.ByName(name, workload.Params{
+		Seed: seed, Delta: delta, Rounds: rounds, Load: load, N: n, J: j, K: k,
+	})
+}
+
+func readTrace(path string) (*sched.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.ReadCSV(f)
+	}
+	return trace.ReadJSON(f)
+}
+
+func writeTrace(inst *sched.Instance, path string) error {
+	if path == "" {
+		return trace.WriteJSON(os.Stdout, inst)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.WriteCSV(f, inst)
+	}
+	return trace.WriteJSON(f, inst)
+}
+
+func printStats(inst *sched.Instance) {
+	fmt.Printf("name:    %s\n", inst.Name)
+	fmt.Printf("Δ:       %d\n", inst.Delta)
+	fmt.Printf("colors:  %d\n", inst.NumColors())
+	fmt.Printf("rounds:  %d (horizon %d)\n", inst.NumRounds(), inst.Horizon())
+	fmt.Printf("jobs:    %d\n", inst.TotalJobs())
+	fmt.Printf("batched: %v   rate-limited: %v   pow2 delays: %v\n",
+		inst.IsBatched(), inst.IsRateLimited(), inst.HasPowerOfTwoDelays())
+
+	per := inst.JobsPerColor()
+	type row struct{ c, jobs int }
+	var rows []row
+	for c, jobs := range per {
+		if jobs > 0 {
+			rows = append(rows, row{c, jobs})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].jobs > rows[j].jobs })
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	tab := stats.NewTable("top colors", "color", "delay", "jobs")
+	for _, r := range rows {
+		tab.AddRow(r.c, inst.Delays[r.c], r.jobs)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+package rrs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/offline"
+	"repro/internal/trace"
+)
+
+// TestEmptyInstanceEverywhere pushes a job-free instance through every
+// major API surface: nothing may error, every cost must be zero.
+func TestEmptyInstanceEverywhere(t *testing.T) {
+	inst := &Instance{Name: "empty", Delta: 3, Delays: []int{2, 8}}
+
+	for _, pol := range []Policy{NewDLRUEDF(), NewDLRU(), NewEDF(), NewSeqEDF(), NewNever(), NewGreedyPending(), NewHysteresis(1)} {
+		res, err := Run(inst.Clone(), pol, Options{N: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Cost.Total() != 0 || res.Executed != 0 {
+			t.Fatalf("%s: nonzero result on empty instance: %v", pol.Name(), res)
+		}
+	}
+
+	if res, err := Solve(inst.Clone(), 8); err != nil || res.Cost.Total() != 0 {
+		t.Fatalf("Solve on empty: %v, %v", res, err)
+	}
+	if res, err := Distribute(inst.Clone(), 8); err != nil || res.Cost.Total() != 0 {
+		t.Fatalf("Distribute on empty: %v, %v", res, err)
+	}
+	if opt, err := OptimalCost(inst.Clone(), 1, 0); err != nil || opt != 0 {
+		t.Fatalf("OptimalCost on empty: %d, %v", opt, err)
+	}
+	if lb := CertifiedLowerBound(inst.Clone(), 1); lb != 0 {
+		t.Fatalf("CertifiedLowerBound on empty: %d", lb)
+	}
+
+	// An empty recorded schedule survives the offline transformations.
+	rec, err := Run(inst.Clone(), NewDLRUEDF(), Options{N: 8, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Punctualize(inst.Clone(), rec.Schedule); err != nil {
+		t.Fatalf("Punctualize on empty: %v", err)
+	}
+	if _, err := offline.Aggregate(inst.Clone(), rec.Schedule); err != nil {
+		t.Fatalf("Aggregate on empty: %v", err)
+	}
+
+	// Trace roundtrip of an empty instance.
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, inst.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalJobs() != 0 || back.NumColors() != 2 {
+		t.Fatalf("empty roundtrip changed the instance: %+v", back)
+	}
+}
+
+// TestZeroColorInstance: an instance with no colors at all is legal and
+// inert.
+func TestZeroColorInstance(t *testing.T) {
+	inst := &Instance{Name: "colorless", Delta: 1}
+	for _, pol := range []Policy{NewDLRUEDF(), NewEDF(), NewNever()} {
+		res, err := Run(inst.Clone(), pol, Options{N: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Cost.Total() != 0 {
+			t.Fatalf("%s: cost %v on colorless instance", pol.Name(), res.Cost)
+		}
+	}
+	if res, err := Solve(inst.Clone(), 8); err != nil || res.Cost.Total() != 0 {
+		t.Fatalf("Solve on colorless: %v, %v", res, err)
+	}
+	st, err := NewStream(NewDLRUEDF(), StreamConfig{N: 4, Delta: 1, Delays: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cost().Total() != 0 {
+		t.Fatalf("stream cost %v", st.Cost())
+	}
+}
+
+// TestSingleRoundSingleJob: the smallest non-trivial instance behaves
+// sensibly across resource counts.
+func TestSingleRoundSingleJob(t *testing.T) {
+	for _, n := range []int{4, 8, 32} {
+		inst := &Instance{Delta: 1, Delays: []int{1}}
+		inst.AddJobs(0, 0, 1)
+		res, err := Run(inst, NewDLRUEDF(), Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Δ = 1 and one job with one opportunity: the policy either
+		// executes it (cost Δ·reconfigs) or drops it (cost 1).
+		if res.Executed+res.Dropped != 1 {
+			t.Fatalf("n=%d: conservation: %v", n, res)
+		}
+	}
+}
+
+// TestHugeDeltaMakesEverythingIneligible: when Δ exceeds the total job
+// volume, ΔLRU-EDF drops everything (Lemma 3.1's regime) and pays no
+// reconfigurations at all.
+func TestHugeDeltaMakesEverythingIneligible(t *testing.T) {
+	inst := &Instance{Delta: 1000, Delays: []int{4, 8}}
+	inst.AddJobs(0, 0, 5)
+	inst.AddJobs(4, 1, 7)
+	res, err := Run(inst, NewDLRUEDF(), Options{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Reconfig != 0 {
+		t.Fatalf("ineligible-only instance caused reconfigurations: %v", res.Cost)
+	}
+	if res.Dropped != 12 {
+		t.Fatalf("dropped %d, want 12", res.Dropped)
+	}
+}
+
+// TestManyColorsFewSlots: more distinct colors than cache capacity never
+// breaks invariants.
+func TestManyColorsFewSlots(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: make([]int, 64)}
+	for c := range inst.Delays {
+		inst.Delays[c] = 4
+	}
+	for r := 0; r < 32; r += 4 {
+		for c := 0; c < 64; c++ {
+			inst.AddJobs(r, Color(c), 1)
+		}
+	}
+	res, err := Run(inst, NewDLRUEDF(), Options{N: 4}) // capacity: 2 distinct colors
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed+res.Dropped != inst.TotalJobs() {
+		t.Fatal("conservation broken under heavy color pressure")
+	}
+	if res.Executed == 0 {
+		t.Fatal("nothing executed despite available capacity")
+	}
+}

@@ -1,0 +1,90 @@
+package rrs_test
+
+import (
+	"fmt"
+
+	rrs "repro"
+)
+
+// ExampleSolve runs the paper's full online algorithm on a small
+// hand-built instance.
+func ExampleSolve() {
+	inst := &rrs.Instance{
+		Delta:  3,
+		Delays: []int{8, 8}, // two batch categories
+	}
+	inst.AddJobs(0, 0, 6) // a backlog of category 0 at round 0
+	inst.AddJobs(8, 1, 6) // a backlog of category 1 at round 8
+
+	res, err := rrs.Solve(inst, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("executed %d of %d jobs\n", res.Executed, inst.TotalJobs())
+	// Output:
+	// executed 12 of 12 jobs
+}
+
+// ExampleRun compares the paper's algorithm with a baseline on the same
+// instance.
+func ExampleRun() {
+	inst := &rrs.Instance{Delta: 2, Delays: []int{4}}
+	inst.AddJobs(0, 0, 4)
+
+	combo, _ := rrs.Run(inst.Clone(), rrs.NewDLRUEDF(), rrs.Options{N: 4})
+	never, _ := rrs.Run(inst.Clone(), rrs.NewNever(), rrs.Options{N: 4})
+	fmt.Printf("ΔLRU-EDF drops %d, Never drops %d\n", combo.Dropped, never.Dropped)
+	// Output:
+	// ΔLRU-EDF drops 0, Never drops 4
+}
+
+// ExampleNewStream drives the scheduler round by round, the way a live
+// system would.
+func ExampleNewStream() {
+	st, err := rrs.NewStream(rrs.NewDLRUEDF(), rrs.StreamConfig{
+		N: 4, Delta: 2, Delays: []int{4},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := st.Step(rrs.Request{{Color: 0, Count: 2}}); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	st.Drain()
+	fmt.Printf("executed %d, dropped %d\n", st.Executed(), st.Dropped())
+	// Output:
+	// executed 6, dropped 0
+}
+
+// ExampleOptimalCost computes the exact offline optimum of a tiny
+// instance and the certified bound that is available at any scale.
+func ExampleOptimalCost() {
+	inst := &rrs.Instance{Delta: 3, Delays: []int{8}}
+	inst.AddJobs(0, 0, 5)
+
+	opt, _ := rrs.OptimalCost(inst, 1, 0)
+	lb := rrs.CertifiedLowerBound(inst, 1)
+	fmt.Printf("OPT = %d, certified LB = %d\n", opt, lb)
+	// Output:
+	// OPT = 3, certified LB = 3
+}
+
+// ExampleAppendixA regenerates the paper's Appendix A lower-bound input
+// and shows ΔLRU failing on it while ΔLRU-EDF does not.
+func ExampleAppendixA() {
+	inst, err := rrs.AppendixA(8, 2, 5, 7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lru, _ := rrs.Run(inst.Clone(), rrs.NewDLRU(), rrs.Options{N: 8})
+	combo, _ := rrs.Run(inst.Clone(), rrs.NewDLRUEDF(), rrs.Options{N: 8})
+	fmt.Printf("ΔLRU drops %d long jobs; ΔLRU-EDF drops %d\n", lru.Dropped, combo.Dropped)
+	// Output:
+	// ΔLRU drops 128 long jobs; ΔLRU-EDF drops 0
+}

@@ -1,0 +1,89 @@
+// Streaming: drive the scheduler one round at a time through the Stream
+// API — the way a live system (a router dataplane, a cluster control
+// loop) would embed this library, where arrivals only become known as
+// they happen.
+//
+// The example simulates a control loop over a bursty two-class workload,
+// prints a short live log of interesting rounds, and reconciles the
+// incremental totals with a batch re-run of the same trace.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rrs "repro"
+	"repro/internal/container"
+)
+
+func main() {
+	const (
+		n      = 8
+		delta  = 6
+		rounds = 200
+	)
+	// Two categories: interactive (D=4) and batch (D=32).
+	cfg := rrs.StreamConfig{N: n, Delta: delta, Delays: []int{4, 32}}
+
+	st, err := rrs.NewStream(rrs.NewDLRUEDF(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic bursty source: interactive traffic in bursts,
+	// batch work trickling in.
+	rng := container.NewRNG(42)
+	var replay []rrs.Request // keep the trace to reconcile with Run below
+	logged := 0
+	for r := 0; r < rounds; r++ {
+		var req rrs.Request
+		if (r/20)%2 == 0 { // interactive burst phase
+			if jobs := rng.Poisson(3); jobs > 0 {
+				req = append(req, rrs.Batch{Color: 0, Count: jobs})
+			}
+		}
+		if jobs := rng.Poisson(0.8); jobs > 0 {
+			req = append(req, rrs.Batch{Color: 1, Count: jobs})
+		}
+		replay = append(replay, req)
+
+		out, err := st.Step(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Log rounds where something costly happened.
+		if (len(out.Dropped) > 0 || out.Reconfigs > 0) && logged < 10 {
+			fmt.Printf("round %3d: arrivals=%d executed=%d dropped=%v reconfigs=%d\n",
+				out.Round, req.Jobs(), countJobs(out.Executed), out.Dropped, out.Reconfigs)
+			logged++
+		}
+	}
+	if _, err := st.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	live := st.Result()
+	fmt.Printf("\nlive totals:  %s\n", live)
+
+	// Reconcile: replaying the recorded trace through the batch engine
+	// must give identical numbers.
+	inst := &rrs.Instance{Name: "streaming-trace", Delta: delta, Delays: cfg.Delays, Requests: replay}
+	batch, err := rrs.Run(inst, rrs.NewDLRUEDF(), rrs.Options{N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch totals: %s\n", batch)
+	if batch.Cost != live.Cost {
+		log.Fatalf("MISMATCH: stream %v vs batch %v", live.Cost, batch.Cost)
+	}
+	fmt.Println("stream and batch engines agree ✓")
+}
+
+func countJobs(bs []rrs.Batch) int {
+	n := 0
+	for _, b := range bs {
+		n += b.Count
+	}
+	return n
+}

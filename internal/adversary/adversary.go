@@ -1,0 +1,245 @@
+// Package adversary searches for bad inputs: small instances maximizing a
+// policy's cost ratio against the exact offline optimum. It is a
+// counterexample-hunting tool for competitive analysis — run it against
+// ΔLRU and EDF and it rediscovers miniature versions of the paper's
+// Appendix A/B constructions; run it against ΔLRU-EDF and the ratio stays
+// near the Theorem 1 constant.
+//
+// The search is randomized hill climbing with restarts over a bounded
+// instance space (few colors, short horizons, small batches), driven by an
+// explicit seed so results are reproducible.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/offline"
+	"repro/internal/sched"
+)
+
+// Config bounds the search space and effort.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxColors, MaxRounds and MaxBatch bound the instance space.
+	MaxColors int
+	MaxRounds int
+	MaxBatch  int
+	// DelayChoices are the delay bounds instances may use (powers of two
+	// keep the §3 preconditions satisfied).
+	DelayChoices []int
+	// Delta is the reconfiguration cost of generated instances.
+	Delta int
+	// N is the online resource count; M the offline optimum's resources.
+	N, M int
+	// Restarts and StepsPerRestart bound the hill climbing effort.
+	Restarts        int
+	StepsPerRestart int
+	// BruteForceStates caps the per-evaluation exact search; instances
+	// exceeding it are discarded.
+	BruteForceStates int
+	// Batched restricts the space to batched (and rate-limited) inputs.
+	Batched bool
+}
+
+// Defaults fills zero fields with workable values.
+func (c *Config) Defaults() {
+	if c.MaxColors == 0 {
+		c.MaxColors = 3
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 12
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 3
+	}
+	if len(c.DelayChoices) == 0 {
+		c.DelayChoices = []int{1, 2, 4}
+	}
+	if c.Delta == 0 {
+		c.Delta = 2
+	}
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.M == 0 {
+		c.M = 1
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 8
+	}
+	if c.StepsPerRestart == 0 {
+		c.StepsPerRestart = 60
+	}
+	if c.BruteForceStates == 0 {
+		c.BruteForceStates = 400_000
+	}
+}
+
+// Result is the worst instance found and its certified ratio.
+type Result struct {
+	// Instance is the worst input found (nil if nothing evaluable was
+	// generated).
+	Instance *sched.Instance
+	// PolicyCost, Opt and Ratio certify the finding: Ratio =
+	// PolicyCost / max(Opt, 1) with Opt computed exactly.
+	PolicyCost int64
+	Opt        int64
+	Ratio      float64
+	// Evaluated counts the instances scored during the search.
+	Evaluated int
+}
+
+// Search hill-climbs toward instances maximizing newPolicy's cost ratio
+// against the exact optimum with cfg.M resources.
+func Search(cfg Config, newPolicy func() sched.Policy) (*Result, error) {
+	cfg.Defaults()
+	rng := container.NewRNG(cfg.Seed)
+	best := &Result{Ratio: -1}
+
+	evaluate := func(inst *sched.Instance) (float64, int64, int64, bool) {
+		opt, err := offline.BruteForce(inst.Clone(), cfg.M, cfg.BruteForceStates)
+		var lim *offline.BruteForceLimitError
+		if errors.As(err, &lim) {
+			return 0, 0, 0, false
+		}
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		res, err := sched.Run(inst.Clone(), newPolicy(), sched.Options{N: cfg.N})
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		den := opt
+		if den == 0 {
+			den = 1
+		}
+		return float64(res.Cost.Total()) / float64(den), res.Cost.Total(), opt, true
+	}
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		cur := randomInstance(rng, cfg)
+		curRatio, pc, opt, ok := evaluate(cur)
+		if ok {
+			best.Evaluated++
+			best.consider(cur, curRatio, pc, opt)
+		} else {
+			curRatio = -1
+		}
+		for step := 0; step < cfg.StepsPerRestart; step++ {
+			cand := mutate(rng, cfg, cur)
+			ratio, pc, opt, ok := evaluate(cand)
+			if !ok {
+				continue
+			}
+			best.Evaluated++
+			best.consider(cand, ratio, pc, opt)
+			if ratio >= curRatio {
+				cur, curRatio = cand, ratio
+			}
+		}
+	}
+	if best.Ratio < 0 {
+		return nil, fmt.Errorf("adversary: no evaluable instance found within the budget")
+	}
+	return best, nil
+}
+
+func (r *Result) consider(inst *sched.Instance, ratio float64, pc, opt int64) {
+	if ratio > r.Ratio {
+		r.Instance = inst.Clone()
+		r.Ratio = ratio
+		r.PolicyCost = pc
+		r.Opt = opt
+	}
+}
+
+// randomInstance samples the bounded instance space.
+func randomInstance(rng *container.RNG, cfg Config) *sched.Instance {
+	numColors := 1 + rng.Intn(cfg.MaxColors)
+	inst := &sched.Instance{
+		Name:   "adversary",
+		Delta:  cfg.Delta,
+		Delays: make([]int, numColors),
+	}
+	for c := range inst.Delays {
+		inst.Delays[c] = cfg.DelayChoices[rng.Intn(len(cfg.DelayChoices))]
+	}
+	for c := 0; c < numColors; c++ {
+		step := 1
+		if cfg.Batched {
+			step = inst.Delays[c]
+		}
+		for t := 0; t < cfg.MaxRounds; t += step {
+			if rng.Bool(0.4) {
+				inst.AddJobs(t, sched.Color(c), 1+rng.Intn(cfg.MaxBatch))
+			}
+		}
+	}
+	return clampRate(inst.Normalize(), cfg)
+}
+
+// mutate perturbs one instance: add a batch, remove a batch, or grow or
+// shrink one batch.
+func mutate(rng *container.RNG, cfg Config, inst *sched.Instance) *sched.Instance {
+	out := inst.Clone()
+	switch rng.Intn(3) {
+	case 0: // add a batch
+		c := sched.Color(rng.Intn(out.NumColors()))
+		t := rng.Intn(cfg.MaxRounds)
+		if cfg.Batched {
+			d := out.Delays[c]
+			t = (t / d) * d
+		}
+		out.AddJobs(t, c, 1+rng.Intn(cfg.MaxBatch))
+	case 1: // remove a random batch
+		var spots [][2]int
+		for r, req := range out.Requests {
+			for i := range req {
+				spots = append(spots, [2]int{r, i})
+			}
+		}
+		if len(spots) > 0 {
+			s := spots[rng.Intn(len(spots))]
+			req := out.Requests[s[0]]
+			out.Requests[s[0]] = append(req[:s[1]], req[s[1]+1:]...)
+		}
+	case 2: // resize a random batch
+		var spots [][2]int
+		for r, req := range out.Requests {
+			for i := range req {
+				spots = append(spots, [2]int{r, i})
+			}
+		}
+		if len(spots) > 0 {
+			s := spots[rng.Intn(len(spots))]
+			b := &out.Requests[s[0]][s[1]]
+			b.Count += rng.IntRange(-2, 2)
+			if b.Count < 1 {
+				b.Count = 1
+			}
+			if b.Count > cfg.MaxBatch*2 {
+				b.Count = cfg.MaxBatch * 2
+			}
+		}
+	}
+	return clampRate(out.Normalize(), cfg)
+}
+
+// clampRate enforces the rate limit for batched searches so §3
+// preconditions stay satisfied.
+func clampRate(inst *sched.Instance, cfg Config) *sched.Instance {
+	if !cfg.Batched {
+		return inst
+	}
+	for _, req := range inst.Requests {
+		for i := range req {
+			if d := inst.Delays[req[i].Color]; req[i].Count > d {
+				req[i].Count = d
+			}
+		}
+	}
+	return inst
+}

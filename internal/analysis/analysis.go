@@ -1,0 +1,235 @@
+// Package analysis computes post-run diagnostics from instances,
+// schedules and results: windowed cost/utilization timelines and
+// per-delay-class breakdowns. The rrsim CLI exposes them via -analyze and
+// experiments use them to explain *why* a policy paid what it paid —
+// thrashing shows up as reconfiguration-dominated windows,
+// underutilization as idle capacity next to drops.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Window is one timeline bucket of a run.
+type Window struct {
+	// StartRound is the first round of the window; windows have uniform
+	// width except possibly the last.
+	StartRound int
+	// Arrived, Executed and Dropped count jobs in the window.
+	Arrived  int
+	Executed int
+	Dropped  int
+	// Reconfigs counts location recolorings in the window.
+	Reconfigs int
+	// Utilization is the fraction of location-rounds that executed a job.
+	Utilization float64
+}
+
+// Timeline replays the schedule against the instance and aggregates
+// per-window statistics with the given window width (in rounds).
+func Timeline(inst *sched.Instance, s *sched.Schedule, windowRounds int) ([]Window, error) {
+	if windowRounds < 1 {
+		return nil, fmt.Errorf("analysis: Timeline needs a positive window width")
+	}
+	res, execLog, err := sched.ReplayExec(inst.Clone(), s)
+	if err != nil {
+		return nil, err
+	}
+	_ = res
+	speed := s.Speed
+	if speed == 0 {
+		speed = 1
+	}
+
+	// Replay once more manually for drops per round: cheaper to re-derive
+	// from the instance and exec log. A job arriving at round r with
+	// delay d is dropped at r+d unless executed earlier; rather than
+	// re-tracking queues, reuse a light engine pass.
+	drops, reconfigs, err := perRoundDropsAndReconfigs(inst, s)
+	if err != nil {
+		return nil, err
+	}
+
+	totalRounds := len(execLog) / speed
+	if len(execLog)%speed != 0 {
+		totalRounds++
+	}
+	numWindows := (totalRounds + windowRounds - 1) / windowRounds
+	if numWindows == 0 {
+		return nil, nil
+	}
+	out := make([]Window, numWindows)
+	for w := range out {
+		out[w].StartRound = w * windowRounds
+	}
+
+	for r := 0; r < totalRounds; r++ {
+		w := r / windowRounds
+		if r < inst.NumRounds() {
+			out[w].Arrived += inst.Requests[r].Jobs()
+		}
+		if r < len(drops) {
+			out[w].Dropped += drops[r]
+		}
+		if r < len(reconfigs) {
+			out[w].Reconfigs += reconfigs[r]
+		}
+		for mini := 0; mini < speed; mini++ {
+			idx := r*speed + mini
+			if idx >= len(execLog) {
+				break
+			}
+			for _, c := range execLog[idx] {
+				if c != sched.NoColor {
+					out[w].Executed++
+				}
+			}
+		}
+	}
+	capPerWindow := float64(s.N * speed * windowRounds)
+	for w := range out {
+		rounds := windowRounds
+		if last := totalRounds - out[w].StartRound; last < rounds {
+			rounds = last
+		}
+		denom := capPerWindow
+		if rounds != windowRounds {
+			denom = float64(s.N * speed * rounds)
+		}
+		if denom > 0 {
+			out[w].Utilization = float64(out[w].Executed) / denom
+		}
+	}
+	return out, nil
+}
+
+// perRoundDropsAndReconfigs replays the schedule tracking drops and
+// reconfiguration counts per round.
+func perRoundDropsAndReconfigs(inst *sched.Instance, s *sched.Schedule) (drops, reconfigs []int, err error) {
+	// Reuse the validator by replaying windows? Simpler: run a dedicated
+	// light pass mirroring sched.Replay's structure via the public API:
+	// replay round by round using a Stream with a scripted policy.
+	script := &scriptedSchedule{s: s}
+	st, err := sched.NewStream(script, sched.StreamConfig{
+		N: s.N, Speed: maxInt(s.Speed, 1), Delta: inst.Delta, Delays: inst.Delays,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	horizon := inst.Horizon()
+	if sr := s.Rounds(); sr > horizon {
+		horizon = sr
+	}
+	for r := 0; r < horizon; r++ {
+		var req sched.Request
+		if r < inst.NumRounds() {
+			req = inst.Requests[r]
+		}
+		out, err := st.Step(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		d := 0
+		for _, b := range out.Dropped {
+			d += b.Count
+		}
+		drops = append(drops, d)
+		reconfigs = append(reconfigs, out.Reconfigs)
+	}
+	return drops, reconfigs, nil
+}
+
+// scriptedSchedule replays a Schedule's assignments as a policy.
+type scriptedSchedule struct {
+	s    *sched.Schedule
+	last []sched.Color
+}
+
+func (p *scriptedSchedule) Name() string { return "replay(" + p.s.Policy + ")" }
+func (p *scriptedSchedule) Reset(env sched.Env) {
+	p.last = make([]sched.Color, env.N)
+	for i := range p.last {
+		p.last[i] = sched.NoColor
+	}
+}
+func (p *scriptedSchedule) Reconfigure(ctx *sched.Context) []sched.Color {
+	speed := p.s.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	idx := ctx.Round*speed + ctx.Mini
+	if idx < len(p.s.Assign) {
+		copy(p.last, p.s.Assign[idx])
+	}
+	return p.last
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TimelineTable renders a timeline as a table.
+func TimelineTable(ws []Window, title string) *stats.Table {
+	tab := stats.NewTable(title, "round", "arrived", "executed", "dropped", "reconfigs", "utilization")
+	for _, w := range ws {
+		tab.AddRow(w.StartRound, w.Arrived, w.Executed, w.Dropped, w.Reconfigs, w.Utilization)
+	}
+	return tab
+}
+
+// ClassRow summarizes one delay class of a run.
+type ClassRow struct {
+	Delay    int
+	Colors   int
+	Jobs     int
+	Executed int
+	Dropped  int
+	DropRate float64
+}
+
+// ByDelayClass groups a result's per-color counters by delay bound — the
+// per-QoS-class view a router operator would look at.
+func ByDelayClass(inst *sched.Instance, res *sched.Result) []ClassRow {
+	per := inst.JobsPerColor()
+	byDelay := map[int]*ClassRow{}
+	for c, jobs := range per {
+		if jobs == 0 {
+			continue
+		}
+		d := inst.Delays[c]
+		row := byDelay[d]
+		if row == nil {
+			row = &ClassRow{Delay: d}
+			byDelay[d] = row
+		}
+		row.Colors++
+		row.Jobs += jobs
+		row.Executed += res.ExecByColor[c]
+		row.Dropped += res.DropsByColor[c]
+	}
+	var out []ClassRow
+	for _, row := range byDelay {
+		if row.Jobs > 0 {
+			row.DropRate = float64(row.Dropped) / float64(row.Jobs)
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delay < out[j].Delay })
+	return out
+}
+
+// ClassTable renders the per-class breakdown as a table.
+func ClassTable(rows []ClassRow, title string) *stats.Table {
+	tab := stats.NewTable(title, "delay bound", "colors", "jobs", "executed", "dropped", "drop rate")
+	for _, r := range rows {
+		tab.AddRow(r.Delay, r.Colors, r.Jobs, r.Executed, r.Dropped, r.DropRate)
+	}
+	return tab
+}

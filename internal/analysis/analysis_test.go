@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func recordedRun(t *testing.T, seed uint64) (*sched.Instance, *sched.Result) {
+	t.Helper()
+	inst := workload.Router(seed, 2, 4, 256, 6)
+	res, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: 8, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, res
+}
+
+func TestTimelineSumsMatchResult(t *testing.T) {
+	inst, res := recordedRun(t, 9)
+	ws, err := Timeline(inst.Clone(), res.Schedule, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived, executed, dropped, reconfigs int
+	for _, w := range ws {
+		arrived += w.Arrived
+		executed += w.Executed
+		dropped += w.Dropped
+		reconfigs += w.Reconfigs
+	}
+	if arrived != inst.TotalJobs() {
+		t.Fatalf("arrived %d, want %d", arrived, inst.TotalJobs())
+	}
+	if executed != res.Executed {
+		t.Fatalf("executed %d, want %d", executed, res.Executed)
+	}
+	if dropped != res.Dropped {
+		t.Fatalf("dropped %d, want %d", dropped, res.Dropped)
+	}
+	if reconfigs != res.Reconfigs {
+		t.Fatalf("reconfigs %d, want %d", reconfigs, res.Reconfigs)
+	}
+}
+
+func TestTimelineUtilizationBounds(t *testing.T) {
+	inst, res := recordedRun(t, 10)
+	ws, err := Timeline(inst.Clone(), res.Schedule, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for i, w := range ws {
+		if w.Utilization < 0 || w.Utilization > 1+1e-9 {
+			t.Fatalf("window %d: utilization %v", i, w.Utilization)
+		}
+		if w.StartRound != i*64 {
+			t.Fatalf("window %d starts at %d", i, w.StartRound)
+		}
+	}
+}
+
+func TestTimelineRejectsBadWindow(t *testing.T) {
+	inst, res := recordedRun(t, 11)
+	if _, err := Timeline(inst, res.Schedule, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestByDelayClass(t *testing.T) {
+	inst, res := recordedRun(t, 12)
+	rows := ByDelayClass(inst, res)
+	if len(rows) != 4 {
+		t.Fatalf("router has 4 delay classes, got %d rows", len(rows))
+	}
+	jobs := 0
+	for i, r := range rows {
+		if i > 0 && rows[i-1].Delay >= r.Delay {
+			t.Fatal("rows not sorted by delay")
+		}
+		if r.Executed+r.Dropped != r.Jobs {
+			t.Fatalf("class %d: %d + %d != %d", r.Delay, r.Executed, r.Dropped, r.Jobs)
+		}
+		if r.DropRate < 0 || r.DropRate > 1 {
+			t.Fatalf("class %d: drop rate %v", r.Delay, r.DropRate)
+		}
+		jobs += r.Jobs
+	}
+	if jobs != inst.TotalJobs() {
+		t.Fatalf("class totals %d != %d", jobs, inst.TotalJobs())
+	}
+}
+
+func TestTables(t *testing.T) {
+	inst, res := recordedRun(t, 13)
+	ws, err := Timeline(inst.Clone(), res.Schedule, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := TimelineTable(ws, "timeline").Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "utilization") {
+		t.Fatal("timeline table missing columns")
+	}
+	var b2 strings.Builder
+	if err := ClassTable(ByDelayClass(inst, res), "classes").Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "drop rate") {
+		t.Fatal("class table missing columns")
+	}
+}

@@ -1,0 +1,184 @@
+// Package container provides the data-structure substrate used by the
+// scheduling policies: an indexed min-heap with decrease-key, a deadline
+// bucket queue, an intrusive LRU list, a multiset, a deque, and a
+// deterministic RNG. All structures are deterministic and allocation-lean;
+// none are safe for concurrent use unless stated otherwise.
+package container
+
+// IndexedHeap is a binary min-heap over items identified by a comparable
+// key. It supports O(log n) push, pop, remove-by-key and priority update
+// (both decrease and increase), which the EDF-style policies need when a
+// color's deadline or idleness rank changes in place.
+//
+// The zero value is not ready for use; construct with NewIndexedHeap.
+type IndexedHeap[K comparable, P any] struct {
+	items []heapItem[K, P]
+	pos   map[K]int
+	less  func(a, b P) bool
+}
+
+type heapItem[K comparable, P any] struct {
+	key K
+	pri P
+}
+
+// NewIndexedHeap returns an empty indexed heap ordered by less
+// (a min-heap: the item for which less(a, b) holds for all other b pops
+// first).
+func NewIndexedHeap[K comparable, P any](less func(a, b P) bool) *IndexedHeap[K, P] {
+	return &IndexedHeap[K, P]{
+		pos:  make(map[K]int),
+		less: less,
+	}
+}
+
+// Len reports the number of items in the heap.
+func (h *IndexedHeap[K, P]) Len() int { return len(h.items) }
+
+// Contains reports whether key is present.
+func (h *IndexedHeap[K, P]) Contains(key K) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Priority returns the priority stored for key, and whether key is present.
+func (h *IndexedHeap[K, P]) Priority(key K) (P, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		var zero P
+		return zero, false
+	}
+	return h.items[i].pri, true
+}
+
+// Push inserts key with the given priority. If key is already present its
+// priority is updated instead (equivalent to Update).
+func (h *IndexedHeap[K, P]) Push(key K, pri P) {
+	if i, ok := h.pos[key]; ok {
+		h.items[i].pri = pri
+		h.fix(i)
+		return
+	}
+	h.items = append(h.items, heapItem[K, P]{key: key, pri: pri})
+	i := len(h.items) - 1
+	h.pos[key] = i
+	h.up(i)
+}
+
+// Update changes the priority of key and restores heap order. It reports
+// whether key was present.
+func (h *IndexedHeap[K, P]) Update(key K, pri P) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.items[i].pri = pri
+	h.fix(i)
+	return true
+}
+
+// Min returns the key and priority of the minimum item without removing
+// it. ok is false when the heap is empty.
+func (h *IndexedHeap[K, P]) Min() (key K, pri P, ok bool) {
+	if len(h.items) == 0 {
+		var zk K
+		var zp P
+		return zk, zp, false
+	}
+	return h.items[0].key, h.items[0].pri, true
+}
+
+// Pop removes and returns the minimum item. ok is false when empty.
+func (h *IndexedHeap[K, P]) Pop() (key K, pri P, ok bool) {
+	if len(h.items) == 0 {
+		var zk K
+		var zp P
+		return zk, zp, false
+	}
+	top := h.items[0]
+	h.removeAt(0)
+	return top.key, top.pri, true
+}
+
+// Remove deletes key from the heap, reporting whether it was present.
+func (h *IndexedHeap[K, P]) Remove(key K) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// Clear empties the heap, retaining allocated capacity.
+func (h *IndexedHeap[K, P]) Clear() {
+	h.items = h.items[:0]
+	clear(h.pos)
+}
+
+// Keys returns the keys currently in the heap in unspecified order.
+func (h *IndexedHeap[K, P]) Keys() []K {
+	out := make([]K, len(h.items))
+	for i, it := range h.items {
+		out[i] = it.key
+	}
+	return out
+}
+
+func (h *IndexedHeap[K, P]) removeAt(i int) {
+	last := len(h.items) - 1
+	delete(h.pos, h.items[i].key)
+	if i != last {
+		h.items[i] = h.items[last]
+		h.pos[h.items[i].key] = i
+	}
+	h.items = h.items[:last]
+	if i < len(h.items) {
+		h.fix(i)
+	}
+}
+
+func (h *IndexedHeap[K, P]) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *IndexedHeap[K, P]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i].pri, h.items[parent].pri) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts item i toward the leaves; it reports whether the item moved.
+func (h *IndexedHeap[K, P]) down(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(h.items[r].pri, h.items[l].pri) {
+			child = r
+		}
+		if !h.less(h.items[child].pri, h.items[i].pri) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}
+
+func (h *IndexedHeap[K, P]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].key] = i
+	h.pos[h.items[j].key] = j
+}

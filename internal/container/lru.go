@@ -1,0 +1,111 @@
+package container
+
+// LRUList is an intrusive recency list over items identified by a
+// comparable key, with O(1) Touch, Remove, and access to both the most
+// and least recently used ends. The ΔLRU-style policies use it to keep
+// colors ordered by timestamp recency with deterministic tie-breaking
+// (ties are broken by touch order, which the policies make deterministic
+// by touching in a fixed color order).
+type LRUList[K comparable] struct {
+	nodes map[K]*lruNode[K]
+	// sentinel.next is the most recently used, sentinel.prev the least.
+	sentinel lruNode[K]
+	inited   bool
+}
+
+type lruNode[K comparable] struct {
+	key        K
+	prev, next *lruNode[K]
+}
+
+// NewLRUList returns an empty recency list.
+func NewLRUList[K comparable]() *LRUList[K] {
+	l := &LRUList[K]{nodes: make(map[K]*lruNode[K])}
+	l.init()
+	return l
+}
+
+func (l *LRUList[K]) init() {
+	l.sentinel.next = &l.sentinel
+	l.sentinel.prev = &l.sentinel
+	l.inited = true
+}
+
+// Len reports the number of items in the list.
+func (l *LRUList[K]) Len() int { return len(l.nodes) }
+
+// Contains reports whether key is present.
+func (l *LRUList[K]) Contains(key K) bool {
+	_, ok := l.nodes[key]
+	return ok
+}
+
+// Touch moves key to the most-recently-used position, inserting it if
+// absent.
+func (l *LRUList[K]) Touch(key K) {
+	n, ok := l.nodes[key]
+	if ok {
+		l.unlink(n)
+	} else {
+		n = &lruNode[K]{key: key}
+		l.nodes[key] = n
+	}
+	// Insert at front (MRU side).
+	n.next = l.sentinel.next
+	n.prev = &l.sentinel
+	n.next.prev = n
+	l.sentinel.next = n
+}
+
+// Remove deletes key, reporting whether it was present.
+func (l *LRUList[K]) Remove(key K) bool {
+	n, ok := l.nodes[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.nodes, key)
+	return true
+}
+
+// MRU returns the most recently touched key; ok is false when empty.
+func (l *LRUList[K]) MRU() (key K, ok bool) {
+	if len(l.nodes) == 0 {
+		var zero K
+		return zero, false
+	}
+	return l.sentinel.next.key, true
+}
+
+// LRU returns the least recently touched key; ok is false when empty.
+func (l *LRUList[K]) LRU() (key K, ok bool) {
+	if len(l.nodes) == 0 {
+		var zero K
+		return zero, false
+	}
+	return l.sentinel.prev.key, true
+}
+
+// MostRecent appends up to k keys in MRU→LRU order to dst and returns it.
+func (l *LRUList[K]) MostRecent(dst []K, k int) []K {
+	for n := l.sentinel.next; n != &l.sentinel && k > 0; n = n.next {
+		dst = append(dst, n.key)
+		k--
+	}
+	return dst
+}
+
+// Keys returns all keys in MRU→LRU order.
+func (l *LRUList[K]) Keys() []K {
+	out := make([]K, 0, len(l.nodes))
+	for n := l.sentinel.next; n != &l.sentinel; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+func (l *LRUList[K]) unlink(n *lruNode[K]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}

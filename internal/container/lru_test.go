@@ -1,0 +1,126 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUListBasic(t *testing.T) {
+	l := NewLRUList[string]()
+	if l.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	if _, ok := l.MRU(); ok {
+		t.Fatal("MRU on empty list reported ok")
+	}
+	if _, ok := l.LRU(); ok {
+		t.Fatal("LRU on empty list reported ok")
+	}
+	l.Touch("a")
+	l.Touch("b")
+	l.Touch("c")
+	if k, _ := l.MRU(); k != "c" {
+		t.Fatalf("MRU = %s, want c", k)
+	}
+	if k, _ := l.LRU(); k != "a" {
+		t.Fatalf("LRU = %s, want a", k)
+	}
+	l.Touch("a") // re-touch moves to front
+	if k, _ := l.MRU(); k != "a" {
+		t.Fatalf("MRU after retouch = %s, want a", k)
+	}
+	if k, _ := l.LRU(); k != "b" {
+		t.Fatalf("LRU after retouch = %s, want b", k)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+}
+
+func TestLRUListRemove(t *testing.T) {
+	l := NewLRUList[int]()
+	for i := 0; i < 5; i++ {
+		l.Touch(i)
+	}
+	if !l.Remove(2) {
+		t.Fatal("Remove reported missing")
+	}
+	if l.Remove(2) {
+		t.Fatal("double Remove reported present")
+	}
+	if l.Contains(2) {
+		t.Fatal("removed key still present")
+	}
+	keys := l.Keys()
+	want := []int{4, 3, 1, 0}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestLRUListMostRecent(t *testing.T) {
+	l := NewLRUList[int]()
+	for i := 0; i < 6; i++ {
+		l.Touch(i)
+	}
+	got := l.MostRecent(nil, 3)
+	want := []int{5, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MostRecent = %v, want %v", got, want)
+		}
+	}
+	// Asking for more than available returns everything.
+	all := l.MostRecent(nil, 100)
+	if len(all) != 6 {
+		t.Fatalf("MostRecent(100) returned %d items", len(all))
+	}
+}
+
+// TestLRUListAgainstModel drives the list against a slice model.
+func TestLRUListAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	l := NewLRUList[int]()
+	var model []int // MRU first
+	find := func(k int) int {
+		for i, v := range model {
+			if v == k {
+				return i
+			}
+		}
+		return -1
+	}
+	for step := 0; step < 4000; step++ {
+		k := rng.Intn(20)
+		if rng.Intn(3) == 0 {
+			got := l.Remove(k)
+			i := find(k)
+			if got != (i >= 0) {
+				t.Fatalf("step %d: Remove(%d) = %v, model %v", step, k, got, i >= 0)
+			}
+			if i >= 0 {
+				model = append(model[:i], model[i+1:]...)
+			}
+		} else {
+			l.Touch(k)
+			if i := find(k); i >= 0 {
+				model = append(model[:i], model[i+1:]...)
+			}
+			model = append([]int{k}, model...)
+		}
+		keys := l.Keys()
+		if len(keys) != len(model) {
+			t.Fatalf("step %d: Len %d, model %d", step, len(keys), len(model))
+		}
+		for i := range keys {
+			if keys[i] != model[i] {
+				t.Fatalf("step %d: order %v, model %v", step, keys, model)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package container
+
+import "sort"
+
+// Multiset is a counted set over a comparable key type. The simulator uses
+// it to represent cache configurations as multisets of colors (several
+// locations may hold the same color), and the brute-force optimizer uses
+// multiset intersection to compute minimal reconfiguration costs between
+// configurations.
+type Multiset[K comparable] struct {
+	counts map[K]int
+	size   int
+}
+
+// NewMultiset returns an empty multiset.
+func NewMultiset[K comparable]() *Multiset[K] {
+	return &Multiset[K]{counts: make(map[K]int)}
+}
+
+// Len reports the total number of elements counted with multiplicity.
+func (m *Multiset[K]) Len() int { return m.size }
+
+// Count returns the multiplicity of key.
+func (m *Multiset[K]) Count(key K) int { return m.counts[key] }
+
+// Add increases the multiplicity of key by n (n may be negative, but the
+// multiplicity never drops below zero).
+func (m *Multiset[K]) Add(key K, n int) {
+	c := m.counts[key] + n
+	if c <= 0 {
+		m.size -= m.counts[key]
+		delete(m.counts, key)
+		return
+	}
+	m.size += c - m.counts[key]
+	m.counts[key] = c
+}
+
+// Distinct reports the number of distinct keys present.
+func (m *Multiset[K]) Distinct() int { return len(m.counts) }
+
+// ForEach calls fn for every distinct key with its multiplicity, in
+// unspecified order.
+func (m *Multiset[K]) ForEach(fn func(key K, count int)) {
+	for k, c := range m.counts {
+		fn(k, c)
+	}
+}
+
+// IntersectionSize returns |m ∩ o| counted with multiplicity: the number
+// of elements that can be matched one-to-one between the two multisets.
+func (m *Multiset[K]) IntersectionSize(o *Multiset[K]) int {
+	// Iterate over the smaller map.
+	a, b := m, o
+	if len(b.counts) < len(a.counts) {
+		a, b = b, a
+	}
+	n := 0
+	for k, ca := range a.counts {
+		if cb := b.counts[k]; cb < ca {
+			n += cb
+		} else {
+			n += ca
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (m *Multiset[K]) Clone() *Multiset[K] {
+	c := &Multiset[K]{counts: make(map[K]int, len(m.counts)), size: m.size}
+	for k, v := range m.counts {
+		c.counts[k] = v
+	}
+	return c
+}
+
+// Clear removes all elements.
+func (m *Multiset[K]) Clear() {
+	clear(m.counts)
+	m.size = 0
+}
+
+// SortedSlice expands the multiset into a sorted slice using less for
+// ordering of distinct keys; elements repeat per multiplicity. It is used
+// to build canonical configuration signatures.
+func SortedSlice[K comparable](m *Multiset[K], less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	out := make([]K, 0, m.size)
+	for _, k := range keys {
+		for i := 0; i < m.counts[k]; i++ {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package container
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultisetBasic(t *testing.T) {
+	m := NewMultiset[string]()
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatal("new multiset not empty")
+	}
+	m.Add("a", 3)
+	m.Add("b", 1)
+	m.Add("a", 2)
+	if m.Len() != 6 || m.Distinct() != 2 || m.Count("a") != 5 {
+		t.Fatalf("Len=%d Distinct=%d Count(a)=%d", m.Len(), m.Distinct(), m.Count("a"))
+	}
+	m.Add("a", -10) // clamps to removal
+	if m.Count("a") != 0 || m.Len() != 1 {
+		t.Fatalf("negative Add: Count(a)=%d Len=%d", m.Count("a"), m.Len())
+	}
+}
+
+func TestMultisetIntersection(t *testing.T) {
+	a := NewMultiset[int]()
+	b := NewMultiset[int]()
+	a.Add(1, 3)
+	a.Add(2, 1)
+	b.Add(1, 2)
+	b.Add(3, 5)
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Fatalf("IntersectionSize = %d, want 2", got)
+	}
+	if got := b.IntersectionSize(a); got != 2 {
+		t.Fatalf("IntersectionSize not symmetric: %d", got)
+	}
+	empty := NewMultiset[int]()
+	if got := a.IntersectionSize(empty); got != 0 {
+		t.Fatalf("intersection with empty = %d", got)
+	}
+}
+
+func TestMultisetCloneAndClear(t *testing.T) {
+	m := NewMultiset[int]()
+	m.Add(1, 2)
+	c := m.Clone()
+	c.Add(1, 1)
+	if m.Count(1) != 2 || c.Count(1) != 3 {
+		t.Fatal("Clone shares state")
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestSortedSlice(t *testing.T) {
+	m := NewMultiset[int]()
+	m.Add(3, 2)
+	m.Add(1, 1)
+	got := SortedSlice(m, func(a, b int) bool { return a < b })
+	want := []int{1, 3, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SortedSlice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedSlice = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: |A∩B| ≤ min(|A|, |B|) and intersection is symmetric, for
+// arbitrary multisets built from byte streams.
+func TestMultisetIntersectionProperty(t *testing.T) {
+	build := func(xs []uint8) *Multiset[int] {
+		m := NewMultiset[int]()
+		for _, x := range xs {
+			m.Add(int(x%8), int(x%3)+1)
+		}
+		return m
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := build(xs), build(ys)
+		i := a.IntersectionSize(b)
+		if i != b.IntersectionSize(a) {
+			return false
+		}
+		if i > a.Len() || i > b.Len() {
+			return false
+		}
+		return i >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

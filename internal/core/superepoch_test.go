@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestCorollary32EpochOverlap validates Corollary 3.2 empirically: for
+// any complete super-epoch (a window in which 2m = n/4 distinct colors
+// update their timestamps), at most three epochs of any single color
+// overlap the window.
+func TestCorollary32EpochOverlap(t *testing.T) {
+	const n = 16
+	width := n / 4 // 2m with n = 8m
+	run := func(inst *sched.Instance) {
+		t.Helper()
+		pol := NewDLRUEDF(WithTimestampRecording())
+		if _, err := sched.Run(inst, pol, sched.Options{N: n}); err != nil {
+			t.Fatal(err)
+		}
+		tr := pol.Tracker()
+		windows := tr.SuperEpochWindows(width)
+		for _, w := range windows {
+			for c := 0; c < inst.NumColors(); c++ {
+				if got := tr.EpochsOverlapping(sched.Color(c), w[0], w[1]); got > 3 {
+					t.Fatalf("%s: color %d has %d epochs overlapping super-epoch [%d,%d], Corollary 3.2 bounds it by 3",
+						inst.Name, c, got, w[0], w[1])
+				}
+			}
+		}
+	}
+	run(workload.RandomBatched(41, 20, 3, 512, []int{1, 2, 4, 8}, 0.9, 0.7, true))
+	run(workload.RandomBatched(42, 12, 5, 512, []int{2, 4, 8, 16}, 0.8, 0.6, true))
+	instA, err := workload.AppendixA(n, 2, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(instA)
+}
+
+// TestCorollary32Property repeats the check across random seeds.
+func TestCorollary32Property(t *testing.T) {
+	const n = 8
+	width := n / 4
+	f := func(seed uint64) bool {
+		inst := workload.RandomBatched(seed, 10, 3, 192, []int{1, 2, 4, 8}, 0.9, 0.6, true)
+		pol := NewDLRUEDF(WithTimestampRecording())
+		if _, err := sched.Run(inst, pol, sched.Options{N: n}); err != nil {
+			return false
+		}
+		tr := pol.Tracker()
+		for _, w := range tr.SuperEpochWindows(width) {
+			for c := 0; c < inst.NumColors(); c++ {
+				if tr.EpochsOverlapping(sched.Color(c), w[0], w[1]) > 3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

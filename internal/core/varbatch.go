@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// batchPeriod returns the VarBatch batching period q for a delay bound D:
+// for D ≥ 2 with 2^j ≤ D < 2^{j+1}, q = 2^{j-1} (§5.1 for power-of-two
+// bounds, where q = D/2; §5.3 for arbitrary bounds). Colors with D = 1
+// are already batched and keep their arrivals (q = 0 marks them).
+func batchPeriod(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	return sched.PowerOfTwoAtMost(d) / 2
+}
+
+// BuildVarBatched constructs the batched instance of §5.1 step 1: every
+// job of a color with period q arriving in half-block [i·q, (i+1)·q) is
+// delayed until round (i+1)·q and given delay bound q, restricting its
+// execution to that half-block. The resulting instance is batched
+// ([Δ | 1 | q_ℓ | q_ℓ]) with power-of-two delay bounds, and any schedule
+// feasible for it is feasible for the original instance because each
+// job's virtual deadline (i+2)·q never exceeds its real deadline.
+func BuildVarBatched(inst *sched.Instance) *sched.Instance {
+	inst.Normalize()
+	delays := make([]int, inst.NumColors())
+	for c, d := range inst.Delays {
+		if q := batchPeriod(d); q > 0 {
+			delays[c] = q
+		} else {
+			delays[c] = 1
+		}
+	}
+	out := &sched.Instance{
+		Name:   inst.Name + "+varbatched",
+		Delta:  inst.Delta,
+		Delays: delays,
+	}
+	for t, req := range inst.Requests {
+		for _, b := range req {
+			q := batchPeriod(inst.Delays[b.Color])
+			arrival := t
+			if q > 0 {
+				arrival = (t/q + 1) * q
+			}
+			out.AddJobs(arrival, b.Color, b.Count)
+		}
+	}
+	out.Normalize()
+	return out
+}
+
+// SolveRun carries every intermediate of a Solve invocation.
+type SolveRun struct {
+	// Batched is the §5.1 transformed instance and Distribute the full
+	// §4.1 reduction run on it.
+	Batched    *sched.Instance
+	Distribute *DistributeRun
+	// Result is the replay of the final schedule on the original
+	// instance: the cost VarBatch actually incurs for [Δ | 1 | D_ℓ | 1].
+	Result *sched.Result
+}
+
+// SolveWith runs the complete layered solver — VarBatch (§5.1) on top of
+// Distribute (§4.1) on top of the given core policy — on an arbitrary
+// instance of the main problem [Δ | 1 | D_ℓ | 1].
+func SolveWith(inst *sched.Instance, n int, inner sched.Policy) (*SolveRun, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	batched := BuildVarBatched(inst)
+	if !batched.IsBatched() {
+		return nil, fmt.Errorf("core: VarBatch produced a non-batched instance for %q", inst.Name)
+	}
+	drun, err := DistributeWith(batched, n, inner)
+	if err != nil {
+		return nil, err
+	}
+	final := drun.Schedule.Clone()
+	final.Policy = "VarBatch(" + drun.Schedule.Policy + ")"
+	res, err := sched.Replay(inst, final)
+	if err != nil {
+		return nil, err
+	}
+	return &SolveRun{Batched: batched, Distribute: drun, Result: res}, nil
+}
+
+// Solve is the paper's headline online algorithm (Theorem 3): VarBatch ∘
+// Distribute ∘ ΔLRU-EDF, resource competitive for [Δ | 1 | D_ℓ | 1].
+func Solve(inst *sched.Instance, n int) (*sched.Result, error) {
+	run, err := SolveWith(inst, n, NewDLRUEDF())
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
+}

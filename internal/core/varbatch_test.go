@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestBatchPeriod(t *testing.T) {
+	cases := []struct{ d, q int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {7, 2}, {8, 4}, {100, 32}, {128, 64},
+	}
+	for _, c := range cases {
+		if got := batchPeriod(c.d); got != c.q {
+			t.Errorf("batchPeriod(%d) = %d, want %d", c.d, got, c.q)
+		}
+	}
+}
+
+func TestBuildVarBatchedProducesBatchedPowerOfTwo(t *testing.T) {
+	inst := &sched.Instance{Delta: 2, Delays: []int{1, 2, 3, 5, 12, 100}}
+	for r := 0; r < 20; r++ {
+		for c := range inst.Delays {
+			inst.AddJobs(r, sched.Color(c), 1)
+		}
+	}
+	out := BuildVarBatched(inst)
+	if !out.IsBatched() {
+		t.Fatal("VarBatch output not batched")
+	}
+	if !out.HasPowerOfTwoDelays() {
+		t.Fatalf("VarBatch output has non-power-of-two delays: %v", out.Delays)
+	}
+	if out.TotalJobs() != inst.TotalJobs() {
+		t.Fatalf("job count changed: %d → %d", inst.TotalJobs(), out.TotalJobs())
+	}
+}
+
+// TestVarBatchDeadlinesAreConservative: every transformed job's virtual
+// deadline (arrival + delay in the batched instance) is at most its
+// original deadline, so any schedule for the batched instance is feasible
+// for the original one.
+func TestVarBatchDeadlinesAreConservative(t *testing.T) {
+	delays := []int{2, 3, 5, 8, 12, 100}
+	for _, d := range delays {
+		q := batchPeriod(d)
+		for tt := 0; tt < 3*d; tt++ {
+			virtArrival := (tt/q + 1) * q
+			virtDeadline := virtArrival + q
+			if virtDeadline > tt+d {
+				t.Fatalf("D=%d t=%d: virtual deadline %d exceeds real deadline %d",
+					d, tt, virtDeadline, tt+d)
+			}
+			if virtArrival <= tt {
+				t.Fatalf("D=%d t=%d: job moved earlier (to %d)", d, tt, virtArrival)
+			}
+		}
+	}
+}
+
+func TestSolveConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.ZipfMix(seed, 6, 3, 48, []int{2, 3, 7, 12}, 3, 1.0)
+		if inst.TotalJobs() == 0 {
+			return true
+		}
+		res, err := Solve(inst, 8)
+		if err != nil {
+			return false
+		}
+		return res.Executed+res.Dropped == inst.TotalJobs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveWithDetails(t *testing.T) {
+	inst := workload.Router(4, 2, 4, 256, 4)
+	run, err := SolveWith(inst, 8, NewDLRUEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Batched == nil || run.Distribute == nil || run.Result == nil {
+		t.Fatal("SolveRun missing pieces")
+	}
+	if !run.Batched.IsBatched() {
+		t.Fatal("intermediate instance not batched")
+	}
+	if !run.Distribute.Virtual.IsRateLimited() {
+		t.Fatal("virtual instance not rate-limited")
+	}
+	// The final schedule replayed on the original instance drops no more
+	// jobs than the virtual run did (real deadlines are looser).
+	if run.Result.Dropped > run.Distribute.VirtualResult.Dropped {
+		t.Fatalf("final drops %d exceed virtual drops %d",
+			run.Result.Dropped, run.Distribute.VirtualResult.Dropped)
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	inst := &sched.Instance{Delta: 0, Delays: []int{1}}
+	if _, err := Solve(inst, 8); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestSolveDelayOneOnly(t *testing.T) {
+	// All delay bounds 1: VarBatch must leave arrivals unchanged.
+	inst := &sched.Instance{Delta: 2, Delays: []int{1, 1}}
+	for r := 0; r < 16; r++ {
+		inst.AddJobs(r, sched.Color(r%2), 2)
+	}
+	out := BuildVarBatched(inst.Clone())
+	for r := range inst.Requests {
+		if inst.Requests[r].Jobs() != out.Requests[r].Jobs() {
+			t.Fatalf("round %d changed: %d → %d jobs", r, inst.Requests[r].Jobs(), out.Requests[r].Jobs())
+		}
+	}
+	if _, err := Solve(inst, 8); err != nil {
+		t.Fatal(err)
+	}
+}

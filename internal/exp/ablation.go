@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "A1", Title: "Ablation: replication (two locations per color)", Run: runA1})
+	Register(Experiment{ID: "A2", Title: "Ablation: LRU/EDF capacity split", Run: runA2})
+	Register(Experiment{ID: "A3", Title: "Ablation: eligibility threshold factor", Run: runA3})
+	Register(Experiment{ID: "A4", Title: "Ablation: timestamp lag rule", Run: runA4})
+}
+
+// ablationInstances returns the fixed workload panel every ablation runs
+// on: an adversarial input, a bursty router mix and a batched random mix.
+func ablationInstances(cfg Config) ([]*sched.Instance, error) {
+	rounds := 1024
+	if cfg.Quick {
+		rounds = 256
+	}
+	instA, err := workload.AppendixA(8, 2, 6, 8)
+	if err != nil {
+		return nil, err
+	}
+	return []*sched.Instance{
+		instA,
+		workload.Router(cfg.Seed+71, 4, 8, rounds, 5),
+		workload.RandomBatched(cfg.Seed+72, 16, 5, rounds, []int{2, 4, 8, 16}, 0.9, 0.7, true),
+	}, nil
+}
+
+func runAblation(cfg Config, id, title string, variants []struct {
+	Name string
+	Opts []core.Option
+}) (*Report, error) {
+	insts, err := ablationInstances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const n = 16
+	tab := stats.NewTable(fmt.Sprintf("%s: ΔLRU-EDF variants, n=%d", id, n),
+		"workload", "variant", "total", "reconfig", "drop")
+	for _, inst := range insts {
+		results, err := Sweep(cfg.workers(), variants, func(v struct {
+			Name string
+			Opts []core.Option
+		}) (*sched.Result, error) {
+			return sched.Run(inst.Clone(), core.NewDLRUEDF(v.Opts...), sched.Options{N: n})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			tab.AddRow(inst.Name, variants[i].Name, res.Cost.Total(), res.Cost.Reconfig, res.Cost.Drop)
+		}
+	}
+	return &Report{ID: id, Title: title, Tables: []*stats.Table{tab}}, nil
+}
+
+func runA1(cfg Config) (*Report, error) {
+	return runAblation(cfg, "A1", "Replication ablation", []struct {
+		Name string
+		Opts []core.Option
+	}{
+		{"replicated (paper)", nil},
+		{"no replication (n distinct colors)", []core.Option{core.WithoutReplication()}},
+	})
+}
+
+func runA2(cfg Config) (*Report, error) {
+	var variants []struct {
+		Name string
+		Opts []core.Option
+	}
+	for _, share := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		variants = append(variants, struct {
+			Name string
+			Opts []core.Option
+		}{fmt.Sprintf("LRU share %.2f", share), []core.Option{core.WithLRUShare(share)}})
+	}
+	return runAblation(cfg, "A2", "LRU/EDF split ablation (0 = pure EDF half, 1 = pure LRU half)", variants)
+}
+
+func runA3(cfg Config) (*Report, error) {
+	var variants []struct {
+		Name string
+		Opts []core.Option
+	}
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		variants = append(variants, struct {
+			Name string
+			Opts []core.Option
+		}{fmt.Sprintf("threshold %.2f·Δ", f), []core.Option{core.WithEligibilityThreshold(f)}})
+	}
+	return runAblation(cfg, "A3", "Eligibility threshold ablation (paper: 1·Δ)", variants)
+}
+
+func runA4(cfg Config) (*Report, error) {
+	return runAblation(cfg, "A4", "Timestamp lag ablation", []struct {
+		Name string
+		Opts []core.Option
+	}{
+		{"lagged (paper: wraps visible at next multiple)", nil},
+		{"immediate (wraps visible at once)", []core.Option{core.WithImmediateTimestamps()}},
+	})
+}

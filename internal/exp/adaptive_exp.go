@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "A5", Title: "Extension: adaptive LRU/EDF split and the hysteresis baseline", Run: runA5})
+}
+
+// runA5 evaluates the two beyond-the-paper extensions against the paper's
+// fixed-split algorithm across the ablation panel plus a phase-shifting
+// workload designed to punish any fixed split: alternating eras of
+// thrash-prone and starvation-prone traffic.
+func runA5(cfg Config) (*Report, error) {
+	insts, err := ablationInstances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if phased, err := phaseShifting(cfg); err == nil {
+		insts = append(insts, phased)
+	} else {
+		return nil, err
+	}
+
+	const n = 16
+	type variant struct {
+		name string
+		mk   func() sched.Policy
+	}
+	variants := []variant{
+		{"fixed 50/50 (paper)", func() sched.Policy { return core.NewDLRUEDF() }},
+		{"adaptive split", func() sched.Policy { return core.NewDLRUEDF(core.WithAdaptiveSplit()) }},
+		{"hysteresis θ=1 (Everest-like)", func() sched.Policy { return policy.NewHysteresis(1) }},
+		{"hysteresis θ=2", func() sched.Policy { return policy.NewHysteresis(2) }},
+	}
+
+	tab := stats.NewTable("A5: extensions vs the paper's fixed split, n=16",
+		"workload", "variant", "total", "reconfig", "drop")
+	for _, inst := range insts {
+		results, err := Sweep(cfg.workers(), variants, func(v variant) (*sched.Result, error) {
+			return sched.Run(inst.Clone(), v.mk(), sched.Options{N: n})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			tab.AddRow(inst.Name, variants[i].name, res.Cost.Total(), res.Cost.Reconfig, res.Cost.Drop)
+		}
+	}
+	tab.AddNote("the adaptive split and hysteresis are extensions beyond the paper; Theorem 1 covers only the fixed split")
+	return &Report{ID: "A5", Title: "Adaptive split extension", Tables: []*stats.Table{tab}}, nil
+}
+
+// phaseShifting builds a workload alternating between a bursty many-color
+// era (which punishes large EDF halves via thrashing) and a steady
+// few-color era with a background backlog (which punishes large LRU
+// halves via starvation).
+func phaseShifting(cfg Config) (*sched.Instance, error) {
+	rounds := 2048
+	if cfg.Quick {
+		rounds = 512
+	}
+	era := 256
+	bursty := workload.RandomBatched(cfg.Seed+91, 24, 6, rounds, []int{1, 2, 4}, 0.9, 0.8, true)
+	steady := workload.Generate(workload.Spec{
+		Name: "steady", Delta: 6, Rounds: rounds, Seed: cfg.Seed + 92,
+		Colors: []workload.ColorSpec{
+			{Delay: 4, Rate: 2},
+			{Delay: 4, Rate: 2},
+			{Delay: 256, Rate: 0.5},
+		},
+	})
+	out := &sched.Instance{
+		Name:   "phaseShifting",
+		Delta:  6,
+		Delays: append(append([]int(nil), bursty.Delays...), steady.Delays...),
+	}
+	offset := sched.Color(bursty.NumColors())
+	for r := 0; r < rounds; r++ {
+		if (r/era)%2 == 0 {
+			if r < bursty.NumRounds() {
+				for _, b := range bursty.Requests[r] {
+					out.AddJobs(r, b.Color, b.Count)
+				}
+			}
+		} else {
+			if r < steady.NumRounds() {
+				for _, b := range steady.Requests[r] {
+					out.AddJobs(r, b.Color+offset, b.Count)
+				}
+			}
+		}
+	}
+	return out.Normalize(), nil
+}

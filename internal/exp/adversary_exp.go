@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func init() {
+	Register(Experiment{ID: "T13", Title: "Adversary search: automatic worst-case hunting", Run: runT13})
+}
+
+// runT13 turns the competitive analysis into an automated experiment: a
+// randomized hill climber searches the space of tiny instances for the
+// input maximizing each policy's cost ratio against the *exact* optimum.
+// The flawed baselines should admit worse ratios than ΔLRU-EDF within the
+// same search budget — the machine-discovered cousin of the Appendix A/B
+// constructions.
+func runT13(cfg Config) (*Report, error) {
+	base := adversary.Config{
+		Seed:            cfg.Seed + 1300,
+		Restarts:        12,
+		StepsPerRestart: 80,
+		MaxRounds:       20,
+		DelayChoices:    []int{1, 2, 4, 8},
+		Batched:         true,
+	}
+	if cfg.Quick {
+		base.Restarts = 4
+		base.StepsPerRestart = 30
+		base.MaxRounds = 12
+		base.DelayChoices = []int{1, 2, 4}
+	}
+
+	type variant struct {
+		name string
+		mk   func() sched.Policy
+	}
+	variants := []variant{
+		{"ΔLRU-EDF (paper)", func() sched.Policy { return core.NewDLRUEDF() }},
+		{"ΔLRU", func() sched.Policy { return policy.NewDLRU() }},
+		{"EDF", func() sched.Policy { return policy.NewEDF() }},
+		{"GreedyPending", func() sched.Policy { return policy.NewGreedyPending() }},
+		{"Hysteresis θ=1", func() sched.Policy { return policy.NewHysteresis(1) }},
+	}
+
+	tab := stats.NewTable("T13: worst ratio found vs exact OPT (n=8, m=1, tiny rate-limited instances)",
+		"policy", "worst ratio", "policy cost", "OPT", "instances scored", "worst instance")
+	results, err := Sweep(cfg.workers(), variants, func(v variant) (*adversary.Result, error) {
+		return adversary.Search(base, v.mk)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		profile := fmt.Sprintf("%d colors, %d jobs, delays %v",
+			r.Instance.NumColors(), r.Instance.TotalJobs(), r.Instance.Delays)
+		tab.AddRow(variants[i].name, r.Ratio, r.PolicyCost, r.Opt, r.Evaluated, profile)
+	}
+	tab.AddNote("randomized hill climbing with restarts; every ratio is certified by brute-force OPT; same budget for every policy")
+	tab.AddNote("the ΔLRU/EDF asymptotic separations need horizons beyond brute-force reach (see F1/F2); within this space the search instead certifies the un-analyzed heuristics (greedy, hysteresis) as non-competitive")
+	return &Report{ID: "T13", Title: "Adversary search", Tables: []*stats.Table{tab}}, nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/offline"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "T8", Title: "Lemma 4.1: the Aggregate schedule transformation", Run: runT8})
+}
+
+// runT8 exercises algorithm Aggregate (§4.3): for offline schedules T
+// produced by several policies on batched instances, it builds T′ for the
+// rate-limited instance I′ with 3m resources and verifies Lemma 4.5 (T′
+// executes exactly the jobs T executes, hence equal drop cost) and
+// measures the Lemma 4.6 reconfiguration blow-up factor.
+func runT8(cfg Config) (*Report, error) {
+	numSeeds := 20
+	rounds := 256
+	if cfg.Quick {
+		numSeeds, rounds = 6, 128
+	}
+	const m = 3
+
+	type row struct {
+		execEqual   bool
+		inReconfig  int64
+		outReconfig int64
+		factor      float64
+	}
+	makers := []struct {
+		name string
+		pol  func() sched.Policy
+	}{
+		{"EDF(m)", func() sched.Policy { return policy.NewEDF() }},
+		{"SeqEDF(m)", func() sched.Policy { return policy.NewSeqEDF() }},
+		{"GreedyPending(m)", func() sched.Policy { return policy.NewGreedyPending() }},
+	}
+
+	tab := stats.NewTable("T8: Aggregate T → T′ (3m resources, rate-limited instance)",
+		"input policy", "instances", "drop-cost preserved", "mean reconfig factor", "max reconfig factor")
+	for _, mk := range makers {
+		rows, err := Sweep(cfg.workers(), seedRange(cfg.Seed+500, numSeeds), func(seed uint64) (row, error) {
+			inst := workload.RandomBatched(seed, 8, 3, rounds, []int{2, 4, 8}, 1.2, 0.6, false)
+			// Use an even n for the replicated-cache policies.
+			t, err := sched.Run(inst.Clone(), mk.pol(), sched.Options{N: m + m%2, Record: true})
+			if err != nil {
+				return row{}, err
+			}
+			t.Schedule.N = m + m%2
+			agg, err := offline.Aggregate(inst.Clone(), t.Schedule)
+			if err != nil {
+				return row{}, err
+			}
+			outRes, err := sched.Replay(agg.Virtual, agg.Out)
+			if err != nil {
+				return row{}, fmt.Errorf("T′ invalid: %w", err)
+			}
+			r := row{
+				execEqual:   outRes.Executed == agg.InputResult.Executed,
+				inReconfig:  agg.InputResult.Cost.Reconfig,
+				outReconfig: outRes.Cost.Reconfig,
+			}
+			if r.inReconfig > 0 {
+				r.factor = float64(r.outReconfig) / float64(r.inReconfig)
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		preserved := 0
+		var factors []float64
+		for _, r := range rows {
+			if r.execEqual {
+				preserved++
+			}
+			if r.factor > 0 {
+				factors = append(factors, r.factor)
+			}
+		}
+		s := stats.Summarize(factors)
+		tab.AddRow(mk.name, len(rows), preserved, s.Mean, s.Max)
+	}
+	tab.AddNote("T uses m=%d (+1 if odd for replicated policies) resources, T′ uses 3× as many on the distributed instance I′", m)
+	return &Report{ID: "T8", Title: "Aggregate transformation", Tables: []*stats.Table{tab}}, nil
+}

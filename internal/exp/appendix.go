@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "F1", Title: "Appendix A: ΔLRU is not resource competitive", Run: runF1})
+	Register(Experiment{ID: "F2", Title: "Appendix B: EDF is not resource competitive", Run: runF2})
+}
+
+// runF1 regenerates the Appendix A lower bound: as j grows (with k = j+2),
+// the ratio of ΔLRU's cost to OFF's grows as Ω(2^{j+1}/(nΔ)) while
+// ΔLRU-EDF stays within a small constant of OFF on the very same inputs.
+// OFF here is the paper's witness — one resource statically caching the
+// long-term color — which upper-bounds the optimum.
+func runF1(cfg Config) (*Report, error) {
+	n, delta := 8, 2
+	js := []int{5, 6, 7, 8, 9, 10}
+	if cfg.Quick {
+		js = []int{5, 6, 7}
+	}
+	fig := stats.NewFigure("F1: cost ratio vs j on Appendix A inputs (n=8, Δ=2, k=j+2)", "j", "cost / OFF cost")
+	sLRU := fig.NewSeries("ΔLRU / OFF")
+	sCombo := fig.NewSeries("ΔLRU-EDF / OFF")
+	sTheory := fig.NewSeries("2^{j+1}/(nΔ) (theory slope)")
+	tab := stats.NewTable("F1 detail", "j", "k", "jobs", "ΔLRU cost", "ΔLRU-EDF cost", "OFF cost", "ΔLRU ratio", "ΔLRU-EDF ratio")
+
+	type row struct {
+		j               int
+		lru, combo, off int64
+		jobs            int
+	}
+	rows, err := Sweep(cfg.workers(), js, func(j int) (row, error) {
+		k := j + 2
+		inst, err := workload.AppendixA(n, delta, j, k)
+		if err != nil {
+			return row{}, err
+		}
+		lru, err := sched.Run(inst.Clone(), policy.NewDLRU(), sched.Options{N: n})
+		if err != nil {
+			return row{}, err
+		}
+		combo, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: n})
+		if err != nil {
+			return row{}, err
+		}
+		// The paper's OFF: a single resource caching the long-term color
+		// throughout (cost Δ + all short-term drops).
+		off, err := sched.Run(inst.Clone(), policy.NewStatic(workload.AppendixALongColor(n)), sched.Options{N: 1})
+		if err != nil {
+			return row{}, err
+		}
+		return row{
+			j:     j,
+			lru:   lru.Cost.Total(),
+			combo: combo.Cost.Total(),
+			off:   off.Cost.Total(),
+			jobs:  inst.TotalJobs(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		offC := float64(r.off)
+		sLRU.Add(float64(r.j), float64(r.lru)/offC)
+		sCombo.Add(float64(r.j), float64(r.combo)/offC)
+		sTheory.Add(float64(r.j), float64(int64(2)<<r.j)/float64(n*delta))
+		tab.AddRow(r.j, r.j+2, r.jobs, r.lru, r.combo, r.off,
+			float64(r.lru)/offC, float64(r.combo)/offC)
+	}
+	tab.AddNote("OFF = paper's witness (1 resource pinned on the long color); ΔLRU/ΔLRU-EDF get n=%d resources", n)
+	return &Report{ID: "F1", Title: "Appendix A construction", Figures: []*stats.Figure{fig}, Tables: []*stats.Table{tab}}, nil
+}
+
+// runF2 regenerates the Appendix B lower bound: as k−j grows, EDF's
+// thrashing makes its cost ratio grow as Ω(2^{k−j−1}/(n/2+1)) while
+// ΔLRU-EDF stays bounded. OFF is the paper's witness schedule built
+// explicitly: the short color for rounds [0, 2^{k−1}), then the color with
+// delay 2^{k+p} throughout [2^{k+p−1}, 2^{k+p}).
+func runF2(cfg Config) (*Report, error) {
+	n := 8
+	delta := n + 1 // paper needs Δ > n
+	j := 4         // 2^j = 16 > Δ = 9
+	ks := []int{5, 6, 7, 8, 9}
+	if cfg.Quick {
+		ks = []int{5, 6, 7}
+	}
+	fig := stats.NewFigure(fmt.Sprintf("F2: cost ratio vs k−j on Appendix B inputs (n=%d, Δ=%d, j=%d)", n, delta, j), "k-j", "cost / OFF cost")
+	sEDF := fig.NewSeries("EDF / OFF")
+	sCombo := fig.NewSeries("ΔLRU-EDF / OFF")
+	tab := stats.NewTable("F2 detail", "k", "jobs", "EDF cost", "EDF reconfig", "ΔLRU-EDF cost", "OFF cost", "EDF ratio", "ΔLRU-EDF ratio")
+
+	type row struct {
+		k                      int
+		edf, edfRe, combo, off int64
+		jobs                   int
+	}
+	rows, err := Sweep(cfg.workers(), ks, func(k int) (row, error) {
+		inst, err := workload.AppendixB(n, delta, j, k)
+		if err != nil {
+			return row{}, err
+		}
+		edf, err := sched.Run(inst.Clone(), policy.NewEDF(), sched.Options{N: n})
+		if err != nil {
+			return row{}, err
+		}
+		combo, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: n})
+		if err != nil {
+			return row{}, err
+		}
+		off, err := sched.Replay(inst.Clone(), appendixBWitness(inst, n, j, k))
+		if err != nil {
+			return row{}, err
+		}
+		return row{
+			k:     k,
+			edf:   edf.Cost.Total(),
+			edfRe: edf.Cost.Reconfig,
+			combo: combo.Cost.Total(),
+			off:   off.Cost.Total(),
+			jobs:  inst.TotalJobs(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		offC := float64(r.off)
+		sEDF.Add(float64(r.k-j), float64(r.edf)/offC)
+		sCombo.Add(float64(r.k-j), float64(r.combo)/offC)
+		tab.AddRow(r.k, r.jobs, r.edf, r.edfRe, r.combo, r.off,
+			float64(r.edf)/offC, float64(r.combo)/offC)
+	}
+	tab.AddNote("OFF = paper's witness (1 resource, era per long color); EDF/ΔLRU-EDF get n=%d resources", n)
+	return &Report{ID: "F2", Title: "Appendix B construction", Figures: []*stats.Figure{fig}, Tables: []*stats.Table{tab}}, nil
+}
+
+// appendixBWitness builds the offline schedule from Appendix B: one
+// resource configured with the short color during [0, 2^{k−1}) and with
+// the color of delay bound 2^{k+p} during [2^{k+p−1}, 2^{k+p}).
+func appendixBWitness(inst *sched.Instance, n, j, k int) *sched.Schedule {
+	horizon := inst.Horizon()
+	s := &sched.Schedule{Policy: "AppendixB-OFF", N: 1, Speed: 1}
+	for r := 0; r < horizon; r++ {
+		var c sched.Color
+		switch {
+		case r < 1<<(k-1):
+			c = 0 // the short color
+		default:
+			// Find p with 2^{k+p−1} ≤ r < 2^{k+p}.
+			c = sched.Color(1) // color with delay 2^k covers [2^{k−1}, 2^k)
+			for p := 0; p < n/2; p++ {
+				if r >= 1<<(k+p-1) && r < 1<<(k+p) {
+					c = sched.Color(p + 1)
+					break
+				}
+			}
+			if r >= 1<<(k+n/2-1) {
+				c = sched.Color(n / 2) // tail: stay on the last color
+			}
+		}
+		s.Assign = append(s.Assign, []sched.Color{c})
+	}
+	return s
+}

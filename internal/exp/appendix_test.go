@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestAppendixAClosedForms pins the exact cost formulas from Appendix A:
+// ΔLRU pays nΔ in reconfigurations (it caches the n/2 short colors once,
+// each in two locations) and drops all 2^k long jobs; the witness OFF
+// pays Δ + 2^{k−j−1}·n·Δ (one reconfiguration plus all short jobs
+// dropped).
+func TestAppendixAClosedForms(t *testing.T) {
+	const n, delta = 8, 2
+	for _, jk := range [][2]int{{5, 7}, {6, 8}, {7, 9}} {
+		j, k := jk[0], jk[1]
+		inst, err := workload.AppendixA(n, delta, j, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru, err := sched.Run(inst.Clone(), policy.NewDLRU(), sched.Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lru.Cost.Reconfig != int64(n*delta) {
+			t.Errorf("j=%d: ΔLRU reconfig cost %d, paper predicts nΔ = %d", j, lru.Cost.Reconfig, n*delta)
+		}
+		if lru.Cost.Drop != int64(1)<<k {
+			t.Errorf("j=%d: ΔLRU drop cost %d, paper predicts 2^k = %d", j, lru.Cost.Drop, 1<<k)
+		}
+		off, err := sched.Run(inst.Clone(), policy.NewStatic(workload.AppendixALongColor(n)), sched.Options{N: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(delta) + int64(1<<(k-j-1))*int64(n)*int64(delta)
+		if off.Cost.Total() != want {
+			t.Errorf("j=%d: OFF witness cost %d, paper predicts Δ + 2^{k−j−1}nΔ = %d", j, off.Cost.Total(), want)
+		}
+	}
+}
+
+// TestAppendixBWitnessClosedForm pins Appendix B's witness: one resource
+// serving the short color then each long color in its own era executes
+// everything and pays exactly (n/2+1)·Δ.
+func TestAppendixBWitnessClosedForm(t *testing.T) {
+	const n = 8
+	delta := n + 1
+	j := 4
+	for _, k := range []int{5, 6, 7} {
+		inst, err := workload.AppendixB(n, delta, j, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := sched.Replay(inst.Clone(), appendixBWitness(inst, n, j, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Dropped != 0 {
+			t.Errorf("k=%d: witness dropped %d jobs, paper predicts 0", k, off.Dropped)
+		}
+		want := int64(n/2+1) * int64(delta)
+		if off.Cost.Total() != want {
+			t.Errorf("k=%d: witness cost %d, paper predicts (n/2+1)Δ = %d", k, off.Cost.Total(), want)
+		}
+	}
+}
+
+// TestF1SlopeMatchesTheory guards the headline reproduction: the measured
+// ΔLRU ratio must track the predicted slope 2^{j+1}/(nΔ) within 25%, and
+// ΔLRU-EDF must stay below ratio 3 on the same inputs.
+func TestF1SlopeMatchesTheory(t *testing.T) {
+	const n, delta = 8, 2
+	for _, j := range []int{5, 6, 7} {
+		k := j + 2
+		inst, err := workload.AppendixA(n, delta, j, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := sched.Run(inst.Clone(), policy.NewStatic(workload.AppendixALongColor(n)), sched.Options{N: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru, err := sched.Run(inst.Clone(), policy.NewDLRU(), sched.Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		combo, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(lru.Cost.Total()) / float64(off.Cost.Total())
+		theory := float64(int64(2)<<j) / float64(n*delta)
+		if ratio < 0.75*theory || ratio > 1.25*theory {
+			t.Errorf("j=%d: ΔLRU ratio %.2f vs theory slope %.2f", j, ratio, theory)
+		}
+		comboRatio := float64(combo.Cost.Total()) / float64(off.Cost.Total())
+		if comboRatio > 3 {
+			t.Errorf("j=%d: ΔLRU-EDF ratio %.2f exceeds 3 on Appendix A", j, comboRatio)
+		}
+	}
+}
+
+// TestF2EDFGrowsDLRUEDFBounded guards the Appendix B reproduction shape.
+func TestF2EDFGrowsDLRUEDFBounded(t *testing.T) {
+	const n = 8
+	delta := n + 1
+	j := 4
+	var prev int64
+	for i, k := range []int{5, 6, 7, 8} {
+		inst, err := workload.AppendixB(n, delta, j, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edf, err := sched.Run(inst.Clone(), policy.NewEDF(), sched.Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && edf.Cost.Total() <= prev {
+			t.Errorf("k=%d: EDF cost %d did not grow (prev %d)", k, edf.Cost.Total(), prev)
+		}
+		prev = edf.Cost.Total()
+		combo, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if combo.Cost.Total() > 3*int64(n/2+1)*int64(delta) {
+			t.Errorf("k=%d: ΔLRU-EDF cost %d not bounded by 3× the witness", k, combo.Cost.Total())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package exp is the experiment harness: every table and figure listed in
+// DESIGN.md §3 has a registered experiment here that regenerates it. The
+// harness provides a parallel parameter-sweep runner, a uniform report
+// format, and a registry consumed by cmd/rrbench and the root benchmarks.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks parameters (fewer seeds, shorter horizons) so the
+	// whole suite runs in seconds; benchmarks and CI use it.
+	Quick bool
+	// Seed offsets every generator seed, for re-running with fresh
+	// randomness.
+	Seed uint64
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Report is the output of one experiment: tables and/or figures.
+type Report struct {
+	ID      string
+	Title   string
+	Tables  []*stats.Table
+	Figures []*stats.Figure
+}
+
+// Render writes the report in human-readable text form.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "==== %s — %s ====\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, f := range r.Figures {
+		if err := f.Table().Render(w); err != nil {
+			return err
+		}
+		if err := f.RenderASCII(w, 60, 12); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderMarkdown writes the report as markdown (for EXPERIMENTS.md).
+func (r *Report) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, f := range r.Figures {
+		if err := f.Table().RenderMarkdown(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := t.RenderMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Report, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment; package init functions call it.
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID fetches an experiment.
+func ByID(id string) (Experiment, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sweep runs fn over items on a bounded worker pool, preserving result
+// order. The first error cancels nothing (remaining items still run) but
+// is returned; experiments treat any error as fatal.
+func Sweep[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// seedRange builds a slice of consecutive seeds for sweeps.
+func seedRange(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}

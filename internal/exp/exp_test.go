@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment promised by DESIGN.md §3 and §5 must be registered.
+	want := []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
+		"T10", "T11", "T12", "T13", "A1", "A2", "A3", "A4", "A5"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("All() not sorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(Experiment{ID: "T1", Title: "dup"})
+}
+
+// TestAllExperimentsQuick runs the entire suite in Quick mode and renders
+// every report in both formats. This is the integration test that keeps
+// every figure/table reproducible.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %s for experiment %s", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 && len(rep.Figures) == 0 {
+				t.Fatalf("%s produced an empty report", e.ID)
+			}
+			var text, md strings.Builder
+			if err := rep.Render(&text); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.RenderMarkdown(&md); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(text.String(), e.ID) || !strings.Contains(md.String(), e.ID) {
+				t.Fatalf("%s: renders missing the experiment ID", e.ID)
+			}
+		})
+	}
+}
+
+func TestSweepPreservesOrder(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Sweep(4, items, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSweepPropagatesError(t *testing.T) {
+	items := []int{0, 1, 2, 3}
+	sentinel := errors.New("boom")
+	_, err := Sweep(2, items, func(x int) (int, error) {
+		if x == 2 {
+			return 0, sentinel
+		}
+		return x, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepEdgeCases(t *testing.T) {
+	// Zero items.
+	got, err := Sweep(3, nil, func(x int) (int, error) { return x, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep: %v %v", got, err)
+	}
+	// Workers clamp to item count and to ≥1.
+	got, err = Sweep(0, []int{5}, func(x int) (int, error) { return x + 1, nil })
+	if err != nil || got[0] != 6 {
+		t.Fatalf("workers=0 sweep: %v %v", got, err)
+	}
+}
+
+// Property: Sweep(fn) == map(fn) for pure functions, any worker count.
+func TestSweepEqualsMapProperty(t *testing.T) {
+	f := func(xs []int8, workers uint8) bool {
+		items := make([]int, len(xs))
+		for i, x := range xs {
+			items[i] = int(x)
+		}
+		got, err := Sweep(int(workers%8), items, func(x int) (string, error) {
+			return fmt.Sprint(x * 3), nil
+		})
+		if err != nil {
+			return false
+		}
+		for i, x := range items {
+			if got[i] != fmt.Sprint(x*3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	got := seedRange(10, 3)
+	if len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Fatalf("seedRange = %v", got)
+	}
+}
+
+func TestReportRenderToDiscard(t *testing.T) {
+	e, _ := ByID("T3")
+	rep, err := e.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Render(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

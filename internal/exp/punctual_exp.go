@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "T10", Title: "Lemma 5.3: punctualizing arbitrary offline schedules", Run: runT10})
+	Register(Experiment{ID: "T11", Title: "Lemma 3.5: OPT = Ω(numEpochs·Δ)", Run: runT11})
+}
+
+// runT10 exercises the Lemma 5.1–5.3 construction: arbitrary offline
+// schedules S (here: recorded runs of several policies) are transformed
+// into punctual schedules S′ with 7m resources; S′ must stay feasible for
+// the VarBatch-transformed instance, execute exactly S's jobs, and keep
+// the reconfiguration blow-up factor small.
+func runT10(cfg Config) (*Report, error) {
+	numSeeds := 25
+	rounds := 512
+	if cfg.Quick {
+		numSeeds, rounds = 8, 128
+	}
+	const m = 2
+
+	makers := []struct {
+		name string
+		pol  func() sched.Policy
+	}{
+		{"GreedyPending(m)", func() sched.Policy { return policy.NewGreedyPending() }},
+		{"PureSeqEDF(m)", func() sched.Policy { return policy.NewPureSeqEDF() }},
+		{"BestStatic(m)", nil}, // handled specially below
+	}
+
+	tab := stats.NewTable("T10: Punctualize S → S′ (7m resources, punctual by construction)",
+		"input schedule", "instances", "executions preserved", "mean reconfig factor", "max reconfig factor")
+	for _, mk := range makers {
+		type row struct {
+			ok      bool
+			factor  float64
+			applies bool
+		}
+		rows, err := Sweep(cfg.workers(), seedRange(cfg.Seed+700, numSeeds), func(seed uint64) (row, error) {
+			inst := workload.ZipfMix(seed, 8, 3, rounds, []int{2, 4, 8, 16}, 2.5, 1.0)
+			var rec *sched.Result
+			var err error
+			if mk.pol != nil {
+				rec, err = sched.Run(inst.Clone(), mk.pol(), sched.Options{N: m, Record: true})
+			} else {
+				cols := offline.BestStaticColors(inst, m)
+				rec, err = sched.Run(inst.Clone(), policy.NewStatic(cols...), sched.Options{N: m, Record: true})
+			}
+			if err != nil {
+				return row{}, err
+			}
+			out, err := offline.Punctualize(inst.Clone(), rec.Schedule)
+			if err != nil {
+				return row{}, err
+			}
+			batched := core.BuildVarBatched(inst.Clone())
+			res, err := sched.Replay(batched, out)
+			if err != nil {
+				return row{}, err
+			}
+			r := row{ok: res.Executed == rec.Executed}
+			if rec.Reconfigs > 0 {
+				r.factor = float64(res.Reconfigs) / float64(rec.Reconfigs)
+				r.applies = true
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		var factors []float64
+		for _, r := range rows {
+			if r.ok {
+				ok++
+			}
+			if r.applies {
+				factors = append(factors, r.factor)
+			}
+		}
+		s := stats.Summarize(factors)
+		tab.AddRow(mk.name, len(rows), ok, s.Mean, s.Max)
+	}
+	tab.AddNote("S uses m=%d resources; S′ uses 7m and is validated by replay against the VarBatch-transformed instance", m)
+	return &Report{ID: "T10", Title: "Punctualization", Tables: []*stats.Table{tab}}, nil
+}
+
+// runT11 validates Lemma 3.5 empirically: on instances where every color
+// has at least Δ jobs, the optimal offline cost is Ω(numEpochs·Δ); the
+// table reports the observed ratio numEpochs·Δ / OPT, which the lemma
+// bounds by a constant.
+func runT11(cfg Config) (*Report, error) {
+	numSeeds := 150
+	if cfg.Quick {
+		numSeeds = 40
+	}
+	const m, n = 1, 8
+
+	type sample struct {
+		ratio   float64
+		skipped bool
+	}
+	samples, err := Sweep(cfg.workers(), seedRange(cfg.Seed+800, numSeeds), func(seed uint64) (sample, error) {
+		inst := workload.RandomSmall(seed, 3, 2, 14, []int{1, 2, 4}, 3, true)
+		// Lemma 3.5 assumes ≥ Δ jobs per appearing color; enforce by
+		// duplicating light colors' arrivals.
+		per := inst.JobsPerColor()
+		for c, jobs := range per {
+			if jobs > 0 && jobs < inst.Delta {
+				inst.AddJobs(0, sched.Color(c), inst.Delta-jobs)
+			}
+		}
+		inst.Normalize()
+		opt, err := offline.BruteForce(inst.Clone(), m, 600_000)
+		var lim *offline.BruteForceLimitError
+		if errors.As(err, &lim) {
+			return sample{skipped: true}, nil
+		}
+		if err != nil {
+			return sample{}, err
+		}
+		pol := core.NewDLRUEDF()
+		if _, err := sched.Run(inst.Clone(), pol, sched.Options{N: n}); err != nil {
+			return sample{}, err
+		}
+		epochs := pol.Tracker().NumEpochs()
+		den := float64(opt)
+		if den == 0 {
+			den = 1
+		}
+		return sample{ratio: float64(epochs*inst.Delta) / den}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ratios []float64
+	skipped := 0
+	for _, s := range samples {
+		if s.skipped {
+			skipped++
+			continue
+		}
+		ratios = append(ratios, s.ratio)
+	}
+	sum := stats.Summarize(ratios)
+	tab := stats.NewTable("T11: numEpochs·Δ / OPT over tiny instances (bounded ⇔ Lemma 3.5)",
+		"instances", "mean", "p90", "max")
+	tab.AddRow(sum.N, sum.Mean, sum.P90, sum.Max)
+	tab.AddNote("m=%d for OPT, ΔLRU-EDF runs with n=%d; %d instances skipped (brute-force budget)", m, n, skipped)
+	return &Report{ID: "T11", Title: "Lemma 3.5 validation", Tables: []*stats.Table{tab}}, nil
+}

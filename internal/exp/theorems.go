@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/offline"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "T1", Title: "Theorem 1: ΔLRU-EDF vs exact OPT (n = 8m)", Run: runT1})
+	Register(Experiment{ID: "T2", Title: "Lemma 3.2: eligible drops vs certified OFF drop bound", Run: runT2})
+	Register(Experiment{ID: "T3", Title: "Lemmas 3.3 & 3.4: epoch-charged reconfigurations and ineligible drops", Run: runT3})
+	Register(Experiment{ID: "T7", Title: "Lemma 3.8 / Corollary 3.1: DS-Seq-EDF vs Par-EDF drops", Run: runT7})
+}
+
+// runT1 measures the competitive ratio of ΔLRU-EDF with n = 8m resources
+// against the exact brute-force optimum with m = 1 resource on hundreds of
+// tiny rate-limited batched instances, and of the full Solve pipeline on
+// tiny unbatched instances.
+func runT1(cfg Config) (*Report, error) {
+	seeds := seedRange(cfg.Seed+1, 300)
+	if cfg.Quick {
+		seeds = seedRange(cfg.Seed+1, 60)
+	}
+	const m, n = 1, 8
+
+	type sample struct {
+		ratioCore  float64
+		ratioSolve float64
+		opt        int64
+		skipped    bool
+	}
+	samples, err := Sweep(cfg.workers(), seeds, func(seed uint64) (sample, error) {
+		// Rate-limited batched instance for the Theorem 1 core claim.
+		inst := workload.RandomSmall(seed, 3, 2, 13, []int{1, 2, 4}, 3, true)
+		opt, err := offline.BruteForce(inst.Clone(), m, 600_000)
+		var lim *offline.BruteForceLimitError
+		if errors.As(err, &lim) {
+			return sample{skipped: true}, nil
+		}
+		if err != nil {
+			return sample{}, err
+		}
+		res, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: n})
+		if err != nil {
+			return sample{}, err
+		}
+		// Unbatched instance for the end-to-end Theorem 3 pipeline.
+		raw := workload.RandomSmall(seed+1_000_000, 3, 2, 13, []int{1, 2, 4}, 3, false)
+		optRaw, err := offline.BruteForce(raw.Clone(), m, 600_000)
+		if errors.As(err, &lim) {
+			return sample{skipped: true}, nil
+		}
+		if err != nil {
+			return sample{}, err
+		}
+		solved, err := core.Solve(raw.Clone(), n)
+		if err != nil {
+			return sample{}, err
+		}
+		den := func(v int64) float64 {
+			if v == 0 {
+				return 1
+			}
+			return float64(v)
+		}
+		return sample{
+			ratioCore:  float64(res.Cost.Total()) / den(opt),
+			ratioSolve: float64(solved.Cost.Total()) / den(optRaw),
+			opt:        opt,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var coreRatios, solveRatios []float64
+	skipped := 0
+	for _, s := range samples {
+		if s.skipped {
+			skipped++
+			continue
+		}
+		coreRatios = append(coreRatios, s.ratioCore)
+		solveRatios = append(solveRatios, s.ratioSolve)
+	}
+	sc := stats.Summarize(coreRatios)
+	ss := stats.Summarize(solveRatios)
+	tab := stats.NewTable("T1: cost ratio vs exact OPT over random tiny instances",
+		"algorithm", "instances", "mean ratio", "p90 ratio", "max ratio")
+	tab.AddRow("ΔLRU-EDF (rate-limited batched, n=8m)", sc.N, sc.Mean, sc.P90, sc.Max)
+	tab.AddRow("Solve = VarBatch∘Distribute∘ΔLRU-EDF (unbatched, n=8m)", ss.N, ss.Mean, ss.P90, ss.Max)
+	tab.AddNote("m=%d (OPT), n=%d (online); %d instances skipped (brute-force budget)", m, n, skipped)
+	return &Report{ID: "T1", Title: "Theorem 1 / Theorem 3 ratios vs exact OPT", Tables: []*stats.Table{tab}}, nil
+}
+
+// runT2 validates the proof chain of Lemma 3.2 at scale: the eligible drop
+// cost of ΔLRU-EDF with n resources is at most the Par-EDF drop bound with
+// m = n/8 resources, which certifies DropCost_OFF from below.
+func runT2(cfg Config) (*Report, error) {
+	numSeeds := 120
+	rounds := 512
+	if cfg.Quick {
+		numSeeds, rounds = 30, 256
+	}
+	const n = 16
+	const m = n / 8
+
+	type sample struct {
+		eligible, ineligible int64
+		parEDF               int64
+		holds                bool
+	}
+	samples, err := Sweep(cfg.workers(), seedRange(cfg.Seed+42, numSeeds), func(seed uint64) (sample, error) {
+		inst := workload.RandomBatched(seed, 24, 4, rounds, []int{1, 2, 4, 8, 16}, 0.8, 0.7, true)
+		pol := core.NewDLRUEDF()
+		if _, err := sched.Run(inst.Clone(), pol, sched.Options{N: n}); err != nil {
+			return sample{}, err
+		}
+		bound := offline.ParEDFDrops(inst.Clone(), m, 1)
+		return sample{
+			eligible:   pol.EligibleDrops(),
+			ineligible: pol.IneligibleDrops(),
+			parEDF:     bound,
+			holds:      pol.EligibleDrops() <= bound,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	holds := 0
+	var slack []float64
+	tab := stats.NewTable("T2: eligible drops vs Par-EDF certified bound (first 10 seeds shown)",
+		"seed", "eligible drops", "ineligible drops", "ParEDF(m) bound", "holds")
+	for i, s := range samples {
+		if s.holds {
+			holds++
+		}
+		if s.parEDF > 0 {
+			slack = append(slack, float64(s.eligible)/float64(s.parEDF))
+		}
+		if i < 10 {
+			tab.AddRow(int(cfg.Seed)+42+i, s.eligible, s.ineligible, s.parEDF, fmt.Sprint(s.holds))
+		}
+	}
+	sum := stats.Summarize(slack)
+	tab.AddNote("Lemma 3.2 chain held on %d/%d instances; eligible/ParEDF ratio %s", holds, len(samples), sum.String())
+	return &Report{ID: "T2", Title: "Lemma 3.2 validation", Tables: []*stats.Table{tab}}, nil
+}
+
+// runT3 validates the amortized bounds of Lemmas 3.3 and 3.4 on random and
+// adversarial inputs: ReconfigCost ≤ 4·numEpochs·Δ and IneligibleDropCost
+// ≤ numEpochs·Δ.
+func runT3(cfg Config) (*Report, error) {
+	numSeeds := 100
+	rounds := 512
+	if cfg.Quick {
+		numSeeds, rounds = 25, 256
+	}
+	const n = 16
+
+	type sample struct {
+		name           string
+		reconfig, inel int64
+		epochs         int
+		delta          int
+		l33ok, l34ok   bool
+	}
+	run := func(inst *sched.Instance) (sample, error) {
+		pol := core.NewDLRUEDF()
+		res, err := sched.Run(inst.Clone(), pol, sched.Options{N: n})
+		if err != nil {
+			return sample{}, err
+		}
+		epochs := pol.Tracker().NumEpochs()
+		s := sample{
+			name:     inst.Name,
+			reconfig: res.Cost.Reconfig,
+			inel:     pol.IneligibleDrops(),
+			epochs:   epochs,
+			delta:    inst.Delta,
+		}
+		s.l33ok = s.reconfig <= int64(4*epochs*inst.Delta)
+		s.l34ok = s.inel <= int64(epochs*inst.Delta)
+		return s, nil
+	}
+
+	samples, err := Sweep(cfg.workers(), seedRange(cfg.Seed+7, numSeeds), func(seed uint64) (sample, error) {
+		return run(workload.RandomBatched(seed, 24, 5, rounds, []int{1, 2, 4, 8, 16}, 0.9, 0.6, true))
+	})
+	if err != nil {
+		return nil, err
+	}
+	instA, err := workload.AppendixA(n, 2, 6, 8)
+	if err != nil {
+		return nil, err
+	}
+	sA, err := run(instA)
+	if err != nil {
+		return nil, err
+	}
+	samples = append(samples, sA)
+
+	ok33, ok34 := 0, 0
+	var ratio33, ratio34 []float64
+	for _, s := range samples {
+		if s.l33ok {
+			ok33++
+		}
+		if s.l34ok {
+			ok34++
+		}
+		if s.epochs > 0 {
+			ratio33 = append(ratio33, float64(s.reconfig)/float64(4*s.epochs*s.delta))
+			ratio34 = append(ratio34, float64(s.inel)/float64(s.epochs*s.delta))
+		}
+	}
+	tab := stats.NewTable("T3: epoch-amortized bounds",
+		"bound", "instances", "held", "mean utilization of bound", "max utilization")
+	s33 := stats.Summarize(ratio33)
+	s34 := stats.Summarize(ratio34)
+	tab.AddRow("Lemma 3.3: reconfig ≤ 4·epochs·Δ", len(samples), ok33, s33.Mean, s33.Max)
+	tab.AddRow("Lemma 3.4: ineligible drops ≤ epochs·Δ", len(samples), ok34, s34.Mean, s34.Max)
+	return &Report{ID: "T3", Title: "Lemmas 3.3/3.4 validation", Tables: []*stats.Table{tab}}, nil
+}
+
+// runT7 validates the Lemma 3.8 / Corollary 3.1 machinery: on nice inputs
+// (Par-EDF drop-free) DS-Seq-EDF is drop-free, and in general DS-Seq-EDF
+// with m resources at double speed drops at most as much as Par-EDF.
+func runT7(cfg Config) (*Report, error) {
+	numSeeds := 150
+	rounds := 256
+	if cfg.Quick {
+		numSeeds, rounds = 40, 128
+	}
+	const m = 3
+
+	type sample struct {
+		parDrops, dsDrops int64
+		nice              bool
+		lemma38ok         bool
+		cor31ok           bool
+	}
+	samples, err := Sweep(cfg.workers(), seedRange(cfg.Seed+99, numSeeds), func(seed uint64) (sample, error) {
+		inst := workload.RandomBatched(seed, 8, 3, rounds, []int{1, 2, 4, 8}, 0.5, 0.5, true)
+		par := offline.ParEDFDrops(inst.Clone(), m, 1)
+		ds, err := sched.Run(inst.Clone(), policy.NewPureSeqEDF(), sched.Options{N: m, Speed: 2})
+		if err != nil {
+			return sample{}, err
+		}
+		s := sample{parDrops: par, dsDrops: ds.Cost.Drop, nice: par == 0}
+		s.lemma38ok = !s.nice || s.dsDrops == 0
+		s.cor31ok = s.dsDrops <= s.parDrops
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nice, l38, c31 := 0, 0, 0
+	for _, s := range samples {
+		if s.nice {
+			nice++
+		}
+		if s.lemma38ok {
+			l38++
+		}
+		if s.cor31ok {
+			c31++
+		}
+	}
+	tab := stats.NewTable("T7: DS-Seq-EDF vs Par-EDF", "claim", "applicable", "held")
+	tab.AddRow("Lemma 3.8: nice input ⇒ DS-Seq-EDF drop-free", nice, l38-(len(samples)-nice))
+	tab.AddRow("Corollary 3.1: DS-Seq-EDF drops ≤ Par-EDF drops", len(samples), c31)
+	tab.AddNote("m=%d, DS-Seq-EDF at speed 2; %d/%d inputs were nice", m, nice, len(samples))
+	return &Report{ID: "T7", Title: "Lemma 3.8 / Corollary 3.1 validation", Tables: []*stats.Table{tab}}, nil
+}

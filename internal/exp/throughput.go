@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register(Experiment{ID: "T9", Title: "Simulator throughput and sweep scaling", Run: runT9})
+}
+
+// runT9 measures raw simulator throughput (rounds and jobs per second for
+// ΔLRU-EDF on a large router trace) and the scaling of the parallel sweep
+// runner across worker counts.
+func runT9(cfg Config) (*Report, error) {
+	rounds := 50_000
+	if cfg.Quick {
+		rounds = 5_000
+	}
+	inst := workload.Router(cfg.Seed+11, 8, 16, rounds, 24)
+
+	start := time.Now()
+	res, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: 32})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	tab := stats.NewTable("T9a: single-run throughput (ΔLRU-EDF, n=32)",
+		"rounds", "jobs", "wall time", "rounds/s", "jobs/s")
+	tab.AddRow(res.Rounds, inst.TotalJobs(), elapsed.Round(time.Millisecond).String(),
+		float64(res.Rounds)/elapsed.Seconds(), float64(inst.TotalJobs())/elapsed.Seconds())
+
+	// Sweep scaling: the same batch of independent simulations at
+	// different worker counts.
+	seeds := seedRange(cfg.Seed+900, 16)
+	small := rounds / 10
+	scaling := stats.NewTable("T9b: parallel sweep scaling (16 independent runs)",
+		"workers", "wall time", "speedup")
+	var base time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		if _, err := Sweep(w, seeds, func(seed uint64) (int64, error) {
+			in := workload.Router(seed, 4, 16, small, 16)
+			r, err := sched.Run(in, core.NewDLRUEDF(), sched.Options{N: 16})
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost.Total(), nil
+		}); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if w == 1 {
+			base = d
+		}
+		scaling.AddRow(w, d.Round(time.Millisecond).String(), float64(base)/float64(d))
+	}
+	return &Report{ID: "T9", Title: "Throughput", Tables: []*stats.Table{tab, scaling}}, nil
+}

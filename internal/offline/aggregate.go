@@ -1,0 +1,388 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// AggregateResult is the output of the Aggregate transformation of §4.3.
+type AggregateResult struct {
+	// Virtual is the rate-limited instance I′ (built by core.BuildDistributed)
+	// and Mapping its color mapping.
+	Virtual *sched.Instance
+	Mapping *core.ColorMapping
+	// Out is the constructed schedule T′ for I′: 3m resources, uni-speed,
+	// with explicit executions.
+	Out *sched.Schedule
+	// InputResult is the replay of the input schedule T on I (so callers
+	// can compare drop and reconfiguration costs, Lemmas 4.5 and 4.6).
+	InputResult *sched.Result
+}
+
+// Aggregate implements algorithm Aggregate of §4.3 (the constructive heart
+// of Lemma 4.1): given a batched instance I with power-of-two delay bounds
+// and an arbitrary uni-speed offline schedule T for I with m resources, it
+// builds a schedule T′ for the rate-limited instance I′ with 3m resources
+// that executes exactly the jobs T executes (equal drop cost, Lemma 4.5)
+// at O(1) times T's reconfiguration cost (Lemma 4.6).
+//
+// With each T-resource k we associate T′-resources (k,0)=3k, (k,1)=3k+1
+// and (k,2)=3k+2. Jobs are scheduled in ascending order of delay bounds,
+// block by block, color by color: the jobs of color ℓ executed by T in
+// block(p, i) are partitioned into groups of size ≤ p; groups land first
+// on the (T,p,i,ℓ)-monochromatic resources (one group per resource,
+// descending group size paired with descending T-level rank, labels —
+// hence virtual colors (ℓ,j) — inherited across consecutive blocks to
+// avoid boundary reconfigurations), and overflow groups land in the free
+// slots of multichromatic resource triples, whose existence Lemma 4.4
+// guarantees.
+//
+// Implementation note: the paper assigns labels purely by inheritance and
+// rank. When the batch shrinks between blocks, an inherited label can
+// point at a virtual color with fewer jobs than the group needs; we then
+// reassign that group the largest-supply free label, which always exists
+// (groups and supplies are both sorted descending). This keeps T′ feasible
+// and only adds boundary reconfigurations of the kind Lemma 4.6 already
+// charges to batch-size changes.
+func Aggregate(inst *sched.Instance, t *sched.Schedule) (*AggregateResult, error) {
+	if !inst.IsBatched() {
+		return nil, fmt.Errorf("offline: Aggregate needs a batched instance")
+	}
+	if !inst.HasPowerOfTwoDelays() {
+		return nil, fmt.Errorf("offline: Aggregate needs power-of-two delay bounds")
+	}
+	if t.Speed > 1 {
+		return nil, fmt.Errorf("offline: Aggregate needs a uni-speed input schedule")
+	}
+	m := t.N
+
+	virtual, mapping, err := core.BuildDistributed(inst)
+	if err != nil {
+		return nil, err
+	}
+	inRes, execLog, err := sched.ReplayExec(inst, t)
+	if err != nil {
+		return nil, fmt.Errorf("offline: Aggregate: input schedule invalid: %w", err)
+	}
+	// Round the working horizon up to a multiple of the largest delay
+	// bound so every block is complete: since all delay bounds are powers
+	// of two, every block of every bound then falls entirely inside the
+	// grid, and groups are never artificially clipped below the virtual
+	// color supplies.
+	h := len(execLog) // full replay horizon, one row per round (uni-speed)
+	if maxD := inst.MaxDelay(); maxD > 0 && h%maxD != 0 {
+		h = (h/maxD + 1) * maxD
+	}
+
+	// assignT[r][k]: T's configuration at round r, extended by carrying the
+	// last row across the drain tail.
+	assignT := make([][]sched.Color, h)
+	last := make([]sched.Color, m)
+	for i := range last {
+		last[i] = sched.NoColor
+	}
+	for r := 0; r < h; r++ {
+		if r < len(t.Assign) {
+			copy(last, t.Assign[r])
+		}
+		assignT[r] = append([]sched.Color(nil), last...)
+	}
+
+	// Output grids over 3m resources.
+	n3 := 3 * m
+	occupied := make([][]bool, h)
+	assignOut := make([][]sched.Color, h)
+	execOut := make([][]sched.Color, h)
+	for r := 0; r < h; r++ {
+		occupied[r] = make([]bool, n3)
+		assignOut[r] = make([]sched.Color, n3)
+		execOut[r] = make([]sched.Color, n3)
+		for k := 0; k < n3; k++ {
+			assignOut[r][k] = sched.NoColor // NoColor = "unconstrained"
+			execOut[r][k] = sched.NoColor
+		}
+	}
+
+	// Delay bounds present, ascending.
+	delaySet := map[int]struct{}{}
+	for _, d := range inst.Delays {
+		delaySet[d] = struct{}{}
+	}
+	delays := make([]int, 0, len(delaySet))
+	for d := range delaySet {
+		delays = append(delays, d)
+	}
+	sort.Ints(delays)
+
+	// colorsByDelay[p] lists the colors with delay bound p, ascending.
+	colorsByDelay := map[int][]sched.Color{}
+	for c, d := range inst.Delays {
+		colorsByDelay[d] = append(colorsByDelay[d], sched.Color(c))
+	}
+
+	// monoColor reports the single color resource k holds throughout
+	// rounds [lo, hi) of T, or NoColor if it reconfigures (or idles black
+	// part of the time; an all-black resource is "monochromatic black",
+	// which never matches a job color).
+	monoColor := func(k, lo, hi int) sched.Color {
+		c := assignT[lo][k]
+		for r := lo + 1; r < hi && r < h; r++ {
+			if assignT[r][k] != c {
+				return sched.NoColor - 1 // sentinel: multichromatic
+			}
+		}
+		return c
+	}
+	isMono := func(k, lo, hi int) bool {
+		return monoColor(k, lo, hi) != sched.NoColor-1
+	}
+
+	// tLevel: the largest delay bound q such that k is monochromatic
+	// throughout the q-block enclosing [lo, lo+p).
+	tLevel := func(k, lo, p int) int {
+		level := p
+		for _, q := range delays {
+			if q < p {
+				continue
+			}
+			j := lo / q
+			if isMono(k, j*q, (j+1)*q) {
+				if q > level {
+					level = q
+				}
+			}
+		}
+		return level
+	}
+
+	// prevLabels[ℓ][k] is the label resource k held for color ℓ in the
+	// previous block of D_ℓ.
+	prevLabels := make([]map[int]int, inst.NumColors())
+
+	// execCount[ℓ] within the current block is recomputed per (p, i, ℓ).
+	for _, p := range delays {
+		numBlocks := (h + p - 1) / p
+		for i := 0; i < numBlocks; i++ {
+			lo := i * p
+			hi := lo + p
+			if hi > h {
+				hi = h
+			}
+			for _, l := range colorsByDelay[p] {
+				// Jobs of color ℓ executed by T in this block (the
+				// padded tail beyond the replay horizon has none).
+				x := 0
+				for r := lo; r < hi && r < len(execLog); r++ {
+					for k := 0; k < m; k++ {
+						if execLog[r][k] == l {
+							x++
+						}
+					}
+				}
+				// Monochromatic resources for ℓ in this block, ranked by
+				// descending T-level (ties by ascending resource index).
+				var mono []int
+				for k := 0; k < m; k++ {
+					if monoColor(k, lo, hi) == l {
+						mono = append(mono, k)
+					}
+				}
+				sort.Slice(mono, func(a, b int) bool {
+					la, lb := tLevel(mono[a], lo, p), tLevel(mono[b], lo, p)
+					if la != lb {
+						return la > lb
+					}
+					return mono[a] < mono[b]
+				})
+
+				if x == 0 && len(mono) == 0 {
+					prevLabels[l] = nil
+					continue
+				}
+
+				// Virtual color supplies for this block: jobs of (ℓ, j)
+				// arriving at round lo.
+				arrived := 0
+				if lo < inst.NumRounds() {
+					for _, b := range inst.Requests[lo] {
+						if b.Color == l {
+							arrived += b.Count
+						}
+					}
+				}
+				numLabels := (arrived + p - 1) / p
+				supply := make([]int, numLabels)
+				for j := 0; j < numLabels; j++ {
+					s := arrived - j*p
+					if s > p {
+						s = p
+					}
+					supply[j] = s
+				}
+
+				// Groups of size p (last possibly smaller), descending. In
+				// a clipped final block a single resource has fewer than p
+				// rounds, so group sizes are capped by the block width.
+				gmax := p
+				if hi-lo < gmax {
+					gmax = hi - lo
+				}
+				var groups []int
+				for rem := x; rem > 0; {
+					g := gmax
+					if g > rem {
+						g = rem
+					}
+					groups = append(groups, g)
+					rem -= g
+				}
+
+				// Label assignment with inheritance + supply repair.
+				labelTaken := make([]bool, numLabels)
+				newLabels := make(map[int]int, len(mono))
+				chooseLabel := func(preferred, size int) (int, error) {
+					if preferred >= 0 && preferred < numLabels &&
+						!labelTaken[preferred] && supply[preferred] >= size {
+						labelTaken[preferred] = true
+						return preferred, nil
+					}
+					for j := 0; j < numLabels; j++ {
+						if !labelTaken[j] && supply[j] >= size {
+							labelTaken[j] = true
+							return j, nil
+						}
+					}
+					return 0, fmt.Errorf("offline: Aggregate: no label with supply ≥ %d for color %d in block(%d,%d)", size, l, p, i)
+				}
+
+				// Place the first min(|groups|, |mono|) groups on the
+				// monochromatic resources: descending group size meets
+				// descending resource rank.
+				gi := 0
+				for mi := 0; mi < len(mono) && gi < len(groups); mi, gi = mi+1, gi+1 {
+					k := mono[mi]
+					pref := -1
+					if prevLabels[l] != nil {
+						if j, ok := prevLabels[l][k]; ok {
+							pref = j
+						}
+					}
+					j, err := chooseLabel(pref, groups[gi])
+					if err != nil {
+						return nil, err
+					}
+					newLabels[k] = j
+					v := mapping.Virtual(l, j)
+					res := 3 * k
+					for r := lo; r < hi; r++ {
+						assignOut[r][res] = v
+						occupied[r][res] = true
+					}
+					for r := lo; r < lo+groups[gi] && r < hi; r++ {
+						execOut[r][res] = v
+					}
+					if lo+groups[gi] > hi {
+						return nil, fmt.Errorf("offline: Aggregate: group of %d jobs does not fit the clipped block(%d,%d)", groups[gi], p, i)
+					}
+				}
+
+				// Overflow groups land in free slots of multichromatic
+				// resource triples (Lemma 4.4 guarantees one with ≥ p free
+				// slots exists).
+				for ; gi < len(groups); gi++ {
+					size := groups[gi]
+					j, err := chooseLabel(-1, size)
+					if err != nil {
+						return nil, err
+					}
+					v := mapping.Virtual(l, j)
+					k, err := findMultiTriple(m, lo, hi, p, size, monoColor, occupied)
+					if err != nil {
+						return nil, err
+					}
+					placed := 0
+					for off := 0; off < 3 && placed < size; off++ {
+						res := 3*k + off
+						for r := lo; r < hi && placed < size; r++ {
+							if occupied[r][res] {
+								continue
+							}
+							occupied[r][res] = true
+							assignOut[r][res] = v
+							execOut[r][res] = v
+							placed++
+						}
+					}
+					if placed < size {
+						return nil, fmt.Errorf("offline: Aggregate: placed %d of %d overflow jobs for color %d in block(%d,%d)", placed, size, l, p, i)
+					}
+				}
+				prevLabels[l] = newLabels
+			}
+		}
+	}
+
+	// Materialize T′: explicit assignments where pinned, carry-forward
+	// elsewhere (a location keeps its color until the construction needs a
+	// different one, minimizing reconfigurations).
+	out := &sched.Schedule{Policy: "Aggregate(" + t.Policy + ")", N: n3, Speed: 1}
+	cur := make([]sched.Color, n3)
+	for k := range cur {
+		cur[k] = sched.NoColor
+	}
+	for r := 0; r < h; r++ {
+		for k := 0; k < n3; k++ {
+			if c := assignOut[r][k]; c != sched.NoColor {
+				cur[k] = c
+			}
+		}
+		out.Assign = append(out.Assign, append([]sched.Color(nil), cur...))
+		out.Exec = append(out.Exec, append([]sched.Color(nil), execOut[r]...))
+	}
+
+	return &AggregateResult{
+		Virtual:     virtual,
+		Mapping:     mapping,
+		Out:         out,
+		InputResult: inRes,
+	}, nil
+}
+
+// findMultiTriple locates a T-multichromatic resource k in block [lo, hi)
+// whose triple (3k, 3k+1, 3k+2) still has at least max(p, size) free slots
+// in the block. Preferring ≥ p free slots keeps Lemma 4.4's invariant for
+// subsequent groups; if no triple has p free we accept one that fits the
+// group.
+func findMultiTriple(m, lo, hi, p, size int, monoColor func(k, lo, hi int) sched.Color, occupied [][]bool) (int, error) {
+	need := p
+	if size > need {
+		need = size
+	}
+	bestFallback := -1
+	for k := 0; k < m; k++ {
+		if monoColor(k, lo, hi) != sched.NoColor-1 {
+			continue // monochromatic (possibly black): not in Y
+		}
+		free := 0
+		for off := 0; off < 3; off++ {
+			for r := lo; r < hi; r++ {
+				if !occupied[r][3*k+off] {
+					free++
+				}
+			}
+		}
+		if free >= need {
+			return k, nil
+		}
+		if free >= size && bestFallback < 0 {
+			bestFallback = k
+		}
+	}
+	if bestFallback >= 0 {
+		return bestFallback, nil
+	}
+	return 0, fmt.Errorf("offline: Aggregate: no multichromatic triple with %d free slots in block rounds [%d,%d)", size, lo, hi)
+}

@@ -1,0 +1,175 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func aggregateInput(seed uint64) (*sched.Instance, *sched.Schedule, error) {
+	inst := workload.RandomBatched(seed, 6, 3, 96, []int{2, 4, 8}, 1.2, 0.6, false)
+	res, err := sched.Run(inst.Clone(), policy.NewPureSeqEDF(), sched.Options{N: 3, Record: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, res.Schedule, nil
+}
+
+func TestAggregatePreconditions(t *testing.T) {
+	// Unbatched input rejected.
+	inst := &sched.Instance{Delta: 1, Delays: []int{4}}
+	inst.AddJobs(1, 0, 1)
+	s := &sched.Schedule{N: 1, Speed: 1}
+	if _, err := Aggregate(inst, s); err == nil {
+		t.Fatal("unbatched instance accepted")
+	}
+	// Non-power-of-two delays rejected.
+	inst2 := &sched.Instance{Delta: 1, Delays: []int{3}}
+	inst2.AddJobs(0, 0, 1)
+	if _, err := Aggregate(inst2, s); err == nil {
+		t.Fatal("non-power-of-two delays accepted")
+	}
+	// Double-speed schedules rejected.
+	inst3 := &sched.Instance{Delta: 1, Delays: []int{2}}
+	inst3.AddJobs(0, 0, 1)
+	s2 := &sched.Schedule{N: 1, Speed: 2}
+	if _, err := Aggregate(inst3, s2); err == nil {
+		t.Fatal("double-speed schedule accepted")
+	}
+}
+
+// TestAggregatePreservesExecutions (Lemma 4.5): T′ is a valid schedule for
+// I′ that executes exactly as many jobs as T does on I, so drop costs
+// match (I and I′ have the same job count).
+func TestAggregatePreservesExecutions(t *testing.T) {
+	inst, T, err := aggregateInput(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(inst.Clone(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.Replay(agg.Virtual, agg.Out)
+	if err != nil {
+		t.Fatalf("T′ invalid: %v", err)
+	}
+	if out.Executed != agg.InputResult.Executed {
+		t.Fatalf("T′ executed %d, T executed %d", out.Executed, agg.InputResult.Executed)
+	}
+	if out.Dropped != agg.InputResult.Dropped {
+		t.Fatalf("T′ dropped %d, T dropped %d", out.Dropped, agg.InputResult.Dropped)
+	}
+	if agg.Out.N != 3*T.N {
+		t.Fatalf("T′ has %d resources, want 3·%d", agg.Out.N, T.N)
+	}
+}
+
+// TestAggregateReconfigBounded (Lemma 4.6, empirical): T′'s
+// reconfiguration count stays within a small factor of T's plus a startup
+// term.
+func TestAggregateReconfigBounded(t *testing.T) {
+	inst, T, err := aggregateInput(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(inst.Clone(), T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.Replay(agg.Virtual, agg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := agg.InputResult.Reconfigs
+	limit := 20*in + 3*T.N
+	if out.Reconfigs > limit {
+		t.Fatalf("T′ reconfigs %d exceed %d (T had %d)", out.Reconfigs, limit, in)
+	}
+}
+
+// Property: Aggregate produces a valid, execution-preserving schedule for
+// arbitrary random batched instances and several input policies.
+func TestAggregateValidityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.RandomBatched(seed, 5, 2, 64, []int{2, 4}, 1.0, 0.5, false)
+		for _, mk := range []func() sched.Policy{
+			func() sched.Policy { return policy.NewPureSeqEDF() },
+			func() sched.Policy { return policy.NewGreedyPending() },
+		} {
+			res, err := sched.Run(inst.Clone(), mk(), sched.Options{N: 2, Record: true})
+			if err != nil {
+				return false
+			}
+			agg, err := Aggregate(inst.Clone(), res.Schedule)
+			if err != nil {
+				return false
+			}
+			out, err := sched.Replay(agg.Virtual, agg.Out)
+			if err != nil {
+				return false
+			}
+			if out.Executed != agg.InputResult.Executed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregateClippedHorizonRegression pins the fix for a bug where the
+// replay horizon ended mid-block (e.g. at round 255 with delay-8 colors),
+// clipping group sizes below the virtual color supplies and making the
+// label assignment fail ("no label with supply ≥ …").
+func TestAggregateClippedHorizonRegression(t *testing.T) {
+	inst := workload.RandomBatched(517, 8, 3, 256, []int{2, 4, 8}, 1.2, 0.6, false)
+	res, err := sched.Run(inst.Clone(), policy.NewEDF(), sched.Options{N: 4, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(inst.Clone(), res.Schedule)
+	if err != nil {
+		t.Fatalf("regression: %v", err)
+	}
+	out, err := sched.Replay(agg.Virtual, agg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executed != agg.InputResult.Executed {
+		t.Fatalf("executions changed: %d → %d", agg.InputResult.Executed, out.Executed)
+	}
+}
+
+// TestAggregateStaticInput: a purely static T is fully monochromatic, so
+// T′ should also be near-static (labels inherited across blocks).
+func TestAggregateStaticInput(t *testing.T) {
+	inst := &sched.Instance{Delta: 2, Delays: []int{4}}
+	for r := 0; r < 32; r += 4 {
+		inst.AddJobs(r, 0, 3)
+	}
+	res, err := sched.Run(inst.Clone(), policy.NewStatic(0), sched.Options{N: 1, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(inst.Clone(), res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sched.Replay(agg.Virtual, agg.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Executed != res.Executed {
+		t.Fatalf("executions changed: %d → %d", res.Executed, out.Executed)
+	}
+	// A monochromatic input needs only the single initial configuration.
+	if out.Reconfigs > 2 {
+		t.Fatalf("static input produced %d reconfigs in T′", out.Reconfigs)
+	}
+}

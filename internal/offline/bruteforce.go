@@ -1,0 +1,287 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/sched"
+)
+
+// BruteForceLimitError is returned when the exact search exceeds its state
+// budget; callers fall back to LowerBound on such instances.
+type BruteForceLimitError struct{ States int }
+
+func (e *BruteForceLimitError) Error() string {
+	return fmt.Sprintf("offline: brute force exceeded the state budget (%d states)", e.States)
+}
+
+// BruteForce computes the exact optimal offline cost OPT(σ) with m
+// resources by memoized search over (round, configuration, pending-jobs)
+// states. Configurations are treated as multisets of colors — locations
+// are interchangeable, so the minimal reconfiguration cost between two
+// configurations is Δ·(m − |intersection|).
+//
+// The search restricts candidate configurations to colors that currently
+// have pending jobs plus the colors already configured, which loses no
+// generality: configuring a color before it has pending jobs can always be
+// postponed to the round it first helps, at identical cost.
+//
+// BruteForce is exponential and intended for tiny instances (a handful of
+// colors, short horizons, m ≤ 3); maxStates caps the explored state count
+// (0 means 4,000,000). It returns the optimal total cost.
+func BruteForce(inst *sched.Instance, m int, maxStates int) (int64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	if m < 1 {
+		return 0, fmt.Errorf("offline: BruteForce needs m ≥ 1, got %d", m)
+	}
+	if maxStates <= 0 {
+		maxStates = 4_000_000
+	}
+	inst.Normalize()
+	bf := &bruteForcer{
+		inst:      inst,
+		m:         m,
+		memo:      make(map[string]int64),
+		maxStates: maxStates,
+	}
+	cfg := make([]sched.Color, m)
+	for i := range cfg {
+		cfg[i] = sched.NoColor
+	}
+	return bf.solve(0, cfg, newPendingState(inst.NumColors()))
+}
+
+type bruteForcer struct {
+	inst      *sched.Instance
+	m         int
+	memo      map[string]int64
+	states    int
+	maxStates int
+}
+
+// pendingState holds, per color, the pending (deadline, count) buckets in
+// ascending deadline order. It is copied on branching; instances are tiny.
+type pendingState struct {
+	buckets [][]bucket
+	total   int
+}
+
+type bucket struct {
+	deadline int
+	count    int
+}
+
+func newPendingState(numColors int) *pendingState {
+	return &pendingState{buckets: make([][]bucket, numColors)}
+}
+
+func (p *pendingState) clone() *pendingState {
+	c := &pendingState{buckets: make([][]bucket, len(p.buckets)), total: p.total}
+	for i, bs := range p.buckets {
+		if len(bs) > 0 {
+			c.buckets[i] = append([]bucket(nil), bs...)
+		}
+	}
+	return c
+}
+
+// expire drops all jobs with deadline ≤ round and returns how many.
+func (p *pendingState) expire(round int) int {
+	dropped := 0
+	for c, bs := range p.buckets {
+		i := 0
+		for i < len(bs) && bs[i].deadline <= round {
+			dropped += bs[i].count
+			i++
+		}
+		if i > 0 {
+			p.buckets[c] = bs[i:]
+		}
+	}
+	p.total -= dropped
+	return dropped
+}
+
+func (p *pendingState) add(c sched.Color, deadline, count int) {
+	bs := p.buckets[c]
+	if n := len(bs); n > 0 && bs[n-1].deadline == deadline {
+		bs[n-1].count += count
+	} else {
+		p.buckets[c] = append(bs, bucket{deadline: deadline, count: count})
+	}
+	p.total += count
+}
+
+// exec executes up to k earliest-deadline jobs of color c.
+func (p *pendingState) exec(c sched.Color, k int) {
+	bs := p.buckets[c]
+	i := 0
+	for k > 0 && i < len(bs) {
+		take := bs[i].count
+		if take > k {
+			take = k
+		}
+		bs[i].count -= take
+		k -= take
+		p.total -= take
+		if bs[i].count == 0 {
+			i++
+		}
+	}
+	if i > 0 {
+		p.buckets[c] = bs[i:]
+	}
+}
+
+func (p *pendingState) pendingColors(dst []sched.Color) []sched.Color {
+	for c, bs := range p.buckets {
+		if len(bs) > 0 {
+			dst = append(dst, sched.Color(c))
+		}
+	}
+	return dst
+}
+
+// encode builds a canonical state signature: round, sorted configuration,
+// and relative-deadline pending buckets per color.
+func (bf *bruteForcer) encode(r int, cfg []sched.Color, p *pendingState) string {
+	buf := make([]byte, 0, 64)
+	buf = strconv.AppendInt(buf, int64(r), 10)
+	buf = append(buf, '|')
+	for _, c := range cfg {
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	for c, bs := range p.buckets {
+		if len(bs) == 0 {
+			continue
+		}
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		buf = append(buf, ':')
+		for _, b := range bs {
+			buf = strconv.AppendInt(buf, int64(b.deadline-r), 10)
+			buf = append(buf, 'x')
+			buf = strconv.AppendInt(buf, int64(b.count), 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// solve returns the minimal cost from the start of round r (before its
+// drop phase) given the configuration at the end of round r−1.
+func (bf *bruteForcer) solve(r int, cfg []sched.Color, p *pendingState) (int64, error) {
+	inst := bf.inst
+	if r >= inst.NumRounds() && p.total == 0 {
+		return 0, nil
+	}
+	if r >= inst.Horizon() {
+		// All jobs have expired by the horizon; nothing left to decide.
+		return 0, nil
+	}
+
+	// Drop phase.
+	drops := int64(p.expire(r))
+	// Arrival phase.
+	if r < inst.NumRounds() {
+		for _, b := range inst.Requests[r] {
+			p.add(b.Color, r+inst.Delays[b.Color], b.Count)
+		}
+	}
+	if p.total == 0 {
+		// Nothing pending: the optimum keeps the configuration and waits.
+		rest, err := bf.solve(r+1, cfg, p)
+		return drops + rest, err
+	}
+
+	key := bf.encode(r, cfg, p)
+	if v, ok := bf.memo[key]; ok {
+		return drops + v, nil
+	}
+	bf.states++
+	if bf.states > bf.maxStates {
+		return 0, &BruteForceLimitError{States: bf.states}
+	}
+
+	// Candidate colors: pending now or already configured.
+	candSet := map[sched.Color]struct{}{sched.NoColor: {}}
+	for _, c := range cfg {
+		candSet[c] = struct{}{}
+	}
+	var scratch []sched.Color
+	for _, c := range p.pendingColors(scratch) {
+		candSet[c] = struct{}{}
+	}
+	cands := make([]sched.Color, 0, len(candSet))
+	for c := range candSet {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	best := int64(-1)
+	next := make([]sched.Color, bf.m)
+	var enumerate func(pos, minIdx int) error
+	enumerate = func(pos, minIdx int) error {
+		if pos == bf.m {
+			recost := int64(inst.Delta) * int64(bf.m-multisetIntersection(cfg, next))
+			p2 := p.clone()
+			for _, c := range next {
+				if c != sched.NoColor {
+					p2.exec(c, 1)
+				}
+			}
+			cfg2 := append([]sched.Color(nil), next...)
+			rest, err := bf.solve(r+1, cfg2, p2)
+			if err != nil {
+				return err
+			}
+			if total := recost + rest; best < 0 || total < best {
+				best = total
+			}
+			return nil
+		}
+		for i := minIdx; i < len(cands); i++ {
+			next[pos] = cands[i]
+			if err := enumerate(pos+1, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0, 0); err != nil {
+		return 0, err
+	}
+	bf.memo[key] = best
+	return drops + best, nil
+}
+
+// multisetIntersection computes |a ∩ b| over two sorted color multisets.
+// Both slices produced by the enumerator are sorted; cfg is sorted on
+// entry to solve because enumerate emits nondecreasing sequences.
+func multisetIntersection(a, b []sched.Color) int {
+	as := append([]sched.Color(nil), a...)
+	bs := append([]sched.Color(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	i, j, n := 0, 0, 0
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i] == bs[j]:
+			// NoColor "matches" cost-free as well: keeping a location
+			// black is not a reconfiguration.
+			n++
+			i++
+			j++
+		case as[i] < bs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package offline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestBruteForceHandComputed(t *testing.T) {
+	// Single color, k jobs spread out, one resource: the optimum is
+	// min(Δ, drops-if-never-configured). With generous deadlines a single
+	// reconfiguration executes everything.
+	inst := &sched.Instance{Delta: 3, Delays: []int{8}}
+	inst.AddJobs(0, 0, 4)
+	opt, err := BruteForce(inst, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 {
+		t.Fatalf("OPT = %d, want Δ = 3 (configure once, run 4 jobs)", opt)
+	}
+
+	// Two jobs but Δ = 5: dropping (cost 2) beats configuring (cost 5).
+	inst2 := &sched.Instance{Delta: 5, Delays: []int{8}}
+	inst2.AddJobs(0, 0, 2)
+	opt2, err := BruteForce(inst2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2 != 2 {
+		t.Fatalf("OPT = %d, want 2 (drop both)", opt2)
+	}
+
+	// Tight deadlines force drops even when configured: 3 jobs, D = 1,
+	// all at round 0, one resource → at most 1 executed.
+	inst3 := &sched.Instance{Delta: 1, Delays: []int{1}}
+	inst3.AddJobs(0, 0, 3)
+	opt3, err := BruteForce(inst3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt3 != 3 { // Δ + 2 drops = 3, or 3 drops = 3: both optimal
+		t.Fatalf("OPT = %d, want 3", opt3)
+	}
+}
+
+func TestBruteForceTwoColorsInterleaved(t *testing.T) {
+	// Two colors alternating with D=2 and Δ=1 on one resource: switching
+	// every block executes everything for 2·Δ… hand-check: color 0 at
+	// round 0 (deadline 2), color 1 at round 2 (deadline 4). Configure 0
+	// in round 0 (Δ), switch to 1 in round 2 (Δ): total 2.
+	inst := &sched.Instance{Delta: 1, Delays: []int{2, 2}}
+	inst.AddJobs(0, 0, 1)
+	inst.AddJobs(2, 1, 1)
+	opt, err := BruteForce(inst, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Fatalf("OPT = %d, want 2", opt)
+	}
+}
+
+func TestBruteForceEmptyInstance(t *testing.T) {
+	inst := &sched.Instance{Delta: 2, Delays: []int{2}}
+	opt, err := BruteForce(inst, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 0 {
+		t.Fatalf("OPT of empty instance = %d", opt)
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	inst := workload.RandomBatched(1, 6, 2, 64, []int{1, 2, 4}, 0.9, 0.9, true)
+	_, err := BruteForce(inst, 2, 5)
+	var lim *BruteForceLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("expected BruteForceLimitError, got %v", err)
+	}
+	if lim.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestBruteForceRejectsBadArgs(t *testing.T) {
+	inst := &sched.Instance{Delta: 1, Delays: []int{1}}
+	if _, err := BruteForce(inst, 0, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	bad := &sched.Instance{Delta: 0, Delays: []int{1}}
+	if _, err := BruteForce(bad, 1, 0); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+// Property: OPT(m) lower-bounds the cost of every online policy given the
+// same m resources (here: ΔLRU-EDF with m=4, EDF, the static baseline).
+func TestBruteForceIsOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.RandomSmall(seed, 2, 2, 10, []int{1, 2, 4}, 2, true)
+		opt, err := BruteForce(inst.Clone(), 4, 2_000_000)
+		var lim *BruteForceLimitError
+		if errors.As(err, &lim) {
+			return true // skip over-budget instances
+		}
+		if err != nil {
+			return false
+		}
+		for _, pol := range []sched.Policy{core.NewDLRUEDF(), policy.NewEDF(), policy.NewNever()} {
+			res, err := sched.Run(inst.Clone(), pol, sched.Options{N: 4})
+			if err != nil {
+				return false
+			}
+			if res.Cost.Total() < opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more resources never hurt the optimum.
+func TestBruteForceMonotoneInResources(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.RandomSmall(seed, 2, 2, 8, []int{1, 2}, 2, true)
+		opt1, err1 := BruteForce(inst.Clone(), 1, 1_000_000)
+		opt2, err2 := BruteForce(inst.Clone(), 2, 1_000_000)
+		var lim *BruteForceLimitError
+		if errors.As(err1, &lim) || errors.As(err2, &lim) {
+			return true
+		}
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return opt2 <= opt1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisetIntersection(t *testing.T) {
+	a := []sched.Color{0, 0, 1, sched.NoColor}
+	b := []sched.Color{0, 1, 1, sched.NoColor}
+	if got := multisetIntersection(a, b); got != 3 {
+		t.Fatalf("intersection = %d, want 3 (0, 1, NoColor)", got)
+	}
+	if got := multisetIntersection(nil, b); got != 0 {
+		t.Fatalf("intersection with empty = %d", got)
+	}
+}

@@ -1,0 +1,81 @@
+package offline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestImproveScheduleNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.RandomSmall(seed, 3, 2, 12, []int{1, 2, 4}, 3, false)
+		run, err := sched.Run(inst.Clone(), policy.NewGreedyPending(), sched.Options{N: 2, Record: true})
+		if err != nil {
+			return false
+		}
+		_, res, err := ImproveSchedule(inst.Clone(), run.Schedule, 2)
+		if err != nil {
+			return false
+		}
+		return res.Cost.Total() <= run.Cost.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveScheduleFixesObviousWaste(t *testing.T) {
+	// A schedule that reconfigures pointlessly every round on an empty
+	// tail; local search should strip most of the waste.
+	inst := &sched.Instance{Delta: 5, Delays: []int{2, 2}}
+	inst.AddJobs(0, 0, 1)
+	s := &sched.Schedule{N: 1, Speed: 1}
+	for r := 0; r < 12; r++ {
+		s.Assign = append(s.Assign, []sched.Color{sched.Color(r % 2)})
+	}
+	before, err := sched.Replay(inst.Clone(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := ImproveSchedule(inst.Clone(), s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cost.Total() >= before.Cost.Total() {
+		t.Fatalf("no improvement: %d → %d", before.Cost.Total(), after.Cost.Total())
+	}
+	if after.Cost.Total() > 6 { // Δ + at most one stray unit
+		t.Fatalf("local search left cost %d", after.Cost.Total())
+	}
+}
+
+func TestImproveScheduleRespectsOptimum(t *testing.T) {
+	// Improved cost never beats the exact optimum (sanity of both).
+	f := func(seed uint64) bool {
+		inst := workload.RandomSmall(seed, 2, 2, 10, []int{1, 2}, 2, true)
+		opt, err := BruteForce(inst.Clone(), 2, 1_000_000)
+		var lim *BruteForceLimitError
+		if errors.As(err, &lim) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		run, err := sched.Run(inst.Clone(), policy.NewPureSeqEDF(), sched.Options{N: 2, Record: true})
+		if err != nil {
+			return false
+		}
+		_, res, err := ImproveSchedule(inst.Clone(), run.Schedule, 3)
+		if err != nil {
+			return false
+		}
+		return res.Cost.Total() >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package offline provides the offline side of the competitive analysis:
+// an exact brute-force optimum for small instances, the Par-EDF relaxation
+// whose drop cost certifies a lower bound on any offline algorithm's drop
+// cost (Lemma 3.7), a combined certified lower bound on the optimal total
+// cost, static-configuration optima, and the Aggregate schedule
+// transformation of §4.3 (Lemma 4.1).
+package offline
+
+import (
+	"container/heap"
+
+	"repro/internal/sched"
+)
+
+// ParEDFDrops simulates algorithm Par-EDF of §3.3: the m resources are
+// fused into one super-resource that executes up to m·speed pending jobs
+// with the best ranks per round, with no configuration constraint at all.
+// Jobs are ranked by increasing deadline, breaking ties by increasing
+// delay bound and then by color (§3.3). By the optimality of EDF on a
+// single speed-m machine, its drop count is a lower bound on the drop cost
+// of ANY schedule with m resources (Lemma 3.7):
+//
+//	DropCost_ParEDF(σ) ≤ DropCost_OFF(σ).
+//
+// speed is normally 1; the DS-Seq-EDF experiments use 2.
+func ParEDFDrops(inst *sched.Instance, m, speed int) int64 {
+	if speed < 1 {
+		speed = 1
+	}
+	inst.Normalize()
+	var pq jobHeap
+	dropped := int64(0)
+	horizon := inst.Horizon()
+	for r := 0; r < horizon; r++ {
+		if r >= inst.NumRounds() && pq.Len() == 0 {
+			break
+		}
+		// Drop phase.
+		for pq.Len() > 0 && pq.items[0].deadline <= r {
+			dropped += int64(pq.items[0].count)
+			heap.Pop(&pq)
+		}
+		// Arrival phase.
+		if r < inst.NumRounds() {
+			for _, b := range inst.Requests[r] {
+				heap.Push(&pq, parJob{
+					deadline: r + inst.Delays[b.Color],
+					delay:    inst.Delays[b.Color],
+					color:    b.Color,
+					count:    b.Count,
+				})
+			}
+		}
+		// Execution phase: up to m·speed best-ranked jobs.
+		budget := m * speed
+		for budget > 0 && pq.Len() > 0 {
+			top := &pq.items[0]
+			take := top.count
+			if take > budget {
+				take = budget
+			}
+			budget -= take
+			top.count -= take
+			if top.count == 0 {
+				heap.Pop(&pq)
+			}
+		}
+	}
+	return dropped
+}
+
+// parJob is a batch of identical pending jobs in the Par-EDF relaxation.
+type parJob struct {
+	deadline int
+	delay    int
+	color    sched.Color
+	count    int
+}
+
+func (a parJob) less(b parJob) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.delay != b.delay {
+		return a.delay < b.delay
+	}
+	return a.color < b.color
+}
+
+type jobHeap struct{ items []parJob }
+
+func (h *jobHeap) Len() int           { return len(h.items) }
+func (h *jobHeap) Less(i, j int) bool { return h.items[i].less(h.items[j]) }
+func (h *jobHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *jobHeap) Push(x any)         { h.items = append(h.items, x.(parJob)) }
+func (h *jobHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}

@@ -1,0 +1,102 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/container"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestParEDFFeasibleInstanceNoDrops(t *testing.T) {
+	// m=2 resources, 2 jobs per round with D=2: trivially feasible.
+	inst := &sched.Instance{Delta: 1, Delays: []int{2, 2}}
+	for r := 0; r < 10; r++ {
+		inst.AddJobs(r, 0, 1)
+		inst.AddJobs(r, 1, 1)
+	}
+	if got := ParEDFDrops(inst, 2, 1); got != 0 {
+		t.Fatalf("ParEDF dropped %d on a feasible instance", got)
+	}
+}
+
+func TestParEDFOverload(t *testing.T) {
+	// 3 jobs with D=1 each round, m=1: exactly 2 drops per round.
+	inst := &sched.Instance{Delta: 1, Delays: []int{1}}
+	for r := 0; r < 5; r++ {
+		inst.AddJobs(r, 0, 3)
+	}
+	if got := ParEDFDrops(inst, 1, 1); got != 10 {
+		t.Fatalf("ParEDF dropped %d, want 10", got)
+	}
+	// Double speed halves the deficit: executes 2/round, drops 1/round.
+	if got := ParEDFDrops(inst, 1, 2); got != 5 {
+		t.Fatalf("double-speed ParEDF dropped %d, want 5", got)
+	}
+}
+
+func TestParEDFPrefersEarlierDeadlines(t *testing.T) {
+	// One slot per round; a D=1 job and a D=4 job arrive together. EDF
+	// must serve the D=1 job first and catch the other later.
+	inst := &sched.Instance{Delta: 1, Delays: []int{1, 4}}
+	inst.AddJobs(0, 0, 1)
+	inst.AddJobs(0, 1, 1)
+	if got := ParEDFDrops(inst, 1, 1); got != 0 {
+		t.Fatalf("ParEDF dropped %d, want 0", got)
+	}
+}
+
+// Property (the Lemma 3.7 direction we rely on): Par-EDF's drops
+// lower-bound the drops of arbitrary m-resource schedules — here random
+// scripted schedules and the online policies.
+func TestParEDFLowerBoundsSchedulesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.RandomBatched(seed, 5, 2, 48, []int{1, 2, 4}, 1.2, 0.7, false)
+		m := 2
+		bound := ParEDFDrops(inst.Clone(), m, 1)
+
+		// A random scripted schedule with m resources.
+		rng := container.NewRNG(seed + 1)
+		s := &sched.Schedule{N: m, Speed: 1}
+		for r := 0; r < inst.Horizon(); r++ {
+			row := make([]sched.Color, m)
+			for k := range row {
+				row[k] = sched.Color(rng.Intn(inst.NumColors()))
+			}
+			s.Assign = append(s.Assign, row)
+		}
+		res, err := sched.Replay(inst.Clone(), s)
+		if err != nil {
+			return false
+		}
+		if int64(res.Dropped) < bound {
+			return false
+		}
+
+		// An online policy with the same m (pure Seq-EDF uses all slots).
+		res2, err := sched.Run(inst.Clone(), policy.NewPureSeqEDF(), sched.Options{N: m})
+		if err != nil {
+			return false
+		}
+		return int64(res2.Dropped) >= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParEDFMonotoneInSpeedAndResources(t *testing.T) {
+	inst := workload.RandomBatched(17, 6, 2, 64, []int{1, 2, 4, 8}, 1.5, 0.8, false)
+	d1 := ParEDFDrops(inst.Clone(), 1, 1)
+	d2 := ParEDFDrops(inst.Clone(), 2, 1)
+	ds := ParEDFDrops(inst.Clone(), 1, 2)
+	if d2 > d1 || ds > d1 {
+		t.Fatalf("ParEDF not monotone: m1=%d m2=%d speed2=%d", d1, d2, ds)
+	}
+	// speed 0 normalizes to 1.
+	if got := ParEDFDrops(inst.Clone(), 1, 0); got != d1 {
+		t.Fatalf("speed 0 normalization: %d != %d", got, d1)
+	}
+}

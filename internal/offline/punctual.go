@@ -1,0 +1,344 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/sched"
+)
+
+// Punctualize implements the constructive core of Lemma 5.3: given an
+// arbitrary uni-speed offline schedule S with m resources for an instance
+// of the general problem [Δ | 1 | D_ℓ | 1] (power-of-two delay bounds), it
+// builds a *punctual* schedule S′ with 7m resources that executes every
+// job S executes at O(1) times S's reconfiguration cost.
+//
+// A job arriving in half-block i of its delay bound (half-blocks have
+// width D_ℓ/2, §5.1) is executed *early* if it runs in half-block i,
+// *punctual* in half-block i+1, and *late* in half-block i+2 — the three
+// exhaustive cases. Per original resource, the punctual executions keep
+// one resource (unchanged); the early ones are shifted later by D_ℓ/2 via
+// the Lemma 5.1 construction on three resources (special jobs — whose
+// color holds the resource across two consecutive half-blocks — move to a
+// dedicated resource, the rest pack into free slots of two overflow
+// resources); the late ones are shifted earlier by D_ℓ/2 via the mirrored
+// Lemma 5.2 construction on three more.
+//
+// Punctual schedules matter because they are exactly the schedules that
+// remain feasible after the VarBatch transformation (§5.1): replaying S′
+// against core.BuildVarBatched(inst) succeeds, which is how Theorem 3
+// transfers the offline optimum to the batched instance. Colors with
+// D_ℓ = 1 are executed in their arrival round and count as punctual.
+func Punctualize(inst *sched.Instance, s *sched.Schedule) (*sched.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if !inst.HasPowerOfTwoDelays() {
+		return nil, fmt.Errorf("offline: Punctualize needs power-of-two delay bounds")
+	}
+	if s.Speed > 1 {
+		return nil, fmt.Errorf("offline: Punctualize needs a uni-speed schedule")
+	}
+	if s.Exec != nil {
+		return nil, fmt.Errorf("offline: Punctualize needs a greedy-execution schedule (Exec == nil)")
+	}
+	inst.Normalize()
+	m := s.N
+
+	// Replay S tracking which arrival each execution consumed, and build
+	// the full per-round assignment per resource.
+	events, assignT, h, err := replayWithArrivals(inst, s)
+	if err != nil {
+		return nil, err
+	}
+	// Pad the horizon so every half-block is complete and so the +D_ℓ/2
+	// shifts of the Lemma 5.1 part never fall off the grid: add half the
+	// largest delay bound, then round up to a multiple of it.
+	if maxD := inst.MaxDelay(); maxD > 0 {
+		h += maxD / 2
+		if h%maxD != 0 {
+			h = (h/maxD + 1) * maxD
+		}
+	}
+
+	out := &sched.Schedule{Policy: "Punctualize(" + s.Policy + ")", N: 7 * m, Speed: 1}
+	grid := newExecGrid(7*m, h)
+
+	for k := 0; k < m; k++ {
+		var early, punctual, late []execEvent
+		for _, e := range events {
+			if e.res != k {
+				continue
+			}
+			p := inst.Delays[e.color]
+			if p == 1 {
+				punctual = append(punctual, e)
+				continue
+			}
+			q := p / 2
+			switch (e.round / q) - (e.arrival / q) {
+			case 0:
+				early = append(early, e)
+			case 1:
+				punctual = append(punctual, e)
+			case 2:
+				late = append(late, e)
+			default:
+				return nil, fmt.Errorf("offline: Punctualize: execution at %d of a job arrived %d with D=%d is out of range",
+					e.round, e.arrival, p)
+			}
+		}
+		base := 7 * k
+		// Resources base…base+2: the Lemma 5.1 (early → punctual) part.
+		if err := shiftHalfBlock(inst, assignT, k, early, grid, base, h, +1); err != nil {
+			return nil, err
+		}
+		// Resource base+3: the punctual part, configuration copied from S.
+		for _, e := range punctual {
+			grid.place(e.round, base+3, e.color)
+		}
+		// Resources base+4…base+6: the Lemma 5.2 (late → punctual) part.
+		if err := shiftHalfBlock(inst, assignT, k, late, grid, base+4, h, -1); err != nil {
+			return nil, err
+		}
+	}
+
+	grid.materialize(out)
+	return out, nil
+}
+
+// execEvent is one execution in the replay of S: resource res executed a
+// job of the given color, which had arrived in round arrival.
+type execEvent struct {
+	round   int
+	res     int
+	color   sched.Color
+	arrival int
+}
+
+// replayWithArrivals replays schedule s greedily and returns every
+// execution annotated with the arrival round of the job it consumed, the
+// extended per-round assignment matrix, and the replay horizon.
+func replayWithArrivals(inst *sched.Instance, s *sched.Schedule) ([]execEvent, [][]sched.Color, int, error) {
+	queues := make([]container.BucketQueue, inst.NumColors())
+	var events []execEvent
+	cur := make([]sched.Color, s.N)
+	for i := range cur {
+		cur[i] = sched.NoColor
+	}
+	var assignT [][]sched.Color
+	horizon := inst.Horizon()
+	if sr := s.Rounds(); sr > horizon {
+		horizon = sr
+	}
+	pendingTotal := 0
+	for r := 0; r < horizon; r++ {
+		if r >= inst.NumRounds() && pendingTotal == 0 && r >= len(s.Assign) {
+			break
+		}
+		for c := range queues {
+			pendingTotal -= queues[c].ExpireThrough(r)
+		}
+		if r < inst.NumRounds() {
+			for _, b := range inst.Requests[r] {
+				queues[b.Color].Add(r+inst.Delays[b.Color], b.Count)
+				pendingTotal += b.Count
+			}
+		}
+		if r < len(s.Assign) {
+			row := s.Assign[r]
+			if len(row) != s.N {
+				return nil, nil, 0, fmt.Errorf("offline: Punctualize: row %d has width %d, want %d", r, len(row), s.N)
+			}
+			copy(cur, row)
+		}
+		assignT = append(assignT, append([]sched.Color(nil), cur...))
+		for k := 0; k < s.N; k++ {
+			c := cur[k]
+			if c == sched.NoColor || c < 0 || int(c) >= inst.NumColors() {
+				continue
+			}
+			if deadline, ok := queues[c].TakeEarliest(); ok {
+				pendingTotal--
+				events = append(events, execEvent{
+					round:   r,
+					res:     k,
+					color:   c,
+					arrival: deadline - inst.Delays[c],
+				})
+			}
+		}
+	}
+	return events, assignT, len(assignT), nil
+}
+
+// execGrid accumulates explicit (assignment, execution) placements.
+type execGrid struct {
+	n, h   int
+	assign [][]sched.Color // explicit pins; NoColor = unconstrained
+	exec   [][]sched.Color
+}
+
+func newExecGrid(n, h int) *execGrid {
+	g := &execGrid{n: n, h: h}
+	g.assign = make([][]sched.Color, h)
+	g.exec = make([][]sched.Color, h)
+	for r := 0; r < h; r++ {
+		g.assign[r] = make([]sched.Color, n)
+		g.exec[r] = make([]sched.Color, n)
+		for k := 0; k < n; k++ {
+			g.assign[r][k] = sched.NoColor
+			g.exec[r][k] = sched.NoColor
+		}
+	}
+	return g
+}
+
+// place pins an execution of color c at (round, resource). It panics on
+// double placement, which would be a construction bug.
+func (g *execGrid) place(round, res int, c sched.Color) {
+	if round < 0 || round >= g.h {
+		panic(fmt.Sprintf("offline: execGrid.place round %d out of [0,%d)", round, g.h))
+	}
+	if g.exec[round][res] != sched.NoColor {
+		panic(fmt.Sprintf("offline: execGrid.place collision at round %d resource %d", round, res))
+	}
+	g.exec[round][res] = c
+	g.assign[round][res] = c
+}
+
+func (g *execGrid) free(round, res int) bool {
+	return g.exec[round][res] == sched.NoColor
+}
+
+// materialize converts the grid into a schedule: pinned assignments are
+// honored and carried forward between pins to minimize reconfigurations.
+func (g *execGrid) materialize(out *sched.Schedule) {
+	cur := make([]sched.Color, g.n)
+	for k := range cur {
+		cur[k] = sched.NoColor
+	}
+	for r := 0; r < g.h; r++ {
+		for k := 0; k < g.n; k++ {
+			if c := g.assign[r][k]; c != sched.NoColor {
+				cur[k] = c
+			}
+		}
+		out.Assign = append(out.Assign, append([]sched.Color(nil), cur...))
+		out.Exec = append(out.Exec, append([]sched.Color(nil), g.exec[r]...))
+	}
+}
+
+// shiftHalfBlock applies the Lemma 5.1 (dir = +1, early → punctual) or
+// Lemma 5.2 (dir = −1, late → punctual) construction for one original
+// resource k: events are the early (resp. late) executions of S on k, and
+// the result occupies grid resources base (special jobs) and base+1,
+// base+2 (overflow).
+func shiftHalfBlock(inst *sched.Instance, assignT [][]sched.Color, k int, events []execEvent, grid *execGrid, base, h, dir int) error {
+	// heldThrough reports whether S keeps resource k configured with
+	// color c for all rounds of [lo, hi) (clipped to the matrix).
+	heldThrough := func(c sched.Color, lo, hi int) bool {
+		if lo < 0 {
+			return false
+		}
+		for r := lo; r < hi && r < len(assignT); r++ {
+			if assignT[r][k] != c {
+				return false
+			}
+		}
+		return lo < len(assignT)
+	}
+
+	// Pass 1: specials move to the dedicated resource `base`, shifted by
+	// dir·D_ℓ/2. An execution is special when its color holds the
+	// resource through both the execution half-block and the adjacent
+	// half-block it is shifted into — which is what makes the shifted
+	// slots collision-free (see Lemma 5.1's proof).
+	var nonspecial []execEvent
+	for _, e := range events {
+		p := inst.Delays[e.color]
+		q := p / 2
+		hb := e.round / q
+		var lo int
+		if dir > 0 {
+			lo = hb * q // execution half-block and the next one
+		} else {
+			lo = (hb - 1) * q // the previous half-block and the execution one
+		}
+		if heldThrough(e.color, lo, lo+p) {
+			target := e.round + dir*q
+			if target < 0 || target >= h {
+				return fmt.Errorf("offline: Punctualize: special shift out of range (round %d → %d)", e.round, target)
+			}
+			grid.place(target, base, e.color)
+			continue
+		}
+		nonspecial = append(nonspecial, e)
+	}
+
+	// Pass 2: nonspecial executions pack into the first free slots of the
+	// two overflow resources within the target half-block, processed in
+	// ascending delay bound, then half-block, then color (§5.1 step 3).
+	groups := map[groupKey]int{}
+	var keys []groupKey
+	for _, e := range nonspecial {
+		p := inst.Delays[e.color]
+		q := p / 2
+		key := groupKey{p: p, hb: e.round/q + dir, c: e.color}
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key]++
+	}
+	sortGroupKeys(keys)
+	for _, key := range keys {
+		q := key.p / 2
+		lo := key.hb * q
+		hi := lo + q
+		if lo < 0 || hi > h {
+			return fmt.Errorf("offline: Punctualize: target half-block [%d,%d) out of range", lo, hi)
+		}
+		need := groups[key]
+		for off := 1; off <= 2 && need > 0; off++ {
+			res := base + off
+			for r := lo; r < hi && need > 0; r++ {
+				if grid.free(r, res) {
+					grid.place(r, res, key.c)
+					need--
+				}
+			}
+		}
+		if need > 0 {
+			return fmt.Errorf("offline: Punctualize: %d jobs of color %d did not fit half-block [%d,%d)",
+				need, key.c, lo, hi)
+		}
+	}
+	return nil
+}
+
+// sortGroupKeys orders groups by ascending delay bound, then half-block,
+// then color.
+func sortGroupKeys(keys []groupKey) {
+	// Local insertion sort keeps the helper dependency-free; group counts
+	// are small.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && groupKeyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+type groupKey struct {
+	p, hb int
+	c     sched.Color
+}
+
+func groupKeyLess(a, b groupKey) bool {
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	if a.hb != b.hb {
+		return a.hb < b.hb
+	}
+	return a.c < b.c
+}

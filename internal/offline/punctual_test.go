@@ -1,0 +1,155 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// punctualCheck runs the full Lemma 5.3 validation for one (instance,
+// input schedule) pair: S′ must be a legal schedule for the VarBatch-
+// transformed instance (the definition of punctuality) executing exactly
+// as many jobs as S executes on the original instance.
+func punctualCheck(t *testing.T, inst *sched.Instance, s *sched.Schedule, wantExec int) *sched.Result {
+	t.Helper()
+	out, err := Punctualize(inst.Clone(), s)
+	if err != nil {
+		t.Fatalf("Punctualize: %v", err)
+	}
+	if out.N != 7*s.N {
+		t.Fatalf("S′ has %d resources, want 7·%d", out.N, s.N)
+	}
+	batched := core.BuildVarBatched(inst.Clone())
+	res, err := sched.Replay(batched, out)
+	if err != nil {
+		t.Fatalf("S′ not punctual (illegal for the batched instance): %v", err)
+	}
+	if res.Executed != wantExec {
+		t.Fatalf("S′ executed %d, S executed %d", res.Executed, wantExec)
+	}
+	return res
+}
+
+func TestPunctualizePreconditions(t *testing.T) {
+	inst := &sched.Instance{Delta: 1, Delays: []int{3}}
+	inst.AddJobs(0, 0, 1)
+	s := &sched.Schedule{N: 1, Speed: 1}
+	if _, err := Punctualize(inst, s); err == nil {
+		t.Fatal("non-power-of-two delays accepted")
+	}
+	inst2 := &sched.Instance{Delta: 1, Delays: []int{2}}
+	inst2.AddJobs(0, 0, 1)
+	if _, err := Punctualize(inst2, &sched.Schedule{N: 1, Speed: 2}); err == nil {
+		t.Fatal("double-speed schedule accepted")
+	}
+	if _, err := Punctualize(inst2, &sched.Schedule{N: 1, Speed: 1, Exec: [][]sched.Color{}}); err == nil {
+		t.Fatal("explicit-exec schedule accepted")
+	}
+}
+
+func TestPunctualizeStaticSchedule(t *testing.T) {
+	// A static schedule executes plenty of early jobs (same half-block as
+	// arrival); all of them are special (the color holds the resource
+	// forever), so they shift onto resource 0 cleanly.
+	inst := &sched.Instance{Delta: 2, Delays: []int{8}}
+	for r := 0; r < 32; r += 4 {
+		inst.AddJobs(r, 0, 2)
+	}
+	run, err := sched.Run(inst.Clone(), policy.NewStatic(0), sched.Options{N: 1, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := punctualCheck(t, inst, run.Schedule, run.Executed)
+	// The construction's reconfiguration cost stays O(C): a static input
+	// needs only a handful of configurations.
+	if res.Reconfigs > 7 {
+		t.Fatalf("static input produced %d reconfigs in S′", res.Reconfigs)
+	}
+}
+
+func TestPunctualizeDelayOneJobs(t *testing.T) {
+	// D=1 jobs execute in their arrival round and flow through the
+	// punctual resource untouched.
+	inst := &sched.Instance{Delta: 1, Delays: []int{1}}
+	for r := 0; r < 8; r++ {
+		inst.AddJobs(r, 0, 1)
+	}
+	run, err := sched.Run(inst.Clone(), policy.NewStatic(0), sched.Options{N: 1, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	punctualCheck(t, inst, run.Schedule, run.Executed)
+}
+
+func TestPunctualizeMultiResource(t *testing.T) {
+	inst := workload.ZipfMix(31, 6, 3, 96, []int{2, 4, 8}, 4, 1.0)
+	run, err := sched.Run(inst.Clone(), policy.NewGreedyPending(), sched.Options{N: 2, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	punctualCheck(t, inst, run.Schedule, run.Executed)
+}
+
+// Property: Punctualize preserves executions and punctuality for random
+// instances under several input schedules.
+func TestPunctualizeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := workload.ZipfMix(seed, 5, 2, 64, []int{2, 4, 8}, 3, 1.0)
+		if inst.TotalJobs() == 0 {
+			return true
+		}
+		for _, mk := range []func() sched.Policy{
+			func() sched.Policy { return policy.NewGreedyPending() },
+			func() sched.Policy { return policy.NewPureSeqEDF() },
+		} {
+			run, err := sched.Run(inst.Clone(), mk(), sched.Options{N: 2, Record: true})
+			if err != nil {
+				return false
+			}
+			out, err := Punctualize(inst.Clone(), run.Schedule)
+			if err != nil {
+				return false
+			}
+			batched := core.BuildVarBatched(inst.Clone())
+			res, err := sched.Replay(batched, out)
+			if err != nil {
+				return false
+			}
+			if res.Executed != run.Executed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPunctualizeReconfigBounded: the construction's reconfiguration cost
+// stays within a constant factor of the input's (Lemmas 5.1/5.2 bound it
+// by O(C)), plus a startup term.
+func TestPunctualizeReconfigBounded(t *testing.T) {
+	inst := workload.ZipfMix(77, 6, 3, 128, []int{2, 4, 8, 16}, 4, 1.0)
+	run, err := sched.Run(inst.Clone(), policy.NewEDF(), sched.Options{N: 2, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Punctualize(inst.Clone(), run.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := core.BuildVarBatched(inst.Clone())
+	res, err := sched.Replay(batched, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 24*run.Reconfigs + 7*run.Schedule.N
+	if res.Reconfigs > limit {
+		t.Fatalf("S′ reconfigs %d exceed %d (S had %d)", res.Reconfigs, limit, run.Reconfigs)
+	}
+}

@@ -1,0 +1,71 @@
+package offline
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestBestStaticColorsByVolume(t *testing.T) {
+	inst := &sched.Instance{Delta: 1, Delays: []int{4, 4, 4}}
+	inst.AddJobs(0, 0, 1)
+	inst.AddJobs(0, 1, 5)
+	inst.AddJobs(0, 2, 3)
+	got := BestStaticColors(inst, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("BestStaticColors = %v, want [1 2]", got)
+	}
+	// Colors with zero jobs are never picked.
+	inst2 := &sched.Instance{Delta: 1, Delays: []int{4, 4}}
+	inst2.AddJobs(0, 1, 1)
+	got2 := BestStaticColors(inst2, 2)
+	if len(got2) != 1 || got2[0] != 1 {
+		t.Fatalf("BestStaticColors = %v, want [1]", got2)
+	}
+}
+
+func TestStaticCostMatchesRun(t *testing.T) {
+	inst := &sched.Instance{Delta: 2, Delays: []int{4}}
+	inst.AddJobs(0, 0, 3)
+	res, err := StaticCost(inst, []sched.Color{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() != 2 || res.Executed != 3 {
+		t.Fatalf("StaticCost = %v", res)
+	}
+}
+
+func TestBestStaticCostEnumeratesBetterThanHeuristic(t *testing.T) {
+	// Volume alone misleads: color 0 has many jobs but impossible
+	// deadlines (D=1, batches of 4 on one resource), color 1 has fewer
+	// jobs that are all servable.
+	inst := &sched.Instance{Delta: 1, Delays: []int{1, 8}}
+	for r := 0; r < 8; r++ {
+		inst.AddJobs(r, 0, 4)
+	}
+	inst.AddJobs(0, 1, 8)
+	best, err := BestStaticCost(inst.Clone(), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := StaticCost(inst.Clone(), BestStaticColors(inst, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost.Total() > heur.Cost.Total() {
+		t.Fatalf("enumeration (%d) worse than heuristic (%d)", best.Cost.Total(), heur.Cost.Total())
+	}
+}
+
+func TestBestStaticCostFallsBackOnManyColors(t *testing.T) {
+	inst := workload.RandomBatched(3, 32, 2, 64, []int{1, 2, 4}, 0.8, 0.8, true)
+	res, err := BestStaticCost(inst, 4, 8) // 32 colors > 8: heuristic path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}

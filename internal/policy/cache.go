@@ -1,0 +1,125 @@
+// Package policy implements the baseline online reconfiguration schemes of
+// §3.1 — ΔLRU (§3.1.1), EDF (§3.1.2), Seq-EDF and its double-speed variant
+// DS-Seq-EDF (§3.3) — together with naive baselines used in experiments,
+// and the shared cache machinery all of them (and the ΔLRU-EDF algorithm
+// in internal/core) are built on.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Cache views the n resources as cache locations holding colors (§3.1).
+// With replication enabled (the §3 online algorithms), the first n/2
+// locations hold distinct colors and the remaining n/2 replicate them, so
+// each cached color occupies exactly two locations and executes up to two
+// jobs per mini-round. Seq-EDF disables replication and caches n distinct
+// colors.
+type Cache struct {
+	n      int
+	half   int
+	slots  []sched.Color
+	slotOf map[sched.Color]int
+	assign []sched.Color
+	free   []int
+	repl   bool
+}
+
+// NewCache builds a cache over n locations. With replicate set, n must be
+// even and the distinct capacity is n/2; otherwise the capacity is n.
+func NewCache(n int, replicate bool) *Cache {
+	if n < 1 {
+		panic(fmt.Sprintf("policy: NewCache with n=%d", n))
+	}
+	half := n
+	if replicate {
+		if n%2 != 0 {
+			panic(fmt.Sprintf("policy: replicated cache needs even n, got %d", n))
+		}
+		half = n / 2
+	}
+	c := &Cache{
+		n:      n,
+		half:   half,
+		slots:  make([]sched.Color, half),
+		slotOf: make(map[sched.Color]int, half),
+		assign: make([]sched.Color, n),
+		repl:   replicate,
+	}
+	for i := range c.slots {
+		c.slots[i] = sched.NoColor
+	}
+	for i := range c.assign {
+		c.assign[i] = sched.NoColor
+	}
+	// Free slots are kept as a stack with the lowest indices on top so
+	// slot allocation is deterministic.
+	c.free = make([]int, half)
+	for i := range c.free {
+		c.free[i] = half - 1 - i
+	}
+	return c
+}
+
+// Capacity reports the number of distinct colors the cache can hold.
+func (c *Cache) Capacity() int { return c.half }
+
+// Len reports the number of distinct colors currently cached.
+func (c *Cache) Len() int { return len(c.slotOf) }
+
+// Contains reports whether color col is cached.
+func (c *Cache) Contains(col sched.Color) bool {
+	_, ok := c.slotOf[col]
+	return ok
+}
+
+// Insert caches col in a free slot. It panics if col is already cached and
+// reports false when the cache is full.
+func (c *Cache) Insert(col sched.Color) bool {
+	if _, ok := c.slotOf[col]; ok {
+		panic(fmt.Sprintf("policy: Insert of already-cached color %d", col))
+	}
+	if len(c.free) == 0 {
+		return false
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.slots[slot] = col
+	c.slotOf[col] = slot
+	return true
+}
+
+// Evict removes col from the cache, reporting whether it was present.
+func (c *Cache) Evict(col sched.Color) bool {
+	slot, ok := c.slotOf[col]
+	if !ok {
+		return false
+	}
+	delete(c.slotOf, col)
+	c.slots[slot] = sched.NoColor
+	c.free = append(c.free, slot)
+	return true
+}
+
+// Colors appends the cached colors to dst in slot order and returns it.
+func (c *Cache) Colors(dst []sched.Color) []sched.Color {
+	for _, col := range c.slots {
+		if col != sched.NoColor {
+			dst = append(dst, col)
+		}
+	}
+	return dst
+}
+
+// Assignment materializes the location assignment: location i gets
+// slots[i], and with replication location i+n/2 mirrors location i. The
+// returned slice is reused across calls.
+func (c *Cache) Assignment() []sched.Color {
+	copy(c.assign, c.slots)
+	if c.repl {
+		copy(c.assign[c.half:], c.slots)
+	}
+	return c.assign
+}

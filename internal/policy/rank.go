@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/colorstate"
+	"repro/internal/sched"
+)
+
+// RankKey is the EDF ranking key of §3.1.2: eligible colors are ranked
+// first on idleness (nonidle colors first), then in ascending order of
+// deadlines, breaking ties by increasing delay bounds, and then by a
+// consistent order of colors (ascending color index). Smaller keys rank
+// higher ("top" rankings).
+type RankKey struct {
+	Idle     bool
+	Deadline int
+	Delay    int
+	C        sched.Color
+}
+
+// Less orders rank keys: the top-ranked key is the minimum.
+func (a RankKey) Less(b RankKey) bool {
+	if a.Idle != b.Idle {
+		return !a.Idle
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Delay != b.Delay {
+		return a.Delay < b.Delay
+	}
+	return a.C < b.C
+}
+
+// RankEligible sorts the given eligible colors into EDF rank order (best
+// rank first) using the tracker's per-color deadlines and the pending
+// state for idleness. It sorts colors in place.
+func RankEligible(colors []sched.Color, tr *colorstate.Tracker, ctx *sched.Context) {
+	sort.Slice(colors, func(i, j int) bool {
+		return rankKeyOf(colors[i], tr, ctx).Less(rankKeyOf(colors[j], tr, ctx))
+	})
+}
+
+func rankKeyOf(c sched.Color, tr *colorstate.Tracker, ctx *sched.Context) RankKey {
+	st := tr.Get(c)
+	return RankKey{
+		Idle:     ctx.Pending(c) == 0,
+		Deadline: st.Deadline,
+		Delay:    tr.Delay(c),
+		C:        c,
+	}
+}
+
+// SortByRecency sorts eligible colors by ΔLRU recency (§3.1.1): most
+// recent timestamp first, ties broken in favor of currently-cached colors
+// (to avoid gratuitous churn; the paper breaks ties arbitrarily), then by
+// ascending color index.
+func SortByRecency(colors []sched.Color, tr *colorstate.Tracker, cached func(sched.Color) bool) {
+	sort.Slice(colors, func(i, j int) bool {
+		a, b := colors[i], colors[j]
+		ta, tb := tr.Get(a).Timestamp, tr.Get(b).Timestamp
+		if ta != tb {
+			return ta > tb
+		}
+		ca, cb := cached(a), cached(b)
+		if ca != cb {
+			return ca
+		}
+		return a < b
+	})
+}
+
+// SyncCacheToSet makes the cache contain exactly the colors in want
+// (which must fit the capacity): colors outside want are evicted, missing
+// ones inserted. Used by ΔLRU, whose invariant pins the exact cache
+// content each round.
+func SyncCacheToSet(cache *Cache, want []sched.Color) {
+	inWant := make(map[sched.Color]struct{}, len(want))
+	for _, c := range want {
+		inWant[c] = struct{}{}
+	}
+	var evict []sched.Color
+	evict = cache.Colors(evict[:0])
+	for _, c := range evict {
+		if _, ok := inWant[c]; !ok {
+			cache.Evict(c)
+		}
+	}
+	for _, c := range want {
+		if !cache.Contains(c) {
+			if !cache.Insert(c) {
+				panic("policy: SyncCacheToSet overflow")
+			}
+		}
+	}
+}

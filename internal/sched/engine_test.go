@@ -1,0 +1,292 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/container"
+)
+
+// scripted is a test policy that plays back a fixed assignment per round
+// (the last row persists once the script runs out).
+type scripted struct {
+	rows [][]Color
+	n    int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Reset(env Env) {
+	s.n = env.N
+}
+func (s *scripted) Reconfigure(ctx *Context) []Color {
+	i := ctx.Round
+	if i >= len(s.rows) {
+		i = len(s.rows) - 1
+	}
+	if i < 0 {
+		return make([]Color, s.n)
+	}
+	return s.rows[i]
+}
+
+func singleColorInstance(delay, arrivalRound, count int) *Instance {
+	inst := &Instance{Delta: 3, Delays: []int{delay}}
+	inst.AddJobs(arrivalRound, 0, count)
+	return inst
+}
+
+// TestPhaseOrderExecutionWindow verifies that a job arriving in round t
+// with delay bound d has exactly d execution opportunities (rounds t …
+// t+d−1): a resource configured from round t executes it, and a resource
+// configured only from round t+d is too late.
+func TestPhaseOrderExecutionWindow(t *testing.T) {
+	// Configured at the arrival round: job executes, no drops.
+	inst := singleColorInstance(2, 1, 1)
+	res, err := Run(inst, &scripted{rows: [][]Color{{NoColor}, {0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 || res.Dropped != 0 {
+		t.Fatalf("executed=%d dropped=%d, want 1/0", res.Executed, res.Dropped)
+	}
+	if res.Cost.Reconfig != 3 || res.Cost.Drop != 0 {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+
+	// Configured only at round t+d = 3: the drop phase of round 3 runs
+	// before execution, so the job is gone.
+	inst = singleColorInstance(2, 1, 1)
+	res, err = Run(inst, &scripted{rows: [][]Color{{NoColor}, {NoColor}, {NoColor}, {0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 0 || res.Dropped != 1 {
+		t.Fatalf("late config: executed=%d dropped=%d, want 0/1", res.Executed, res.Dropped)
+	}
+
+	// Configured at the last legal round t+d−1 = 2: still in time.
+	inst = singleColorInstance(2, 1, 1)
+	res, err = Run(inst, &scripted{rows: [][]Color{{NoColor}, {NoColor}, {0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 || res.Dropped != 0 {
+		t.Fatalf("last-round config: executed=%d dropped=%d, want 1/0", res.Executed, res.Dropped)
+	}
+}
+
+func TestDelayBoundOneExecutesSameRound(t *testing.T) {
+	inst := singleColorInstance(1, 0, 1)
+	res, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 || res.Dropped != 0 {
+		t.Fatalf("D=1 job not executed in its arrival round: %v", res)
+	}
+}
+
+func TestReconfigCostPerLocationChange(t *testing.T) {
+	inst := &Instance{Delta: 5, Delays: []int{4, 4}}
+	inst.AddJobs(0, 0, 8)
+	inst.AddJobs(0, 1, 8)
+	// Round 0: [0 1]; round 1: [1 0] — both locations change: 4 changes
+	// total including the initial configuration.
+	rows := [][]Color{{0, 1}, {1, 0}}
+	res, err := Run(inst, &scripted{rows: rows}, Options{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigs != 4 {
+		t.Fatalf("Reconfigs = %d, want 4", res.Reconfigs)
+	}
+	if res.Cost.Reconfig != 20 {
+		t.Fatalf("Reconfig cost = %d, want 20", res.Cost.Reconfig)
+	}
+}
+
+func TestExecutionIsEDFWithinColor(t *testing.T) {
+	// Two jobs of the same color with different deadlines; capacity to
+	// execute only one before the earlier deadline passes.
+	inst := &Instance{Delta: 1, Delays: []int{2}}
+	inst.AddJobs(0, 0, 1) // deadline 2
+	inst.AddJobs(1, 0, 1) // deadline 3
+	// One resource configured only in round 1: it must pick the job with
+	// deadline 2, leaving the deadline-3 job for round 2.
+	res, err := Run(inst, &scripted{rows: [][]Color{{NoColor}, {0}, {0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 || res.Dropped != 0 {
+		t.Fatalf("EDF-within-color failed: %v", res)
+	}
+}
+
+func TestReplicationExecutesTwoJobsPerRound(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{1}}
+	inst.AddJobs(0, 0, 2)
+	res, err := Run(inst, &scripted{rows: [][]Color{{0, 0}}}, Options{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 {
+		t.Fatalf("two locations with the same color executed %d jobs", res.Executed)
+	}
+}
+
+func TestDoubleSpeedExecutesTwice(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{1}}
+	inst.AddJobs(0, 0, 2)
+	res, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1, Speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 || res.Dropped != 0 {
+		t.Fatalf("double speed executed %d, dropped %d", res.Executed, res.Dropped)
+	}
+}
+
+func TestEngineRejectsBadPolicies(t *testing.T) {
+	inst := singleColorInstance(2, 0, 1)
+	// Wrong assignment width.
+	_, err := Run(inst, &scripted{rows: [][]Color{{0, 0}}}, Options{N: 1})
+	if err == nil {
+		t.Fatal("wrong-width assignment accepted")
+	}
+	// Unknown color.
+	inst = singleColorInstance(2, 0, 1)
+	_, err = Run(inst, &scripted{rows: [][]Color{{7}}}, Options{N: 1})
+	if err == nil {
+		t.Fatal("unknown color accepted")
+	}
+	// Bad options.
+	inst = singleColorInstance(2, 0, 1)
+	if _, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestMaxRoundsChargesRemainingJobs(t *testing.T) {
+	inst := singleColorInstance(8, 0, 5)
+	res, err := Run(inst, &scripted{rows: [][]Color{{NoColor}}}, Options{N: 1, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 5 {
+		t.Fatalf("truncated run dropped %d, want all 5", res.Dropped)
+	}
+}
+
+func TestEngineStopsWhenDrained(t *testing.T) {
+	inst := singleColorInstance(4, 0, 1)
+	res, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round suffices: arrival and execution in round 0.
+	if res.Rounds != 1 {
+		t.Fatalf("Rounds = %d, want 1", res.Rounds)
+	}
+}
+
+// observer counts engine callbacks.
+type observer struct {
+	scripted
+	drops, execs int
+}
+
+func (o *observer) OnDrop(round int, c Color, count int)   { o.drops += count }
+func (o *observer) OnExec(round, mini int, c Color, n int) { o.execs += n }
+
+func TestObserversInvoked(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{2}}
+	inst.AddJobs(0, 0, 3)
+	o := &observer{scripted: scripted{rows: [][]Color{{0}}}}
+	res, err := Run(inst, o, Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.execs != res.Executed || o.drops != res.Dropped {
+		t.Fatalf("observer saw %d/%d, result %d/%d", o.execs, o.drops, res.Executed, res.Dropped)
+	}
+	if o.execs != 2 || o.drops != 1 {
+		t.Fatalf("execs=%d drops=%d, want 2/1", o.execs, o.drops)
+	}
+}
+
+// randomInstance builds a small random instance from a seed for property
+// tests shared across this package.
+func randomInstance(seed uint64, colors, rounds, maxCount int) *Instance {
+	rng := container.NewRNG(seed)
+	delays := []int{1, 2, 4, 8}
+	inst := &Instance{Delta: 1 + rng.Intn(4), Delays: make([]int, colors)}
+	for c := range inst.Delays {
+		inst.Delays[c] = delays[rng.Intn(len(delays))]
+	}
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < colors; c++ {
+			if rng.Bool(0.3) {
+				inst.AddJobs(r, Color(c), 1+rng.Intn(maxCount))
+			}
+		}
+	}
+	return inst.Normalize()
+}
+
+// randomScript builds a random assignment script over the instance's
+// colors.
+func randomScript(seed uint64, inst *Instance, n, rounds int) *scripted {
+	rng := container.NewRNG(seed)
+	rows := make([][]Color, rounds)
+	for r := range rows {
+		row := make([]Color, n)
+		for k := range row {
+			if rng.Bool(0.2) {
+				row[k] = NoColor
+			} else {
+				row[k] = Color(rng.Intn(inst.NumColors()))
+			}
+		}
+		rows[r] = row
+	}
+	return &scripted{rows: rows}
+}
+
+// Property: executed + dropped == total jobs for arbitrary instances and
+// arbitrary scripted policies (job conservation).
+func TestJobConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := randomInstance(seed, 3, 12, 3)
+		pol := randomScript(seed+1, inst, 2, inst.Horizon())
+		res, err := Run(inst, pol, Options{N: 2})
+		if err != nil {
+			return false
+		}
+		return res.Executed+res.Dropped == inst.TotalJobs() &&
+			res.Cost.Drop == int64(res.Dropped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-color break-downs sum to the totals.
+func TestPerColorBreakdownProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := randomInstance(seed, 4, 10, 3)
+		pol := randomScript(seed+2, inst, 3, inst.Horizon())
+		res, err := Run(inst, pol, Options{N: 3})
+		if err != nil {
+			return false
+		}
+		exec, drop := 0, 0
+		for c := range inst.Delays {
+			exec += res.ExecByColor[c]
+			drop += res.DropsByColor[c]
+		}
+		return exec == res.Executed && drop == res.Dropped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import "testing"
+
+// FuzzReplaySchedule feeds byte-derived schedules to the validator: it
+// must never panic, and every accepted schedule must conserve jobs.
+func FuzzReplaySchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0xFF, 0, 0}, uint8(2), uint8(1))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw, speedRaw uint8) {
+		inst := randomInstance(uint64(len(data))*7+uint64(nRaw), 3, 10, 2)
+		n := int(nRaw%4) + 1
+		speed := int(speedRaw%2) + 1
+		s := &Schedule{Policy: "fuzz", N: n, Speed: speed}
+		// Decode rows from the byte stream: 0xFF → NoColor, else modulo
+		// the color count.
+		for i := 0; i+n <= len(data); i += n {
+			row := make([]Color, n)
+			for k := 0; k < n; k++ {
+				b := data[i+k]
+				if b == 0xFF {
+					row[k] = NoColor
+				} else {
+					row[k] = Color(int(b) % inst.NumColors())
+				}
+			}
+			s.Assign = append(s.Assign, row)
+		}
+		res, err := Replay(inst, s)
+		if err != nil {
+			return
+		}
+		if res.Executed+res.Dropped != inst.TotalJobs() {
+			t.Fatalf("accepted schedule broke conservation: %d + %d != %d",
+				res.Executed, res.Dropped, inst.TotalJobs())
+		}
+		if res.Cost.Reconfig < 0 || res.Cost.Drop < 0 {
+			t.Fatalf("negative cost: %v", res.Cost)
+		}
+	})
+}
+
+// FuzzStreamArrivals feeds arbitrary arrival patterns through a Stream:
+// no panics, and totals always reconcile.
+func FuzzStreamArrivals(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 0, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pol := &scripted{rows: [][]Color{{0, 1}}}
+		st, err := NewStream(pol, StreamConfig{N: 2, Delta: 2, Delays: []int{2, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, b := range data {
+			var req Request
+			if cnt := int(b % 4); cnt > 0 {
+				req = Request{{Color: Color(i % 2), Count: cnt}}
+				total += cnt
+			}
+			if _, err := st.Step(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if st.Executed()+st.Dropped() != total {
+			t.Fatalf("conservation: %d + %d != %d", st.Executed(), st.Dropped(), total)
+		}
+	})
+}

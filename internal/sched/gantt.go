@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderGantt draws the schedule as an ASCII Gantt chart: one row per
+// resource, one character per round (uni-speed; for double-speed
+// schedules each mini-round gets a column). Colors map to letters
+// a, b, c, … (wrapping with A–Z, 0–9 for larger palettes); '.' marks an
+// unconfigured location. Long schedules are windowed to [from, from+width).
+//
+// The chart is a debugging and paper-figure aid: thrashing shows up as
+// vertical noise, ΔLRU-EDF's LRU half as long horizontal runs.
+func (s *Schedule) RenderGantt(w io.Writer, from, width int) error {
+	if from < 0 {
+		from = 0
+	}
+	if width <= 0 {
+		width = 80
+	}
+	to := from + width
+	if to > len(s.Assign) {
+		to = len(s.Assign)
+	}
+	if from >= to {
+		_, err := fmt.Fprintf(w, "(gantt: window [%d,%d) outside the %d recorded mini-rounds)\n",
+			from, from+width, len(s.Assign))
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt %q: mini-rounds %d–%d of %d, %d resources\n",
+		s.Policy, from, to-1, len(s.Assign), s.N)
+	for k := 0; k < s.N; k++ {
+		fmt.Fprintf(&b, "r%-3d |", k)
+		for i := from; i < to; i++ {
+			b.WriteByte(colorGlyph(s.Assign[i][k]))
+		}
+		b.WriteString("|\n")
+	}
+	// Legend for the colors that actually appear in the window.
+	seen := map[Color]bool{}
+	var legend []string
+	for i := from; i < to; i++ {
+		for k := 0; k < s.N; k++ {
+			c := s.Assign[i][k]
+			if c != NoColor && !seen[c] {
+				seen[c] = true
+				legend = append(legend, fmt.Sprintf("%c=color %d", colorGlyph(c), c))
+			}
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "      %s\n", strings.Join(legend, "  "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// colorGlyph maps a color to a stable printable glyph.
+func colorGlyph(c Color) byte {
+	if c == NoColor {
+		return '.'
+	}
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	return alphabet[int(c)%len(alphabet)]
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderGantt(t *testing.T) {
+	s := &Schedule{
+		Policy: "demo", N: 2, Speed: 1,
+		Assign: [][]Color{
+			{0, NoColor},
+			{0, 1},
+			{1, 1},
+		},
+	}
+	var b strings.Builder
+	if err := s.RenderGantt(&b, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "r0   |aab|") {
+		t.Fatalf("row 0 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "r1   |.bb|") {
+		t.Fatalf("row 1 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "a=color 0") || !strings.Contains(out, "b=color 1") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderGanttWindowing(t *testing.T) {
+	s := &Schedule{Policy: "w", N: 1, Speed: 1}
+	for i := 0; i < 100; i++ {
+		s.Assign = append(s.Assign, []Color{Color(i % 2)})
+	}
+	var b strings.Builder
+	if err := s.RenderGantt(&b, 90, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mini-rounds 90–94 of 100") {
+		t.Fatalf("window header wrong:\n%s", b.String())
+	}
+	// Out-of-range window reports gracefully.
+	var b2 strings.Builder
+	if err := s.RenderGantt(&b2, 500, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "outside") {
+		t.Fatalf("out-of-range window not reported:\n%s", b2.String())
+	}
+	// Defaults: negative from, zero width.
+	var b3 strings.Builder
+	if err := s.RenderGantt(&b3, -5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b3.String(), "mini-rounds 0–79") {
+		t.Fatalf("defaults wrong:\n%s", b3.String())
+	}
+}
+
+func TestColorGlyphStable(t *testing.T) {
+	if colorGlyph(NoColor) != '.' {
+		t.Fatal("NoColor glyph")
+	}
+	if colorGlyph(0) != 'a' || colorGlyph(25) != 'z' || colorGlyph(26) != 'A' {
+		t.Fatal("glyph mapping changed")
+	}
+	// Wraps for large palettes without panicking.
+	_ = colorGlyph(1000)
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/container"
+)
+
+// TestReplayRejectsMutatedExecSchedules is a failure-injection test: a
+// valid explicit-exec schedule is corrupted in targeted ways and the
+// validator must reject (or at least never mis-account) every mutant.
+func TestReplayRejectsMutatedExecSchedules(t *testing.T) {
+	// Build a valid explicit schedule by recording a run and deriving the
+	// exec log.
+	inst := randomInstance(77, 3, 12, 3)
+	pol := randomScript(78, inst, 2, inst.Horizon())
+	rec, err := Run(inst.Clone(), pol, Options{N: 2, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rec.Schedule
+	_, execLog, err := ReplayExec(inst.Clone(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := base.Clone()
+	// Trim or pad the exec log to the assign length.
+	valid.Exec = make([][]Color, len(valid.Assign))
+	for i := range valid.Exec {
+		if i < len(execLog) {
+			valid.Exec[i] = append([]Color(nil), execLog[i]...)
+		} else {
+			valid.Exec[i] = []Color{NoColor, NoColor}
+		}
+	}
+	if _, err := Replay(inst.Clone(), valid); err != nil {
+		t.Fatalf("baseline explicit schedule invalid: %v", err)
+	}
+
+	// Mutation 1: execute on a location configured with another color.
+	findExec := func(s *Schedule) (int, int) {
+		for i, row := range s.Exec {
+			for k, c := range row {
+				if c != NoColor {
+					return i, k
+				}
+			}
+		}
+		return -1, -1
+	}
+	m1 := valid.Clone()
+	if i, k := findExec(m1); i >= 0 {
+		m1.Assign[i][k] = Color((int(m1.Assign[i][k]) + 1) % inst.NumColors())
+		// Make sure the assign row change actually diverges from exec.
+		if m1.Assign[i][k] == m1.Exec[i][k] {
+			m1.Assign[i][k] = NoColor
+		}
+		if _, err := Replay(inst.Clone(), m1); err == nil {
+			t.Fatal("mutant 1 (exec/config mismatch) accepted")
+		}
+	}
+
+	// Mutation 2: duplicate executions beyond the pending supply —
+	// execute the same color in every slot of every round.
+	m2 := valid.Clone()
+	busiest := Color(0)
+	for i := range m2.Exec {
+		for k := range m2.Exec[i] {
+			m2.Exec[i][k] = busiest
+			m2.Assign[i][k] = busiest
+		}
+	}
+	if _, err := Replay(inst.Clone(), m2); err == nil {
+		t.Fatal("mutant 2 (over-execution) accepted")
+	}
+
+	// Mutation 3: random exec perturbations either fail or conserve jobs.
+	rng := container.NewRNG(123)
+	for trial := 0; trial < 50; trial++ {
+		m := valid.Clone()
+		i := rng.Intn(len(m.Exec))
+		k := rng.Intn(m.N)
+		m.Exec[i][k] = Color(rng.Intn(inst.NumColors()))
+		res, err := Replay(inst.Clone(), m)
+		if err != nil {
+			continue // rejected: fine
+		}
+		if res.Executed+res.Dropped != inst.TotalJobs() {
+			t.Fatalf("trial %d: accepted mutant broke conservation", trial)
+		}
+	}
+}
+
+// TestReplayRejectsNegativeWidthAndColors injects structurally broken
+// schedules.
+func TestReplayRejectsStructurallyBroken(t *testing.T) {
+	inst := randomInstance(5, 2, 6, 2)
+	cases := []*Schedule{
+		{N: 2, Speed: 1, Assign: [][]Color{{0}}},     // short row
+		{N: 2, Speed: 1, Assign: [][]Color{{0, 99}}}, // unknown color
+		{N: 2, Speed: 1, Assign: [][]Color{{0, -7}}}, // negative color ≠ NoColor
+		{N: -1, Speed: 1, Assign: [][]Color{{0}}},    // bad N
+	}
+	for i, s := range cases {
+		if _, err := Replay(inst.Clone(), s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

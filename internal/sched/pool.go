@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/container"
+)
+
+// jobPool holds the pending jobs of every color during a run. Jobs are
+// represented as (deadline, count) buckets per color; a min-heap over the
+// per-color earliest deadlines makes the drop phase O(expired · log C)
+// instead of O(C) per round.
+type jobPool struct {
+	queues []container.BucketQueue
+	dl     *container.IndexedHeap[Color, int]
+	total  int
+}
+
+func newJobPool(numColors int) *jobPool {
+	return &jobPool{
+		queues: make([]container.BucketQueue, numColors),
+		dl:     container.NewIndexedHeap[Color, int](func(a, b int) bool { return a < b }),
+	}
+}
+
+func (p *jobPool) pending(c Color) int { return p.queues[c].Len() }
+
+func (p *jobPool) totalPending() int { return p.total }
+
+func (p *jobPool) earliestDeadline(c Color) (int, bool) {
+	return p.queues[c].EarliestDeadline()
+}
+
+// add records count jobs of color c expiring at deadline.
+func (p *jobPool) add(c Color, deadline, count int) {
+	if count <= 0 {
+		return
+	}
+	q := &p.queues[c]
+	wasEmpty := q.Empty()
+	q.Add(deadline, count)
+	p.total += count
+	if wasEmpty {
+		p.dl.Push(c, deadline)
+	}
+	// A non-empty queue's earliest deadline is unchanged by Add because
+	// per-color deadlines are nondecreasing.
+}
+
+// take executes one pending job of color c (the earliest-deadline one).
+func (p *jobPool) take(c Color) (deadline int, ok bool) {
+	q := &p.queues[c]
+	deadline, ok = q.TakeEarliest()
+	if !ok {
+		return 0, false
+	}
+	p.total--
+	p.refreshHeap(c, q)
+	return deadline, true
+}
+
+// expire drops every job with deadline ≤ round, invoking onDrop per color
+// that lost jobs, and returns the total number dropped.
+func (p *jobPool) expire(round int, onDrop func(c Color, count int)) int {
+	dropped := 0
+	for {
+		c, dl, ok := p.dl.Min()
+		if !ok || dl > round {
+			break
+		}
+		q := &p.queues[c]
+		n := q.ExpireThrough(round)
+		p.total -= n
+		dropped += n
+		if n > 0 && onDrop != nil {
+			onDrop(c, n)
+		}
+		p.refreshHeap(c, q)
+	}
+	return dropped
+}
+
+func (p *jobPool) refreshHeap(c Color, q *container.BucketQueue) {
+	if dl, ok := q.EarliestDeadline(); ok {
+		p.dl.Update(c, dl)
+	} else {
+		p.dl.Remove(c)
+	}
+}
+
+// nonidle appends the colors with pending jobs to dst in increasing color
+// order and returns it.
+func (p *jobPool) nonidle(dst []Color) []Color {
+	start := len(dst)
+	for _, c := range p.dl.Keys() {
+		dst = append(dst, c)
+	}
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
+}

@@ -1,0 +1,68 @@
+package sched
+
+import "testing"
+
+func TestJobPoolExpireAndTake(t *testing.T) {
+	p := newJobPool(3)
+	p.add(0, 5, 2)
+	p.add(1, 3, 1)
+	p.add(0, 7, 1)
+	if p.totalPending() != 4 {
+		t.Fatalf("total = %d", p.totalPending())
+	}
+	if dl, ok := p.earliestDeadline(0); !ok || dl != 5 {
+		t.Fatalf("earliest(0) = %d,%v", dl, ok)
+	}
+
+	var drops []Color
+	n := p.expire(3, func(c Color, cnt int) { drops = append(drops, c) })
+	if n != 1 || len(drops) != 1 || drops[0] != 1 {
+		t.Fatalf("expire(3): n=%d drops=%v", n, drops)
+	}
+	if p.pending(1) != 0 {
+		t.Fatal("color 1 still pending")
+	}
+
+	dl, ok := p.take(0)
+	if !ok || dl != 5 {
+		t.Fatalf("take = %d,%v", dl, ok)
+	}
+	dl, ok = p.take(0)
+	if !ok || dl != 5 {
+		t.Fatalf("second take = %d,%v (bucket had 2)", dl, ok)
+	}
+	dl, ok = p.take(0)
+	if !ok || dl != 7 {
+		t.Fatalf("third take = %d,%v", dl, ok)
+	}
+	if _, ok := p.take(0); ok {
+		t.Fatal("take on drained color reported ok")
+	}
+	if p.totalPending() != 0 {
+		t.Fatalf("total = %d after drain", p.totalPending())
+	}
+}
+
+func TestJobPoolNonidle(t *testing.T) {
+	p := newJobPool(4)
+	p.add(3, 1, 1)
+	p.add(1, 1, 1)
+	got := p.nonidle(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("nonidle = %v", got)
+	}
+}
+
+func TestJobPoolExpireMultipleColors(t *testing.T) {
+	p := newJobPool(3)
+	p.add(0, 2, 1)
+	p.add(1, 2, 2)
+	p.add(2, 9, 1)
+	n := p.expire(2, nil)
+	if n != 3 {
+		t.Fatalf("expire dropped %d, want 3", n)
+	}
+	if p.totalPending() != 1 {
+		t.Fatalf("total = %d", p.totalPending())
+	}
+}

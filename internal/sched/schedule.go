@@ -1,0 +1,232 @@
+package sched
+
+import "fmt"
+
+// Schedule is an explicit record of reconfiguration (and optionally
+// execution) decisions. Schedules come from two sources: Run with
+// Options.Record, and offline constructions (the reductions of §4–§5 and
+// the Aggregate transformation of §4.3).
+//
+// Assign[i][k] is the color of location k during mini-round i, where
+// mini-round i belongs to round i/Speed. If the schedule is shorter than
+// the instance horizon, the final assignment persists for the remaining
+// rounds (with no further reconfiguration cost).
+//
+// Exec, when non-nil, pins the execution phase explicitly: Exec[i][k] is
+// the color of the job executed at location k in mini-round i (NoColor to
+// idle). When Exec is nil the execution phase is the engine's greedy rule:
+// every configured location executes the earliest-deadline pending job of
+// its color, locations served in index order.
+type Schedule struct {
+	Policy string
+	N      int
+	Speed  int
+	Assign [][]Color
+	Exec   [][]Color
+}
+
+// MiniRounds reports the number of recorded mini-rounds.
+func (s *Schedule) MiniRounds() int { return len(s.Assign) }
+
+// Rounds reports the number of full rounds the schedule spans.
+func (s *Schedule) Rounds() int {
+	if s.Speed <= 0 {
+		return len(s.Assign)
+	}
+	return (len(s.Assign) + s.Speed - 1) / s.Speed
+}
+
+// Reconfigs counts the location recolorings the schedule performs,
+// starting from the all-black initial configuration.
+func (s *Schedule) Reconfigs() int {
+	n := 0
+	prev := make([]Color, s.N)
+	for i := range prev {
+		prev[i] = NoColor
+	}
+	for _, row := range s.Assign {
+		for k, c := range row {
+			if c != prev[k] {
+				n++
+				prev[k] = c
+			}
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{Policy: s.Policy, N: s.N, Speed: s.Speed}
+	c.Assign = make([][]Color, len(s.Assign))
+	for i, row := range s.Assign {
+		c.Assign[i] = append([]Color(nil), row...)
+	}
+	if s.Exec != nil {
+		c.Exec = make([][]Color, len(s.Exec))
+		for i, row := range s.Exec {
+			c.Exec[i] = append([]Color(nil), row...)
+		}
+	}
+	return c
+}
+
+// MapColors returns a copy of the schedule with every color replaced by
+// mapping(c). The reductions use this to translate a schedule for a
+// transformed instance back to the original colors (e.g. Distribute maps
+// virtual color (ℓ, j) back to ℓ, §4.1 step 3).
+func (s *Schedule) MapColors(mapping func(Color) Color) *Schedule {
+	c := s.Clone()
+	apply := func(rows [][]Color) {
+		for _, row := range rows {
+			for k, col := range row {
+				if col != NoColor {
+					row[k] = mapping(col)
+				}
+			}
+		}
+	}
+	apply(c.Assign)
+	if c.Exec != nil {
+		apply(c.Exec)
+	}
+	return c
+}
+
+// Replay validates schedule s against instance inst and returns the cost
+// and statistics it incurs. It is an independent re-implementation of the
+// round semantics (no policy involved) and is used both as a validator for
+// engine-recorded schedules and as the evaluator for offline-constructed
+// schedules.
+//
+// Replay fails if the schedule names unknown colors, has rows of the wrong
+// width, or (with explicit Exec) executes a job that is not pending or on
+// a location configured with a different color.
+func Replay(inst *Instance, s *Schedule) (*Result, error) {
+	res, _, err := replay(inst, s, false)
+	return res, err
+}
+
+// ReplayExec is Replay, additionally returning the execution log:
+// execLog[i][k] is the color of the job executed at location k in
+// mini-round i (NoColor when the location idled). The log spans the full
+// replay horizon, which may exceed the schedule length. The Aggregate
+// transformation (§4.3) consumes this log.
+func ReplayExec(inst *Instance, s *Schedule) (*Result, [][]Color, error) {
+	return replay(inst, s, true)
+}
+
+func replay(inst *Instance, s *Schedule, recordExec bool) (*Result, [][]Color, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if s.N < 1 {
+		return nil, nil, fmt.Errorf("sched: Replay needs N ≥ 1, got %d", s.N)
+	}
+	speed := s.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	if s.Exec != nil && len(s.Exec) != len(s.Assign) {
+		return nil, nil, fmt.Errorf("sched: Replay: Exec has %d rows, Assign has %d", len(s.Exec), len(s.Assign))
+	}
+	inst.Normalize()
+
+	pool := newJobPool(inst.NumColors())
+	res := &Result{
+		Policy:       s.Policy,
+		DropsByColor: make([]int, inst.NumColors()),
+		ExecByColor:  make([]int, inst.NumColors()),
+	}
+	cur := make([]Color, s.N)
+	for i := range cur {
+		cur[i] = NoColor
+	}
+	var execLog [][]Color
+
+	horizon := inst.Horizon()
+	if sr := s.Rounds(); sr > horizon {
+		horizon = sr
+	}
+	for r := 0; r < horizon; r++ {
+		if r >= inst.NumRounds() && pool.totalPending() == 0 && r*speed >= len(s.Assign) {
+			break
+		}
+		res.Rounds = r + 1
+
+		dropped := pool.expire(r, func(c Color, n int) { res.DropsByColor[c] += n })
+		res.Dropped += dropped
+		res.Cost.Drop += int64(dropped)
+
+		if r < inst.NumRounds() {
+			for _, b := range inst.Requests[r] {
+				pool.add(b.Color, r+inst.Delays[b.Color], b.Count)
+			}
+		}
+
+		for mini := 0; mini < speed; mini++ {
+			idx := r*speed + mini
+			if idx < len(s.Assign) {
+				row := s.Assign[idx]
+				if len(row) != s.N {
+					return nil, nil, fmt.Errorf("sched: Replay: mini-round %d row has width %d, want %d", idx, len(row), s.N)
+				}
+				for k, c := range row {
+					if c != NoColor && (c < 0 || int(c) >= inst.NumColors()) {
+						return nil, nil, fmt.Errorf("sched: Replay: mini-round %d assigns unknown color %d", idx, c)
+					}
+					if c != cur[k] {
+						res.Reconfigs++
+						res.Cost.Reconfig += int64(inst.Delta)
+						cur[k] = c
+					}
+				}
+			}
+			var erow []Color
+			if recordExec {
+				erow = make([]Color, s.N)
+				for i := range erow {
+					erow[i] = NoColor
+				}
+				execLog = append(execLog, erow)
+			}
+			for k := 0; k < s.N; k++ {
+				var want Color
+				if s.Exec != nil {
+					if idx >= len(s.Exec) {
+						continue
+					}
+					want = s.Exec[idx][k]
+					if want == NoColor {
+						continue
+					}
+					if want != cur[k] {
+						return nil, nil, fmt.Errorf("sched: Replay: mini-round %d location %d executes color %d but is configured %d",
+							idx, k, want, cur[k])
+					}
+					if pool.pending(want) == 0 {
+						return nil, nil, fmt.Errorf("sched: Replay: mini-round %d location %d executes color %d with no pending job",
+							idx, k, want)
+					}
+				} else {
+					want = cur[k]
+					if want == NoColor || pool.pending(want) == 0 {
+						continue
+					}
+				}
+				if _, ok := pool.take(want); ok {
+					res.Executed++
+					res.ExecByColor[want]++
+					if erow != nil {
+						erow[k] = want
+					}
+				}
+			}
+		}
+	}
+	if left := pool.totalPending(); left > 0 {
+		// Only possible if the horizon computation is wrong; fail loudly.
+		return nil, nil, fmt.Errorf("sched: Replay: %d jobs still pending at horizon", left)
+	}
+	return res, execLog, nil
+}

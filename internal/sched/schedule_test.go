@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRunReplayEquivalence: replaying a recorded schedule reproduces the
+// run's cost, executions and drops exactly (the validator and the engine
+// implement the same semantics independently).
+func TestRunReplayEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := randomInstance(seed, 4, 14, 3)
+		pol := randomScript(seed+7, inst, 3, inst.Horizon())
+		res, err := Run(inst.Clone(), pol, Options{N: 3, Record: true})
+		if err != nil {
+			return false
+		}
+		rep, err := Replay(inst.Clone(), res.Schedule)
+		if err != nil {
+			return false
+		}
+		return rep.Cost == res.Cost && rep.Executed == res.Executed && rep.Dropped == res.Dropped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayExplicitExec(t *testing.T) {
+	inst := &Instance{Delta: 2, Delays: []int{2}}
+	inst.AddJobs(0, 0, 1)
+	s := &Schedule{
+		N: 1, Speed: 1,
+		Assign: [][]Color{{0}, {0}},
+		Exec:   [][]Color{{NoColor}, {0}}, // idle in round 0, execute in round 1
+	}
+	res, err := Replay(inst, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 || res.Dropped != 0 {
+		t.Fatalf("explicit exec: %v", res)
+	}
+}
+
+func TestReplayRejectsBadExec(t *testing.T) {
+	// Executing a color on a location configured differently.
+	inst := &Instance{Delta: 1, Delays: []int{2, 2}}
+	inst.AddJobs(0, 0, 1)
+	inst.AddJobs(0, 1, 1)
+	s := &Schedule{
+		N: 1, Speed: 1,
+		Assign: [][]Color{{0}},
+		Exec:   [][]Color{{1}},
+	}
+	if _, err := Replay(inst, s); err == nil {
+		t.Fatal("mismatched exec color accepted")
+	}
+
+	// Executing with no pending job.
+	inst2 := &Instance{Delta: 1, Delays: []int{2}}
+	inst2.AddJobs(0, 0, 1)
+	s2 := &Schedule{
+		N: 1, Speed: 1,
+		Assign: [][]Color{{0}, {0}, {0}},
+		Exec:   [][]Color{{0}, {0}, {0}}, // only one job exists
+	}
+	if _, err := Replay(inst2, s2); err == nil {
+		t.Fatal("exec of nonexistent job accepted")
+	}
+}
+
+func TestReplayRejectsMalformedSchedules(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{2}}
+	inst.AddJobs(0, 0, 1)
+	// Wrong row width.
+	s := &Schedule{N: 2, Speed: 1, Assign: [][]Color{{0}}}
+	if _, err := Replay(inst.Clone(), s); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	// Unknown color.
+	s = &Schedule{N: 1, Speed: 1, Assign: [][]Color{{5}}}
+	if _, err := Replay(inst.Clone(), s); err == nil {
+		t.Fatal("unknown color accepted")
+	}
+	// Exec/Assign length mismatch.
+	s = &Schedule{N: 1, Speed: 1, Assign: [][]Color{{0}}, Exec: [][]Color{{0}, {0}}}
+	if _, err := Replay(inst.Clone(), s); err == nil {
+		t.Fatal("Exec length mismatch accepted")
+	}
+	// Bad N.
+	s = &Schedule{N: 0, Speed: 1}
+	if _, err := Replay(inst.Clone(), s); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestScheduleShorterThanHorizonPersists(t *testing.T) {
+	// The final assignment persists beyond the schedule: a single row
+	// configuring color 0 keeps executing later arrivals at no further
+	// reconfiguration cost.
+	inst := &Instance{Delta: 4, Delays: []int{2}}
+	inst.AddJobs(0, 0, 1)
+	inst.AddJobs(5, 0, 1)
+	s := &Schedule{N: 1, Speed: 1, Assign: [][]Color{{0}}}
+	res, err := Replay(inst, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 || res.Cost.Reconfig != 4 {
+		t.Fatalf("persistence: %v", res)
+	}
+}
+
+func TestScheduleReconfigs(t *testing.T) {
+	s := &Schedule{N: 2, Speed: 1, Assign: [][]Color{
+		{0, NoColor}, // 1 change (location 0 from black)
+		{0, 1},       // 1 change
+		{1, 1},       // 1 change
+		{1, 1},       // 0 changes
+	}}
+	if got := s.Reconfigs(); got != 3 {
+		t.Fatalf("Reconfigs = %d, want 3", got)
+	}
+}
+
+func TestScheduleCloneAndMapColors(t *testing.T) {
+	s := &Schedule{N: 1, Speed: 1,
+		Assign: [][]Color{{0}, {1}},
+		Exec:   [][]Color{{0}, {NoColor}},
+	}
+	m := s.MapColors(func(c Color) Color { return c + 10 })
+	if s.Assign[0][0] != 0 {
+		t.Fatal("MapColors mutated the original")
+	}
+	if m.Assign[0][0] != 10 || m.Assign[1][0] != 11 {
+		t.Fatalf("mapped assign = %v", m.Assign)
+	}
+	if m.Exec[0][0] != 10 || m.Exec[1][0] != NoColor {
+		t.Fatalf("mapped exec = %v (NoColor must stay NoColor)", m.Exec)
+	}
+	c := s.Clone()
+	c.Assign[0][0] = 9
+	if s.Assign[0][0] == 9 {
+		t.Fatal("Clone shares rows")
+	}
+}
+
+func TestScheduleRounds(t *testing.T) {
+	s := &Schedule{N: 1, Speed: 2, Assign: [][]Color{{0}, {0}, {0}}}
+	if s.MiniRounds() != 3 {
+		t.Fatalf("MiniRounds = %d", s.MiniRounds())
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("Rounds = %d, want 2 (3 mini-rounds at speed 2)", s.Rounds())
+	}
+}
+
+func TestReplayExecLog(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{2}}
+	inst.AddJobs(0, 0, 2)
+	s := &Schedule{N: 2, Speed: 1, Assign: [][]Color{{0, 0}}}
+	res, log, err := ReplayExec(inst, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 {
+		t.Fatalf("executed %d", res.Executed)
+	}
+	if len(log) == 0 || log[0][0] != 0 || log[0][1] != 0 {
+		t.Fatalf("exec log = %v", log)
+	}
+}

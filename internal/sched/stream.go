@@ -1,0 +1,220 @@
+package sched
+
+import "fmt"
+
+// StreamConfig configures a Stream.
+type StreamConfig struct {
+	// N is the number of resources; Speed the mini-rounds per round
+	// (0 or 1 = uni-speed).
+	N     int
+	Speed int
+	// Delta is the reconfiguration cost Δ and Delays the per-color delay
+	// bounds; together they fix the color universe up front.
+	Delta  int
+	Delays []int
+}
+
+// Stream drives a policy one round at a time for callers that do not have
+// the whole request sequence up front — the true online setting (a router
+// dataplane handing over each round's packet arrivals, a cluster manager
+// reporting demand). Each Step performs the model's four phases for one
+// round and reports what happened; Drain runs empty rounds until nothing
+// is pending.
+//
+// A Stream and a Run over the same arrivals produce identical costs; the
+// equivalence is pinned by tests.
+type Stream struct {
+	cfg  StreamConfig
+	pol  Policy
+	pool *jobPool
+	cur  []Color
+	ctx  *Context
+
+	round int
+	cost  Cost
+
+	executed, dropped, reconfigs int
+	dropsByColor, execByColor    []int
+
+	scratch Request
+}
+
+// StepResult reports one round of a Stream.
+type StepResult struct {
+	// Round is the round index that was just simulated.
+	Round int
+	// Dropped and Executed list the jobs dropped and executed this round,
+	// grouped per color (entries ordered by color).
+	Dropped  []Batch
+	Executed []Batch
+	// Reconfigs counts location recolorings performed this round.
+	Reconfigs int
+	// Assignment is the configuration at the end of the round; the
+	// backing array is reused across Steps — copy it to retain it.
+	Assignment []Color
+}
+
+// NewStream validates the configuration and prepares a stream.
+func NewStream(pol Policy, cfg StreamConfig) (*Stream, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("sched: NewStream needs N ≥ 1, got %d", cfg.N)
+	}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Speed < 1 {
+		return nil, fmt.Errorf("sched: NewStream needs Speed ≥ 1, got %d", cfg.Speed)
+	}
+	if cfg.Delta < 1 {
+		return nil, fmt.Errorf("sched: NewStream needs Delta ≥ 1, got %d", cfg.Delta)
+	}
+	for c, d := range cfg.Delays {
+		if d < 1 {
+			return nil, fmt.Errorf("sched: NewStream: color %d has delay bound %d < 1", c, d)
+		}
+	}
+	env := Env{N: cfg.N, Speed: cfg.Speed, Delta: cfg.Delta, Delays: cfg.Delays}
+	pol.Reset(env)
+	s := &Stream{
+		cfg:          cfg,
+		pol:          pol,
+		pool:         newJobPool(len(cfg.Delays)),
+		cur:          make([]Color, cfg.N),
+		dropsByColor: make([]int, len(cfg.Delays)),
+		execByColor:  make([]int, len(cfg.Delays)),
+	}
+	for i := range s.cur {
+		s.cur[i] = NoColor
+	}
+	s.ctx = &Context{env: env, pool: s.pool}
+	return s, nil
+}
+
+// Round reports the index of the next round Step will simulate.
+func (s *Stream) Round() int { return s.round }
+
+// Cost reports the cumulative cost so far.
+func (s *Stream) Cost() Cost { return s.cost }
+
+// Pending reports the pending jobs of color c.
+func (s *Stream) Pending(c Color) int { return s.pool.pending(c) }
+
+// TotalPending reports all pending jobs.
+func (s *Stream) TotalPending() int { return s.pool.totalPending() }
+
+// Executed and Dropped report cumulative totals.
+func (s *Stream) Executed() int { return s.executed }
+
+// Dropped reports the cumulative dropped-job count.
+func (s *Stream) Dropped() int { return s.dropped }
+
+// Step simulates one round with the given arrivals. Batches must name
+// declared colors with positive counts. The returned StepResult's slices
+// are freshly allocated except Assignment (reused).
+func (s *Stream) Step(arrivals Request) (StepResult, error) {
+	for _, b := range arrivals {
+		if b.Color < 0 || int(b.Color) >= len(s.cfg.Delays) {
+			return StepResult{}, fmt.Errorf("sched: Stream.Step: unknown color %d", b.Color)
+		}
+		if b.Count <= 0 {
+			return StepResult{}, fmt.Errorf("sched: Stream.Step: non-positive count %d", b.Count)
+		}
+	}
+	r := s.round
+	s.round++
+	out := StepResult{Round: r}
+
+	// Phase 1: drop.
+	dropObs, _ := s.pol.(DropObserver)
+	s.pool.expire(r, func(c Color, n int) {
+		out.Dropped = append(out.Dropped, Batch{Color: c, Count: n})
+		s.dropsByColor[c] += n
+		if dropObs != nil {
+			dropObs.OnDrop(r, c, n)
+		}
+	})
+	for _, b := range out.Dropped {
+		s.dropped += b.Count
+		s.cost.Drop += int64(b.Count)
+	}
+
+	// Phase 2: arrival (normalized copy for the policy's context).
+	s.scratch = append(s.scratch[:0], arrivals...)
+	req := Request(s.scratch)
+	for _, b := range req {
+		s.pool.add(b.Color, r+s.cfg.Delays[b.Color], b.Count)
+	}
+
+	// Phases 3+4 per mini-round.
+	execObs, _ := s.pol.(ExecObserver)
+	s.ctx.Round = r
+	s.ctx.Arrivals = req
+	execCount := make(map[Color]int)
+	for mini := 0; mini < s.cfg.Speed; mini++ {
+		s.ctx.Mini = mini
+		assign := s.pol.Reconfigure(s.ctx)
+		if len(assign) != s.cfg.N {
+			return StepResult{}, fmt.Errorf("sched: Stream.Step: policy %s returned %d assignments, want %d",
+				s.pol.Name(), len(assign), s.cfg.N)
+		}
+		for k := 0; k < s.cfg.N; k++ {
+			if assign[k] != s.cur[k] {
+				if c := assign[k]; c != NoColor && (c < 0 || int(c) >= len(s.cfg.Delays)) {
+					return StepResult{}, fmt.Errorf("sched: Stream.Step: policy assigned unknown color %d", c)
+				}
+				out.Reconfigs++
+				s.reconfigs++
+				s.cost.Reconfig += int64(s.cfg.Delta)
+				s.cur[k] = assign[k]
+			}
+		}
+		for k := 0; k < s.cfg.N; k++ {
+			c := s.cur[k]
+			if c == NoColor {
+				continue
+			}
+			if _, ok := s.pool.take(c); ok {
+				execCount[c]++
+				s.executed++
+				s.execByColor[c]++
+				if execObs != nil {
+					execObs.OnExec(r, mini, c, 1)
+				}
+			}
+		}
+	}
+	for c := Color(0); int(c) < len(s.cfg.Delays); c++ {
+		if n := execCount[c]; n > 0 {
+			out.Executed = append(out.Executed, Batch{Color: c, Count: n})
+		}
+	}
+	out.Assignment = s.cur
+	return out, nil
+}
+
+// Drain runs empty rounds until no job is pending and returns the number
+// of rounds it took. Call it at the end of a trace so every job is
+// properly executed or charged as a drop.
+func (s *Stream) Drain() (rounds int, err error) {
+	for s.pool.totalPending() > 0 {
+		if _, err := s.Step(nil); err != nil {
+			return rounds, err
+		}
+		rounds++
+	}
+	return rounds, nil
+}
+
+// Result summarizes the stream so far in the same shape Run returns.
+func (s *Stream) Result() *Result {
+	return &Result{
+		Policy:       s.pol.Name(),
+		Cost:         s.cost,
+		Executed:     s.executed,
+		Dropped:      s.dropped,
+		Reconfigs:    s.reconfigs,
+		Rounds:       s.round,
+		DropsByColor: append([]int(nil), s.dropsByColor...),
+		ExecByColor:  append([]int(nil), s.execByColor...),
+	}
+}

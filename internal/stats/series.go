@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a named (x, y) curve; the "figure" experiments emit one or
+// more series plus an ASCII rendering so curves can be eyeballed in a
+// terminal and diffed in EXPERIMENTS.md.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a collection of series over a shared x-axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// NewSeries adds and returns a fresh series.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Table converts the figure into a table with one row per x value and one
+// column per series.
+func (f *Figure) Table() *Table {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	// Collect the union of x values in first-seen order.
+	seen := map[float64]int{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if _, ok := seen[x]; !ok {
+				seen[x] = len(xs)
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []any{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf("%.4g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderASCII draws the figure as a crude scatter plot of the given size.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		_, err := fmt.Fprintf(w, "%s: (empty figure)\n", f.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-cy][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [y: %s from %.4g to %.4g]\n", f.Title, f.YLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   x: %s from %.4g to %.4g\n", f.XLabel, minX, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "   %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

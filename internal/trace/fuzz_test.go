@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzReadCSV feeds arbitrary text to the CSV parser: it must never panic
+// and every accepted instance must validate.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	inst := workload.RandomSmall(1, 3, 2, 8, []int{1, 2}, 2, false)
+	if err := WriteCSV(&buf, inst); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# delta,1\n# delays,1\nround,color,count\n0,0,1\n")
+	f.Add("garbage")
+	f.Add("# delta,1\n# delays,-1\nround,color,count\n")
+	f.Add("# name,x\n# delta,9999999999999999999999\nround,color,count\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		inst, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := inst.Validate(); verr != nil {
+			t.Fatalf("ReadCSV accepted an invalid instance: %v", verr)
+		}
+	})
+}
+
+// FuzzReadJSON mirrors FuzzReadCSV for the JSON container.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	inst := workload.RandomSmall(2, 3, 2, 8, []int{1, 2}, 2, false)
+	if err := WriteJSON(&buf, inst); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"delta":1,"delays":[1],"rounds":0}`))
+	f.Add([]byte(`{"version":1,"delta":1,"delays":[0],"rounds":0}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := inst.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted an invalid instance: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package workload builds problem instances: the paper's two lower-bound
+// constructions (Appendices A and B), the introduction's
+// thrashing-vs-underutilization scenario, and deterministic stochastic
+// families (Poisson, bursty MMPP, Zipf mixes, diurnal data-center and
+// multi-service router traces) that exercise the model under realistic
+// load. Every generator is a pure function of its parameters and an
+// explicit RNG seed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// AppendixA builds the Appendix A construction showing ΔLRU is not
+// resource competitive. There are n/2 "short-term" colors with delay bound
+// 2^j and one "long-term" color with delay bound 2^k, where the paper
+// requires 2^k > 2^{j+1} > n·Δ. Each short color receives Δ jobs at every
+// multiple of 2^j; the long color receives 2^k jobs at round 0; the input
+// spans 2^k rounds.
+//
+// ΔLRU caches the short colors forever (their timestamps stay fresh) and
+// drops all 2^k long jobs, while an offline algorithm with one resource
+// caches the long color throughout for cost Δ + 2^{k−j−1}·n·Δ, giving a
+// ratio of Ω(2^{j+1}/(nΔ)).
+func AppendixA(n, delta, j, k int) (*sched.Instance, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("workload: AppendixA needs even n ≥ 2, got %d", n)
+	}
+	short := 1 << j
+	long := 1 << k
+	if !(long > 2*short && 2*short > n*delta) {
+		return nil, fmt.Errorf("workload: AppendixA needs 2^k > 2^{j+1} > nΔ (got 2^k=%d, 2^{j+1}=%d, nΔ=%d)",
+			long, 2*short, n*delta)
+	}
+	numShort := n / 2
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("appendixA(n=%d,Δ=%d,j=%d,k=%d)", n, delta, j, k),
+		Delta:  delta,
+		Delays: make([]int, numShort+1),
+	}
+	for c := 0; c < numShort; c++ {
+		inst.Delays[c] = short
+	}
+	longColor := sched.Color(numShort)
+	inst.Delays[longColor] = long
+
+	inst.AddJobs(0, longColor, long)
+	for t := 0; t < long; t += short {
+		for c := 0; c < numShort; c++ {
+			inst.AddJobs(t, sched.Color(c), delta)
+		}
+	}
+	return inst.Normalize(), nil
+}
+
+// AppendixALongColor returns the long-term color index of an Appendix A
+// instance with n online resources.
+func AppendixALongColor(n int) sched.Color { return sched.Color(n / 2) }
+
+// AppendixB builds the Appendix B construction showing EDF is not resource
+// competitive. There are n/2+1 colors: one with delay bound 2^j, and one
+// each with delay bounds 2^k, 2^{k+1}, …, 2^{k+n/2−1}, where the paper
+// requires 2^k > 2^j > Δ > n. The short color receives Δ jobs at every
+// multiple of 2^j until round 2^{k−1}; the color with delay bound 2^{k+p}
+// receives 2^{k+p−1} jobs at round 0; the input spans 2^{k+n/2−1} rounds.
+//
+// EDF keeps the n/2 earliest-deadline colors cached and thrashes the
+// long-delay colors in and out, paying Ω(2^{k−j−1}·Δ) in reconfigurations;
+// OFF serves each long color in its own quiet era for (n/2+1)·Δ total.
+func AppendixB(n, delta, j, k int) (*sched.Instance, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("workload: AppendixB needs even n ≥ 2, got %d", n)
+	}
+	if !((1<<k) > (1<<j) && (1<<j) > delta && delta > n) {
+		return nil, fmt.Errorf("workload: AppendixB needs 2^k > 2^j > Δ > n (got 2^k=%d, 2^j=%d, Δ=%d, n=%d)",
+			1<<k, 1<<j, delta, n)
+	}
+	half := n / 2
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("appendixB(n=%d,Δ=%d,j=%d,k=%d)", n, delta, j, k),
+		Delta:  delta,
+		Delays: make([]int, half+1),
+	}
+	inst.Delays[0] = 1 << j
+	for p := 0; p < half; p++ {
+		inst.Delays[p+1] = 1 << (k + p)
+	}
+
+	// Short color: Δ jobs per multiple of 2^j until round 2^{k−1}.
+	for t := 0; t < 1<<(k-1); t += 1 << j {
+		inst.AddJobs(t, 0, delta)
+	}
+	// Long colors: 2^{k+p−1} jobs at round 0.
+	for p := 0; p < half; p++ {
+		inst.AddJobs(0, sched.Color(p+1), 1<<(k+p-1))
+	}
+	return inst.Normalize(), nil
+}
+
+// Thrashing builds the introduction's dilemma scenario (§1): one
+// "background" color with a delay bound far in the future receives a large
+// backlog at round 0, while "short-term" colors with small delay bounds
+// arrive in bursts separated by idle gaps. A policy that chases idle
+// cycles thrashes; one that ignores them underutilizes. gap is the number
+// of idle rounds between consecutive short-term bursts.
+func Thrashing(numShort, delta, shortDelay, longDelay, burstRounds, gap, horizon int) (*sched.Instance, error) {
+	if numShort < 1 || shortDelay < 1 || longDelay < shortDelay {
+		return nil, fmt.Errorf("workload: Thrashing needs numShort ≥ 1 and longDelay ≥ shortDelay ≥ 1")
+	}
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("thrashing(short=%d,gap=%d)", numShort, gap),
+		Delta:  delta,
+		Delays: make([]int, numShort+1),
+	}
+	for c := 0; c < numShort; c++ {
+		inst.Delays[c] = shortDelay
+	}
+	bg := sched.Color(numShort)
+	inst.Delays[bg] = longDelay
+
+	// Background backlog: enough jobs to keep one resource busy for most
+	// of its delay bound.
+	inst.AddJobs(0, bg, longDelay)
+
+	period := burstRounds + gap
+	for t := 0; t < horizon; t++ {
+		if t%period < burstRounds {
+			for c := 0; c < numShort; c++ {
+				inst.AddJobs(t, sched.Color(c), 1)
+			}
+		}
+	}
+	return inst.Normalize(), nil
+}

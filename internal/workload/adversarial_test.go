@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestAppendixAStructure(t *testing.T) {
+	n, delta, j, k := 8, 2, 5, 7
+	inst, err := AppendixA(n, delta, j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumColors() != n/2+1 {
+		t.Fatalf("NumColors = %d, want %d", inst.NumColors(), n/2+1)
+	}
+	long := AppendixALongColor(n)
+	if inst.Delays[long] != 1<<k {
+		t.Fatalf("long delay = %d", inst.Delays[long])
+	}
+	for c := 0; c < n/2; c++ {
+		if inst.Delays[c] != 1<<j {
+			t.Fatalf("short delay = %d", inst.Delays[c])
+		}
+	}
+	// Jobs: 2^k long + (2^k / 2^j) multiples × n/2 colors × Δ.
+	wantShort := (1 << (k - j)) * (n / 2) * delta
+	per := inst.JobsPerColor()
+	if per[long] != 1<<k {
+		t.Fatalf("long jobs = %d, want %d", per[long], 1<<k)
+	}
+	total := 0
+	for c := 0; c < n/2; c++ {
+		total += per[c]
+	}
+	if total != wantShort {
+		t.Fatalf("short jobs = %d, want %d", total, wantShort)
+	}
+	if !inst.IsBatched() || !inst.IsRateLimited() {
+		t.Fatal("Appendix A instance must be batched and rate-limited")
+	}
+	if !inst.HasPowerOfTwoDelays() {
+		t.Fatal("delays must be powers of two")
+	}
+}
+
+func TestAppendixAConstraints(t *testing.T) {
+	// Violates 2^{j+1} > nΔ.
+	if _, err := AppendixA(8, 10, 3, 8); err == nil {
+		t.Fatal("constraint violation accepted")
+	}
+	// Violates 2^k > 2^{j+1}.
+	if _, err := AppendixA(8, 2, 6, 6); err == nil {
+		t.Fatal("k too small accepted")
+	}
+	// Odd n.
+	if _, err := AppendixA(7, 2, 6, 8); err == nil {
+		t.Fatal("odd n accepted")
+	}
+}
+
+func TestAppendixBStructure(t *testing.T) {
+	n, delta, j, k := 8, 9, 4, 6
+	inst, err := AppendixB(n, delta, j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumColors() != n/2+1 {
+		t.Fatalf("NumColors = %d", inst.NumColors())
+	}
+	if inst.Delays[0] != 1<<j {
+		t.Fatalf("short delay = %d", inst.Delays[0])
+	}
+	per := inst.JobsPerColor()
+	for p := 0; p < n/2; p++ {
+		if inst.Delays[p+1] != 1<<(k+p) {
+			t.Fatalf("long delay %d = %d", p, inst.Delays[p+1])
+		}
+		if per[p+1] != 1<<(k+p-1) {
+			t.Fatalf("long jobs %d = %d, want %d", p, per[p+1], 1<<(k+p-1))
+		}
+	}
+	// Short color: Δ per multiple of 2^j until 2^{k−1}.
+	wantShort := delta * (1 << (k - 1 - j))
+	if per[0] != wantShort {
+		t.Fatalf("short jobs = %d, want %d", per[0], wantShort)
+	}
+}
+
+func TestAppendixBConstraints(t *testing.T) {
+	if _, err := AppendixB(8, 8, 4, 6); err == nil {
+		t.Fatal("Δ = n accepted (needs Δ > n)")
+	}
+	if _, err := AppendixB(8, 9, 4, 4); err == nil {
+		t.Fatal("k = j accepted (needs 2^k > 2^j)")
+	}
+	if _, err := AppendixB(8, 3, 1, 6); err == nil {
+		t.Fatal("2^j ≤ Δ accepted")
+	}
+}
+
+func TestThrashingStructure(t *testing.T) {
+	inst, err := Thrashing(3, 4, 8, 1024, 4, 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumColors() != 4 {
+		t.Fatalf("NumColors = %d", inst.NumColors())
+	}
+	bg := sched.Color(3)
+	if inst.Delays[bg] != 1024 {
+		t.Fatalf("background delay = %d", inst.Delays[bg])
+	}
+	per := inst.JobsPerColor()
+	if per[bg] != 1024 {
+		t.Fatalf("background backlog = %d", per[bg])
+	}
+	// Bursts occupy 4 of every 20 rounds.
+	wantShort := 0
+	for tt := 0; tt < 200; tt++ {
+		if tt%20 < 4 {
+			wantShort += 3
+		}
+	}
+	if got := inst.TotalJobs() - per[bg]; got != wantShort {
+		t.Fatalf("short jobs = %d, want %d", got, wantShort)
+	}
+}
+
+func TestThrashingValidation(t *testing.T) {
+	if _, err := Thrashing(0, 1, 2, 8, 1, 1, 10); err == nil {
+		t.Fatal("numShort=0 accepted")
+	}
+	if _, err := Thrashing(1, 1, 8, 4, 1, 1, 10); err == nil {
+		t.Fatal("longDelay < shortDelay accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Params carries the knobs the named generators accept; zero values get
+// sensible defaults. The CLI tools (rrsim, rrtrace) and tests build
+// workloads through ByName so the two stay in sync.
+type Params struct {
+	Seed   uint64
+	Delta  int
+	Rounds int
+	Load   float64
+	// N, J, K parameterize the appendix constructions; N doubles as the
+	// short-color count basis of the thrashing scenario.
+	N, J, K int
+	// Gap is the idle-gap length of the thrashing scenario.
+	Gap int
+}
+
+func (p *Params) fill() {
+	if p.Delta == 0 {
+		p.Delta = 8
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 1024
+	}
+	if p.Load == 0 {
+		p.Load = 6
+	}
+	if p.N == 0 {
+		p.N = 8
+	}
+	if p.J == 0 {
+		p.J = 6
+	}
+	if p.K == 0 {
+		p.K = 8
+	}
+	if p.Gap == 0 {
+		p.Gap = 32
+	}
+}
+
+// Names lists the workloads ByName accepts, sorted.
+func Names() []string {
+	names := []string{"router", "datacenter", "zipf", "batched", "ratelimited", "appendixA", "appendixB", "thrashing", "continuous"}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds one of the repository's standard workloads by name. See
+// Names for the accepted set.
+func ByName(name string, p Params) (*sched.Instance, error) {
+	p.fill()
+	switch name {
+	case "router":
+		return Router(p.Seed, 4, p.Delta, p.Rounds, p.Load), nil
+	case "datacenter":
+		return Datacenter(p.Seed, 12, p.Delta, 256, (p.Rounds+255)/256, p.Load), nil
+	case "zipf":
+		return ZipfMix(p.Seed, 24, p.Delta, p.Rounds, []int{2, 4, 8, 16, 32, 64}, p.Load, 1.0), nil
+	case "batched":
+		return RandomBatched(p.Seed, 24, p.Delta, p.Rounds, []int{1, 2, 4, 8, 16}, 2.0, 0.7, false), nil
+	case "ratelimited":
+		return RandomBatched(p.Seed, 24, p.Delta, p.Rounds, []int{1, 2, 4, 8, 16}, 0.8, 0.7, true), nil
+	case "appendixA":
+		return AppendixA(p.N, p.Delta, p.J, p.K)
+	case "appendixB":
+		return AppendixB(p.N, p.Delta, p.J, p.K)
+	case "thrashing":
+		return Thrashing(p.N/2, p.Delta, 8, 2048, 4, p.Gap, p.Rounds)
+	case "continuous":
+		return Continuous(p.Seed, 4, p.Delta, p.Rounds, p.Load, 1.0)
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (known: %v)", name, Names())
+	}
+}

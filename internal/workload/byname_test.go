@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+func TestByNameCoversAllNames(t *testing.T) {
+	for _, name := range Names() {
+		p := Params{Seed: 1, Rounds: 128}
+		if name == "appendixA" || name == "appendixB" {
+			p = Params{N: 8, Delta: 2, J: 5, K: 7}
+			if name == "appendixB" {
+				p = Params{N: 8, Delta: 9, J: 4, K: 6}
+			}
+		}
+		inst, err := ByName(name, p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := inst.Validate(); err != nil {
+			t.Errorf("%s: invalid instance: %v", name, err)
+		}
+		if inst.TotalJobs() == 0 {
+			t.Errorf("%s: empty workload", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", Params{}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestByNameDefaults(t *testing.T) {
+	inst, err := ByName("router", Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Delta != 8 {
+		t.Fatalf("default Delta = %d", inst.Delta)
+	}
+	if inst.NumRounds() > 1024 {
+		t.Fatalf("default Rounds exceeded: %d", inst.NumRounds())
+	}
+}
+
+func TestByNameDeterministic(t *testing.T) {
+	a, _ := ByName("zipf", Params{Seed: 9, Rounds: 64})
+	b, _ := ByName("zipf", Params{Seed: 9, Rounds: 64})
+	if a.TotalJobs() != b.TotalJobs() {
+		t.Fatal("same params, different instances")
+	}
+}

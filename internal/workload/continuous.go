@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/sched"
+)
+
+// Continuous builds a router-like instance from *continuous-time* arrival
+// processes (Poisson voice/video, on/off-modulated web/bulk) discretized
+// into rounds of the given duration — the realistic path from wall-clock
+// packet arrivals to the paper's slotted model. Smaller round durations
+// give finer schedules with proportionally longer horizons and scaled
+// delay bounds.
+//
+// perClass categories are created per class; dtScale scales the round
+// duration (1.0 ⇒ voice delay bound 4 rounds, as in Router). Delay bounds
+// are expressed in wall-clock units and converted to rounds, so halving
+// dtScale doubles every delay bound in rounds and preserves the QoS
+// tolerance.
+func Continuous(seed uint64, perClass, delta, rounds int, load, dtScale float64) (*sched.Instance, error) {
+	if dtScale <= 0 {
+		dtScale = 1
+	}
+	horizon := float64(rounds) * dtScale
+	classes := []struct {
+		name  string
+		delay int
+		share float64
+		burst bool
+	}{
+		{"voice", 4, 0.30, false},
+		{"video", 16, 0.30, false},
+		{"web", 64, 0.25, true},
+		{"bulk", 256, 0.15, true},
+	}
+	var sources []events.Source
+	var delays []int
+	color := sched.Color(0)
+	for ci, cl := range classes {
+		perColor := load * cl.share / float64(perClass) / dtScale // events per unit time
+		for i := 0; i < perClass; i++ {
+			srcSeed := seed + uint64(ci*1000+i)
+			if cl.burst {
+				on, off := 40*dtScale, 120*dtScale
+				// Compensate the duty cycle so the long-run rate matches.
+				rate := perColor * (on + off) / on
+				sources = append(sources, events.NewOnOffSource(srcSeed, color, rate, on, off, horizon))
+			} else {
+				sources = append(sources, events.NewPoissonSource(srcSeed, color, perColor, horizon))
+			}
+			dRounds := int(float64(cl.delay) / dtScale)
+			if dRounds < 1 {
+				dRounds = 1
+			}
+			delays = append(delays, dRounds)
+			color++
+		}
+	}
+	evs, err := events.Collect(events.Merge(sources...), 0)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := events.Discretize(evs, dtScale, delta, delays)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = fmt.Sprintf("continuous(perClass=%d,load=%.1f,dt=%.2g,seed=%d)", perClass, load, dtScale, seed)
+	return inst, nil
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "testing"
+
+func TestContinuousShape(t *testing.T) {
+	inst, err := Continuous(5, 4, 8, 1024, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumColors() != 16 {
+		t.Fatalf("NumColors = %d", inst.NumColors())
+	}
+	jobs := float64(inst.TotalJobs())
+	if jobs < 0.4*10*1024 || jobs > 2.5*10*1024 {
+		t.Fatalf("continuous volume %v far from load×rounds = %v", jobs, 10*1024)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumRounds() > 1024 {
+		t.Fatalf("NumRounds = %d exceeds requested horizon", inst.NumRounds())
+	}
+}
+
+func TestContinuousDeterministic(t *testing.T) {
+	a, err := Continuous(7, 2, 4, 256, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Continuous(7, 2, 4, 256, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalJobs() != b.TotalJobs() {
+		t.Fatal("same seed, different volumes")
+	}
+}
+
+func TestContinuousFinerRounds(t *testing.T) {
+	coarse, err := Continuous(3, 2, 4, 256, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Continuous(3, 2, 4, 256, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same wall-clock horizon, finer rounds: comparable volume.
+	cj, fj := float64(coarse.TotalJobs()), float64(fine.TotalJobs())
+	if fj < 0.5*cj || fj > 2*cj {
+		t.Fatalf("volumes diverge across dt: %v vs %v", cj, fj)
+	}
+	// Wall-clock QoS tolerances are preserved: halving the round duration
+	// doubles every delay bound in rounds.
+	if fine.Delays[0] != 2*coarse.Delays[0] {
+		t.Fatalf("delay scaling wrong: coarse %d, fine %d", coarse.Delays[0], fine.Delays[0])
+	}
+}
+
+func TestContinuousViaByName(t *testing.T) {
+	inst, err := ByName("continuous", Params{Seed: 2, Rounds: 256, Load: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.TotalJobs() == 0 {
+		t.Fatal("empty continuous workload")
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/sched"
+)
+
+// Router builds a multi-service router trace (the motivating application
+// of Kokku et al. and Srinivasan et al. cited in §1): packet categories in
+// four service classes with QoS delay tolerances — voice (D=4), video
+// (D=16), web (D=64) and bulk transfer (D=256) — each class holding
+// perClass categories. Voice and video are smooth, web is bursty (flash
+// crowds), bulk arrives in large intermittent batches. load scales the
+// total offered rate in jobs per round.
+func Router(seed uint64, perClass, delta, rounds int, load float64) *sched.Instance {
+	classes := []struct {
+		name  string
+		delay int
+		share float64
+		burst *BurstSpec
+	}{
+		{"voice", 4, 0.30, nil},
+		{"video", 16, 0.30, nil},
+		{"web", 64, 0.25, &BurstSpec{OnMean: 40, OffMean: 120}},
+		{"bulk", 256, 0.15, &BurstSpec{OnMean: 16, OffMean: 400}},
+	}
+	spec := Spec{
+		Name:   fmt.Sprintf("router(perClass=%d,load=%.1f,seed=%d)", perClass, load, seed),
+		Delta:  delta,
+		Rounds: rounds,
+		Seed:   seed,
+	}
+	for _, cl := range classes {
+		perColor := load * cl.share / float64(perClass)
+		for i := 0; i < perClass; i++ {
+			cs := ColorSpec{Delay: cl.delay, Rate: perColor}
+			if cl.burst != nil {
+				b := *cl.burst
+				cs.Burst = &b
+				// Compensate the off time so the long-run rate matches.
+				cs.Rate = perColor * (b.OnMean + b.OffMean) / b.OnMean
+			}
+			spec.Colors = append(spec.Colors, cs)
+		}
+	}
+	return Generate(spec)
+}
+
+// Datacenter builds a shared-data-center trace (Chandra et al., Chase et
+// al., cited in §1): services with per-SLA delay bounds and smooth diurnal
+// demand curves, phase-shifted so the hot set rotates over the day. One
+// "day" is dayRounds rounds; the trace spans days·dayRounds rounds.
+func Datacenter(seed uint64, services, delta, dayRounds, days int, peakRate float64) *sched.Instance {
+	rng := container.NewRNG(seed)
+	delays := []int{8, 32, 128}
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("datacenter(s=%d,days=%d,seed=%d)", services, days, seed),
+		Delta:  delta,
+		Delays: make([]int, services),
+	}
+	phase := make([]float64, services)
+	for c := 0; c < services; c++ {
+		inst.Delays[c] = delays[c%len(delays)]
+		phase[c] = 2 * math.Pi * float64(c) / float64(services)
+	}
+	rounds := dayRounds * days
+	for t := 0; t < rounds; t++ {
+		x := 2 * math.Pi * float64(t) / float64(dayRounds)
+		for c := 0; c < services; c++ {
+			// Demand oscillates in [0.05, 1]·peakRate with service-specific
+			// phase; the floor keeps every service mildly active.
+			level := 0.05 + 0.95*(0.5+0.5*math.Sin(x+phase[c]))
+			if jobs := rng.Poisson(peakRate * level / float64(services)); jobs > 0 {
+				inst.AddJobs(t, sched.Color(c), jobs)
+			}
+		}
+	}
+	return inst.Normalize()
+}

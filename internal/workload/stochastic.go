@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/sched"
+)
+
+// ColorSpec describes one color in a stochastic workload.
+type ColorSpec struct {
+	// Delay is the color's delay bound D_ℓ.
+	Delay int
+	// Rate is the mean number of jobs per round (Poisson) while the
+	// source is active.
+	Rate float64
+	// Burst, when non-nil, gates the source through an on/off Markov
+	// process (an MMPP): the source alternates between on-periods of
+	// geometric mean OnMean rounds emitting at Rate, and off-periods of
+	// geometric mean OffMean rounds emitting nothing.
+	Burst *BurstSpec
+}
+
+// BurstSpec parameterizes the on/off modulation of a bursty source.
+type BurstSpec struct {
+	OnMean  float64
+	OffMean float64
+}
+
+// Spec describes a complete stochastic instance.
+type Spec struct {
+	Name   string
+	Delta  int
+	Rounds int
+	Colors []ColorSpec
+	Seed   uint64
+}
+
+// Generate materializes a stochastic instance from a spec. Identical specs
+// (including the seed) always produce identical instances.
+func Generate(spec Spec) *sched.Instance {
+	rng := container.NewRNG(spec.Seed)
+	inst := &sched.Instance{
+		Name:   spec.Name,
+		Delta:  spec.Delta,
+		Delays: make([]int, len(spec.Colors)),
+	}
+	on := make([]bool, len(spec.Colors))
+	left := make([]int, len(spec.Colors))
+	for c, cs := range spec.Colors {
+		inst.Delays[c] = cs.Delay
+		on[c] = true
+		if cs.Burst != nil {
+			// Start each source at a random point of its on/off cycle.
+			on[c] = rng.Float64() < cs.Burst.OnMean/(cs.Burst.OnMean+cs.Burst.OffMean)
+			if on[c] {
+				left[c] = 1 + rng.Geometric(1/cs.Burst.OnMean)
+			} else {
+				left[c] = 1 + rng.Geometric(1/cs.Burst.OffMean)
+			}
+		}
+	}
+	for t := 0; t < spec.Rounds; t++ {
+		for c, cs := range spec.Colors {
+			if cs.Burst != nil {
+				if left[c] == 0 {
+					on[c] = !on[c]
+					mean := cs.Burst.OnMean
+					if !on[c] {
+						mean = cs.Burst.OffMean
+					}
+					left[c] = 1 + rng.Geometric(1/mean)
+				}
+				left[c]--
+			}
+			if !on[c] {
+				continue
+			}
+			if jobs := rng.Poisson(cs.Rate); jobs > 0 {
+				inst.AddJobs(t, sched.Color(c), jobs)
+			}
+		}
+	}
+	return inst.Normalize()
+}
+
+// RandomBatched builds a batched instance [Δ | 1 | D_ℓ | D_ℓ]: each color
+// picks a delay uniformly from delayChoices (which should be powers of
+// two) and receives a Poisson(meanPerBatch·D_ℓ) batch at every multiple of
+// D_ℓ, independently present with probability density. With rateLimited
+// set, batch sizes are clamped to D_ℓ, producing a rate-limited instance.
+func RandomBatched(seed uint64, numColors, delta, rounds int, delayChoices []int, meanPerDelaySlot float64, density float64, rateLimited bool) *sched.Instance {
+	rng := container.NewRNG(seed)
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("randomBatched(c=%d,seed=%d,rl=%v)", numColors, seed, rateLimited),
+		Delta:  delta,
+		Delays: make([]int, numColors),
+	}
+	for c := 0; c < numColors; c++ {
+		inst.Delays[c] = delayChoices[rng.Intn(len(delayChoices))]
+	}
+	for c := 0; c < numColors; c++ {
+		d := inst.Delays[c]
+		for t := 0; t < rounds; t += d {
+			if !rng.Bool(density) {
+				continue
+			}
+			jobs := rng.Poisson(meanPerDelaySlot * float64(d))
+			if rateLimited && jobs > d {
+				jobs = d
+			}
+			if jobs > 0 {
+				inst.AddJobs(t, sched.Color(c), jobs)
+			}
+		}
+	}
+	return inst.Normalize()
+}
+
+// RandomSmall builds a tiny random instance suitable for brute-force
+// comparison: up to maxColors colors with delays from delayChoices, up to
+// `rounds` rounds, small batch counts. Used by the Theorem 1 experiment
+// and by property tests.
+func RandomSmall(seed uint64, maxColors, delta, rounds int, delayChoices []int, maxBatch int, batched bool) *sched.Instance {
+	rng := container.NewRNG(seed)
+	numColors := 1 + rng.Intn(maxColors)
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("randomSmall(seed=%d)", seed),
+		Delta:  delta,
+		Delays: make([]int, numColors),
+	}
+	for c := 0; c < numColors; c++ {
+		inst.Delays[c] = delayChoices[rng.Intn(len(delayChoices))]
+	}
+	for c := 0; c < numColors; c++ {
+		d := inst.Delays[c]
+		step := 1
+		if batched {
+			step = d
+		}
+		for t := 0; t < rounds; t += step {
+			if rng.Bool(0.5) {
+				continue
+			}
+			jobs := 1 + rng.Intn(maxBatch)
+			if batched && jobs > d {
+				jobs = d // keep it rate-limited as well
+			}
+			if jobs > 0 {
+				inst.AddJobs(t, sched.Color(c), jobs)
+			}
+		}
+	}
+	return inst.Normalize()
+}
+
+// ZipfMix builds an unbatched instance where each round draws
+// Poisson(totalRate) jobs and assigns each to a color by a Zipf(s)
+// popularity law; color c has delay delayChoices[c mod len(delayChoices)].
+// This models a shared service mix where a few hot categories dominate.
+func ZipfMix(seed uint64, numColors, delta, rounds int, delayChoices []int, totalRate, s float64) *sched.Instance {
+	rng := container.NewRNG(seed)
+	zipf := container.NewZipf(rng, numColors, s)
+	inst := &sched.Instance{
+		Name:   fmt.Sprintf("zipfMix(c=%d,s=%.2f,seed=%d)", numColors, s, seed),
+		Delta:  delta,
+		Delays: make([]int, numColors),
+	}
+	for c := 0; c < numColors; c++ {
+		inst.Delays[c] = delayChoices[c%len(delayChoices)]
+	}
+	counts := make([]int, numColors)
+	for t := 0; t < rounds; t++ {
+		jobs := rng.Poisson(totalRate)
+		clear(counts)
+		for i := 0; i < jobs; i++ {
+			counts[zipf.Next()]++
+		}
+		for c, n := range counts {
+			if n > 0 {
+				inst.AddJobs(t, sched.Color(c), n)
+			}
+		}
+	}
+	return inst.Normalize()
+}

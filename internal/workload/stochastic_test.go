@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{
+		Name:   "det",
+		Delta:  2,
+		Rounds: 64,
+		Seed:   5,
+		Colors: []ColorSpec{
+			{Delay: 4, Rate: 1.5},
+			{Delay: 8, Rate: 0.5, Burst: &BurstSpec{OnMean: 8, OffMean: 16}},
+		},
+	}
+	a := Generate(spec)
+	b := Generate(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical specs produced different instances")
+	}
+	spec.Seed = 6
+	c := Generate(spec)
+	if reflect.DeepEqual(a.Requests, c.Requests) {
+		t.Fatal("different seeds produced identical requests")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRespectsRoundsAndDelays(t *testing.T) {
+	spec := Spec{
+		Name: "bounds", Delta: 1, Rounds: 32, Seed: 1,
+		Colors: []ColorSpec{{Delay: 4, Rate: 2}},
+	}
+	inst := Generate(spec)
+	if inst.NumRounds() > 32 {
+		t.Fatalf("NumRounds = %d", inst.NumRounds())
+	}
+	if inst.Delays[0] != 4 {
+		t.Fatalf("delay = %d", inst.Delays[0])
+	}
+	if inst.TotalJobs() == 0 {
+		t.Fatal("rate-2 source produced no jobs in 32 rounds")
+	}
+}
+
+func TestBurstySourceHasQuietPeriods(t *testing.T) {
+	spec := Spec{
+		Name: "bursty", Delta: 1, Rounds: 512, Seed: 3,
+		Colors: []ColorSpec{{Delay: 4, Rate: 5, Burst: &BurstSpec{OnMean: 10, OffMean: 50}}},
+	}
+	inst := Generate(spec)
+	quiet := 0
+	for _, r := range inst.Requests {
+		if r.Jobs() == 0 {
+			quiet++
+		}
+	}
+	if quiet < 100 {
+		t.Fatalf("bursty source quiet in only %d of 512 rounds", quiet)
+	}
+}
+
+func TestRandomBatchedPredicates(t *testing.T) {
+	rl := RandomBatched(4, 12, 3, 128, []int{1, 2, 4, 8}, 0.9, 0.8, true)
+	if !rl.IsBatched() || !rl.IsRateLimited() {
+		t.Fatal("rate-limited generator violated its own predicate")
+	}
+	free := RandomBatched(4, 12, 3, 128, []int{2, 4}, 3.0, 0.9, false)
+	if !free.IsBatched() {
+		t.Fatal("batched generator produced unbatched arrivals")
+	}
+	if free.IsRateLimited() {
+		t.Fatal("heavy batches unexpectedly rate-limited (mean 3·D per slot)")
+	}
+}
+
+func TestRandomSmallBatchedFlag(t *testing.T) {
+	batched := RandomSmall(9, 3, 2, 12, []int{1, 2, 4}, 3, true)
+	if !batched.IsBatched() || !batched.IsRateLimited() {
+		t.Fatal("RandomSmall(batched) not batched/rate-limited")
+	}
+	if err := batched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	raw := RandomSmall(9, 3, 2, 12, []int{1, 2, 4}, 3, false)
+	if err := raw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfMixSkew(t *testing.T) {
+	inst := ZipfMix(11, 16, 2, 256, []int{2, 4, 8}, 8, 1.2)
+	per := inst.JobsPerColor()
+	if per[0] <= per[15] {
+		t.Fatalf("Zipf mix not skewed: first=%d last=%d", per[0], per[15])
+	}
+	if inst.Delays[0] != 2 || inst.Delays[1] != 4 || inst.Delays[2] != 8 || inst.Delays[3] != 2 {
+		t.Fatalf("delay assignment = %v", inst.Delays[:4])
+	}
+}
+
+func TestRouterShape(t *testing.T) {
+	inst := Router(2, 4, 8, 1024, 10)
+	if inst.NumColors() != 16 {
+		t.Fatalf("NumColors = %d, want 16 (4 classes × 4)", inst.NumColors())
+	}
+	// Delay classes: 4, 16, 64, 256.
+	seen := map[int]int{}
+	for _, d := range inst.Delays {
+		seen[d]++
+	}
+	for _, d := range []int{4, 16, 64, 256} {
+		if seen[d] != 4 {
+			t.Fatalf("delay class %d has %d colors: %v", d, seen[d], seen)
+		}
+	}
+	// Long-run volume ≈ load·rounds within a generous factor.
+	jobs := float64(inst.TotalJobs())
+	if jobs < 0.4*10*1024 || jobs > 2.5*10*1024 {
+		t.Fatalf("router volume %v far from load×rounds = %v", jobs, 10*1024)
+	}
+}
+
+func TestDatacenterShape(t *testing.T) {
+	inst := Datacenter(2, 9, 4, 128, 2, 6)
+	if inst.NumColors() != 9 {
+		t.Fatalf("NumColors = %d", inst.NumColors())
+	}
+	if inst.NumRounds() > 256 {
+		t.Fatalf("NumRounds = %d", inst.NumRounds())
+	}
+	if inst.TotalJobs() == 0 {
+		t.Fatal("no jobs generated")
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-service demand must oscillate (the phases are spread so the
+	// aggregate is roughly flat, but each service has busy and quiet
+	// windows): compare service 0's busiest and quietest 32-round window.
+	window := 32
+	minW, maxW := 1<<30, 0
+	for start := 0; start+window <= inst.NumRounds(); start += window {
+		sum := 0
+		for r := start; r < start+window; r++ {
+			for _, b := range inst.Requests[r] {
+				if b.Color == 0 {
+					sum += b.Count
+				}
+			}
+		}
+		if sum < minW {
+			minW = sum
+		}
+		if sum > maxW {
+			maxW = sum
+		}
+	}
+	if maxW < minW*2+2 {
+		t.Fatalf("no diurnal variation for service 0: min=%d max=%d", minW, maxW)
+	}
+}

@@ -1,0 +1,175 @@
+package rrs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	inst := &Instance{
+		Name:   "facade",
+		Delta:  4,
+		Delays: []int{2, 8},
+	}
+	inst.AddJobs(0, 1, 8)
+	inst.AddJobs(2, 0, 2)
+
+	res, err := Solve(inst.Clone(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed+res.Dropped != inst.TotalJobs() {
+		t.Fatal("conservation broken through the facade")
+	}
+
+	for _, pol := range []Policy{NewDLRUEDF(), NewDLRU(), NewEDF(), NewSeqEDF(), NewNever(), NewGreedyPending(), NewStatic(1)} {
+		r, err := Run(inst.Clone(), pol, Options{N: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if r.Executed+r.Dropped != inst.TotalJobs() {
+			t.Fatalf("%s: conservation broken", pol.Name())
+		}
+	}
+
+	opt, err := OptimalCost(inst.Clone(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := CertifiedLowerBound(inst.Clone(), 1)
+	if lb > opt {
+		t.Fatalf("certified LB %d exceeds OPT %d", lb, opt)
+	}
+	if res.Cost.Total() < lb {
+		t.Fatalf("online cost %d below the m=1 lower bound %d", res.Cost.Total(), lb)
+	}
+}
+
+func TestFacadeDistribute(t *testing.T) {
+	inst := &Instance{Delta: 2, Delays: []int{2, 4}}
+	inst.AddJobs(0, 0, 2)
+	inst.AddJobs(0, 1, 9)
+	inst.AddJobs(4, 1, 3)
+	res, err := Distribute(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed+res.Dropped != inst.TotalJobs() {
+		t.Fatal("Distribute conservation broken")
+	}
+	vb := BuildVarBatched(inst)
+	if !vb.IsBatched() {
+		t.Fatal("BuildVarBatched output not batched")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if _, err := AppendixA(8, 2, 5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendixB(8, 9, 4, 6); err != nil {
+		t.Fatal(err)
+	}
+	r := RouterWorkload(1, 2, 4, 128, 4)
+	if r.TotalJobs() == 0 {
+		t.Fatal("router workload empty")
+	}
+	d := DatacenterWorkload(1, 6, 4, 64, 2, 4)
+	if d.TotalJobs() == 0 {
+		t.Fatal("datacenter workload empty")
+	}
+}
+
+func TestFacadeOfflineTools(t *testing.T) {
+	inst := &Instance{Delta: 3, Delays: []int{2, 8}}
+	inst.AddJobs(0, 1, 6)
+	inst.AddJobs(2, 0, 3)
+	rec, err := Run(inst.Clone(), NewGreedyPending(), Options{N: 2, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, res, err := ImproveSchedule(inst.Clone(), rec.Schedule, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved == nil || res.Cost.Total() > rec.Cost.Total() {
+		t.Fatalf("ImproveSchedule worsened cost: %v vs %v", res.Cost, rec.Cost)
+	}
+	punct, err := Punctualize(inst.Clone(), rec.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if punct.N != 7*rec.Schedule.N {
+		t.Fatalf("Punctualize produced %d resources", punct.N)
+	}
+	batched := BuildVarBatched(inst.Clone())
+	if _, err := Replay(batched, punct); err != nil {
+		t.Fatalf("punctualized schedule not feasible for the batched instance: %v", err)
+	}
+}
+
+func TestFacadeWorkloadByName(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) < 8 {
+		t.Fatalf("only %d workload names", len(names))
+	}
+	inst, err := WorkloadByName("router", WorkloadParams{Seed: 1, Rounds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.TotalJobs() == 0 {
+		t.Fatal("empty workload")
+	}
+	if _, err := WorkloadByName("bogus", WorkloadParams{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	inst := RouterWorkload(3, 2, 4, 128, 4)
+	for _, pol := range []Policy{NewHysteresis(1), NewDLRUEDF(WithAdaptiveSplit())} {
+		res, err := Run(inst.Clone(), pol, Options{N: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Executed+res.Dropped != inst.TotalJobs() {
+			t.Fatalf("%s: conservation broken", pol.Name())
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 16 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	var sb strings.Builder
+	if err := RunExperiment("T3", ExperimentConfig{Quick: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "T3") {
+		t.Fatal("experiment output missing ID")
+	}
+	err := RunExperiment("bogus", ExperimentConfig{Quick: true}, &sb)
+	var unknown *UnknownExperimentError
+	if !errors.As(err, &unknown) || unknown.ID != "bogus" {
+		t.Fatalf("err = %v", err)
+	}
+	if unknown.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestFacadeFindWorstCase(t *testing.T) {
+	res, err := FindWorstCase(AdversaryConfig{Seed: 2, Restarts: 2, StepsPerRestart: 10, Batched: true},
+		func() Policy { return NewGreedyPending() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instance == nil || res.Ratio <= 0 {
+		t.Fatalf("empty adversary result: %+v", res)
+	}
+}

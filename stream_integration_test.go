@@ -1,0 +1,104 @@
+package rrs
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestStreamMatchesRunWithRealPolicies: the incremental Stream and the
+// batch engine must agree exactly for the stateful production policies,
+// not just for scripted test policies (covered in internal/sched).
+func TestStreamMatchesRunWithRealPolicies(t *testing.T) {
+	inst := workload.Router(17, 2, 6, 384, 5)
+	makers := []func() Policy{
+		func() Policy { return NewDLRUEDF() },
+		func() Policy { return NewDLRUEDF(WithAdaptiveSplit()) },
+		func() Policy { return NewDLRU() },
+		func() Policy { return NewEDF() },
+		func() Policy { return NewHysteresis(1) },
+	}
+	for _, mk := range makers {
+		batch, err := Run(inst.Clone(), mk(), Options{N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStream(mk(), StreamConfig{N: 8, Delta: inst.Delta, Delays: inst.Delays})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < inst.NumRounds(); r++ {
+			if _, err := st.Step(inst.Requests[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		live := st.Result()
+		if live.Cost != batch.Cost || live.Executed != batch.Executed {
+			t.Fatalf("%s: stream %v/%d vs batch %v/%d",
+				batch.Policy, live.Cost, live.Executed, batch.Cost, batch.Executed)
+		}
+	}
+}
+
+// TestSolveOnAdversarialInputs: the full pipeline survives both appendix
+// constructions with bounded cost relative to the witnesses.
+func TestSolveOnAdversarialInputs(t *testing.T) {
+	instA, err := AppendixA(8, 2, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := Solve(instA.Clone(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offA, err := Run(instA.Clone(), NewStatic(Color(4)), Options{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(resA.Cost.Total()) > 8*float64(offA.Cost.Total()) {
+		t.Fatalf("Solve on Appendix A: %d vs witness %d (ratio > 8)", resA.Cost.Total(), offA.Cost.Total())
+	}
+
+	instB, err := AppendixB(8, 9, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Solve(instB.Clone(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witnessB := int64((8/2 + 1) * 9) // (n/2+1)·Δ
+	if float64(resB.Cost.Total()) > 12*float64(witnessB) {
+		t.Fatalf("Solve on Appendix B: %d vs witness %d (ratio > 12)", resB.Cost.Total(), witnessB)
+	}
+}
+
+// TestDeterminismAcrossRuns: identical runs of every exported policy give
+// identical results (the whole repository is seed-deterministic).
+func TestDeterminismAcrossRuns(t *testing.T) {
+	inst := workload.ZipfMix(29, 12, 4, 256, []int{2, 4, 8}, 5, 1.0)
+	makers := []func() Policy{
+		func() Policy { return NewDLRUEDF() },
+		func() Policy { return NewDLRU() },
+		func() Policy { return NewEDF() },
+		func() Policy { return NewSeqEDF() },
+		func() Policy { return NewGreedyPending() },
+		func() Policy { return NewHysteresis(2) },
+	}
+	for _, mk := range makers {
+		a, err := Run(inst.Clone(), mk(), Options{N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(inst.Clone(), mk(), Options{N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cost != b.Cost || a.Executed != b.Executed {
+			t.Fatalf("%s: nondeterministic (%v vs %v)", a.Policy, a.Cost, b.Cost)
+		}
+	}
+}
