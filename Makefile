@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race cover bench experiments fmt vet clean
+.PHONY: all build test race cover bench benchsmoke check experiments fmt vet clean
 
 all: build test
 
@@ -18,6 +18,15 @@ cover:
 
 bench:
 	go test -bench=. -benchmem -run '^$$' ./...
+
+# One iteration of every benchmark: a fast smoke test that the benchmark
+# harness still compiles and runs (not a measurement).
+benchsmoke:
+	go test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
+
+# The pre-commit gate: static analysis plus the full test suite under the
+# race detector.
+check: vet race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

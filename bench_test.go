@@ -126,6 +126,57 @@ func BenchmarkBruteForceTiny(b *testing.B) {
 	}
 }
 
+// benchStreamStep measures a single steady-state Stream.Step — the
+// per-round dataplane cost — with a given probe attached. With no probe
+// (and with the value-only CounterSink) this path must not allocate; the
+// benchmem column is the regression guard for that guarantee.
+func benchStreamStep(b *testing.B, probe sched.Probe) {
+	b.Helper()
+	st, err := sched.NewStream(policy.NewStatic(0, 1), sched.StreamConfig{
+		N: 2, Delta: 4, Delays: []int{2, 8}, Probe: probe,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Unsorted with a duplicate batch so Step also pays for normalization.
+	req := sched.Request{{Color: 1, Count: 1}, {Color: 0, Count: 1}, {Color: 0, Count: 1}}
+	for i := 0; i < 64; i++ { // reach steady state: buffers warm, pool bounded
+		if _, err := st.Step(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Step(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamStepNoProbe(b *testing.B) { benchStreamStep(b, nil) }
+
+func BenchmarkStreamStepCounterSink(b *testing.B) { benchStreamStep(b, &sched.CounterSink{}) }
+
+func BenchmarkStreamStepMetricsSink(b *testing.B) {
+	benchStreamStep(b, sched.NewMetricsSink(8, 64))
+}
+
+// BenchmarkRunCounterSink is the full-run analogue: engine throughput with
+// a counting probe attached, for comparison against BenchmarkEngineDLRUEDF.
+func BenchmarkRunCounterSink(b *testing.B) {
+	inst := workload.Router(3, 4, 8, 4096, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &sched.CounterSink{}
+		if _, err := sched.Run(inst, core.NewDLRUEDF(), sched.Options{N: 16, Probe: sink}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(inst.TotalJobs()))
+}
+
 func BenchmarkScheduleReplay(b *testing.B) {
 	inst := workload.Router(3, 4, 8, 2048, 12)
 	res, err := sched.Run(inst.Clone(), core.NewDLRUEDF(), sched.Options{N: 16, Record: true})

@@ -23,6 +23,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -43,6 +44,8 @@ func main() {
 		perColor     = flag.Bool("colors", false, "print per-color executed/dropped table")
 		gantt        = flag.Int("gantt", 0, "render a Gantt chart of the first N rounds (direct policies only)")
 		analyze      = flag.Int("analyze", 0, "print a windowed timeline with the given window width and a per-QoS-class breakdown (direct policies only)")
+		metrics      = flag.Bool("metrics", false, "print engine metrics: latency/occupancy histograms (direct policies only)")
+		traceEvents  = flag.String("trace-events", "", "write per-round engine events as JSON lines to this file (direct policies only)")
 	)
 	flag.Parse()
 
@@ -56,11 +59,48 @@ func main() {
 	fmt.Printf("workload %s: %d colors, %d rounds, %d jobs, Δ=%d\n",
 		inst.Name, inst.NumColors(), inst.NumRounds(), inst.TotalJobs(), inst.Delta)
 
-	res, err := runPolicy(*policyName, inst, *n, *gantt > 0 || *analyze > 0)
+	// Assemble the observability probe requested by -metrics/-trace-events.
+	var probes sched.MultiProbe
+	var metricsSink *sched.MetricsSink
+	if *metrics {
+		metricsSink = sched.NewMetricsSink(inst.MaxDelay(), 4*inst.MaxDelay()*(*n))
+		probes = append(probes, metricsSink)
+	}
+	var eventWriter *trace.EventWriter
+	if *traceEvents != "" {
+		f, err := os.Create(*traceEvents)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		eventWriter = trace.NewEventWriter(f)
+		probes = append(probes, eventWriter)
+	}
+	var probe sched.Probe
+	if len(probes) == 1 {
+		probe = probes[0]
+	} else if len(probes) > 1 {
+		probe = probes
+	}
+
+	res, err := runPolicy(*policyName, inst, *n, *gantt > 0 || *analyze > 0, probe)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(res)
+
+	if metricsSink != nil {
+		if metricsSink.Rounds == 0 {
+			fmt.Println("(no engine metrics for this policy mode; -metrics needs a direct policy)")
+		} else if err := metricsSink.Report(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if eventWriter != nil {
+		if err := eventWriter.Err(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *analyze > 0 {
 		if res.Schedule == nil {
@@ -97,7 +137,7 @@ func main() {
 	}
 }
 
-func runPolicy(name string, inst *rrs.Instance, n int, record bool) (*rrs.Result, error) {
+func runPolicy(name string, inst *rrs.Instance, n int, record bool, probe sched.Probe) (*rrs.Result, error) {
 	switch name {
 	case "solve":
 		return core.Solve(inst, n)
@@ -127,7 +167,7 @@ func runPolicy(name string, inst *rrs.Instance, n int, record bool) (*rrs.Result
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
-	return sched.Run(inst, pol, sched.Options{N: n, Record: record})
+	return sched.Run(inst, pol, sched.Options{N: n, Record: record, Probe: probe})
 }
 
 func printColors(inst *rrs.Instance, res *rrs.Result) {

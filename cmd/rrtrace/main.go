@@ -7,6 +7,7 @@
 //	rrtrace -gen router -rounds 2048 -seed 7 -o trace.json
 //	rrtrace -convert trace.json -o trace.csv
 //	rrtrace -stat trace.json
+//	rrtrace -play trace.json -policy dlruedf -n 8 -metrics
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -27,6 +30,7 @@ func main() {
 		gen     = flag.String("gen", "", fmt.Sprintf("generate a workload: %v", workload.Names()))
 		convert = flag.String("convert", "", "convert an existing trace file (json⇄csv by extension)")
 		stat    = flag.String("stat", "", "print statistics of a trace file")
+		play    = flag.String("play", "", "stream a trace file through an online policy and print the result")
 		out     = flag.String("o", "", "output path (extension selects json or csv; default stdout as json)")
 		rounds  = flag.Int("rounds", 1024, "rounds for generated workloads")
 		seed    = flag.Uint64("seed", 1, "generator seed")
@@ -35,6 +39,10 @@ func main() {
 		n       = flag.Int("n", 8, "n parameter for appendix constructions")
 		j       = flag.Int("j", 6, "j parameter for appendix constructions")
 		k       = flag.Int("k", 8, "k parameter for appendix constructions")
+
+		polName     = flag.String("policy", "dlruedf", "policy for -play: dlruedf | adaptive | dlru | edf | seqedf | hysteresis | greedy | never")
+		metrics     = flag.Bool("metrics", false, "with -play: print latency/occupancy histograms")
+		traceEvents = flag.String("trace-events", "", "with -play: write per-round engine events as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +69,14 @@ func main() {
 			fatal(err)
 		}
 		printStats(inst)
+	case *play != "":
+		inst, err := readTrace(*play)
+		if err != nil {
+			fatal(err)
+		}
+		if err := playTrace(inst, *polName, *n, *metrics, *traceEvents); err != nil {
+			fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -98,6 +114,96 @@ func writeTrace(inst *sched.Instance, path string) error {
 		return trace.WriteCSV(f, inst)
 	}
 	return trace.WriteJSON(f, inst)
+}
+
+// playTrace feeds the instance's arrival batches round by round through a
+// Stream — the same path a live deployment would use — then drains the
+// backlog and prints the Result plus any requested sink reports.
+func playTrace(inst *sched.Instance, polName string, n int, metrics bool, eventPath string) error {
+	pol, err := playPolicy(polName)
+	if err != nil {
+		return err
+	}
+
+	var probes sched.MultiProbe
+	var sink *sched.MetricsSink
+	if metrics {
+		sink = sched.NewMetricsSink(inst.MaxDelay(), 4*inst.MaxDelay()*n)
+		probes = append(probes, sink)
+	}
+	var ew *trace.EventWriter
+	if eventPath != "" {
+		f, err := os.Create(eventPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ew = trace.NewEventWriter(f)
+		probes = append(probes, ew)
+	}
+	var probe sched.Probe
+	switch len(probes) {
+	case 0:
+	case 1:
+		probe = probes[0]
+	default:
+		probe = probes
+	}
+
+	st, err := sched.NewStream(pol, sched.StreamConfig{
+		N: n, Delta: inst.Delta, Delays: inst.Delays, Probe: probe,
+	})
+	if err != nil {
+		return err
+	}
+	for r := 0; r < inst.NumRounds(); r++ {
+		var req sched.Request
+		if r < len(inst.Requests) {
+			req = inst.Requests[r]
+		}
+		if _, err := st.Step(req); err != nil {
+			return err
+		}
+	}
+	if _, err := st.Drain(); err != nil {
+		return err
+	}
+	res := st.Result()
+	fmt.Printf("played %s through %s (n=%d)\n", inst.Name, res.Policy, n)
+	fmt.Println(res)
+	if sink != nil {
+		if err := sink.Report(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if ew != nil {
+		if err := ew.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func playPolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "dlruedf":
+		return core.NewDLRUEDF(), nil
+	case "adaptive":
+		return core.NewDLRUEDF(core.WithAdaptiveSplit()), nil
+	case "dlru":
+		return policy.NewDLRU(), nil
+	case "edf":
+		return policy.NewEDF(), nil
+	case "seqedf":
+		return policy.NewSeqEDF(), nil
+	case "hysteresis":
+		return policy.NewHysteresis(1), nil
+	case "greedy":
+		return policy.NewGreedyPending(), nil
+	case "never":
+		return policy.NewNever(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q for -play", name)
 }
 
 func printStats(inst *sched.Instance) {

@@ -13,13 +13,21 @@ type Options struct {
 	// be validated or transformed (used by the reductions of §4–§5).
 	Record bool
 	// MaxRounds caps the simulation as a safety net; 0 means the instance
-	// horizon (NumRounds + MaxDelay), which always suffices.
+	// horizon (NumRounds + MaxDelay), which always suffices. Jobs still
+	// pending at the cap are charged as drops, attributed per color.
 	MaxRounds int
+	// Probe, when non-nil, receives one RoundEvent per simulated round
+	// (see Probe). Leaving it nil costs nothing.
+	Probe Probe
 }
 
 // Run simulates policy pol on instance inst and returns the cost and
 // statistics. The instance is normalized in place (batches sorted and
 // merged per round), which is idempotent and does not change its meaning.
+//
+// Run and Stream.Step drive the same roundEngine, so a recorded instance
+// fed through either front-end produces the identical Result; the
+// equivalence is additionally pinned by a randomized differential test.
 func Run(inst *Instance, pol Policy, opts Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -37,108 +45,36 @@ func Run(inst *Instance, pol Policy, opts Options) (*Result, error) {
 	inst.Normalize()
 
 	env := Env{N: opts.N, Speed: speed, Delta: inst.Delta, Delays: inst.Delays}
-	pol.Reset(env)
+	e := newRoundEngine(pol, env, opts.Probe)
+	if opts.Record {
+		e.sched = &Schedule{Policy: pol.Name(), N: opts.N, Speed: speed}
+	}
 
 	horizon := inst.Horizon()
 	if opts.MaxRounds > 0 && opts.MaxRounds < horizon {
 		horizon = opts.MaxRounds
 	}
-
-	pool := newJobPool(inst.NumColors())
-	res := &Result{
-		Policy:       pol.Name(),
-		DropsByColor: make([]int, inst.NumColors()),
-		ExecByColor:  make([]int, inst.NumColors()),
-	}
-	var sched *Schedule
-	if opts.Record {
-		sched = &Schedule{Policy: pol.Name(), N: opts.N, Speed: speed}
-	}
-
-	dropObs, _ := pol.(DropObserver)
-	execObs, _ := pol.(ExecObserver)
-
-	cur := make([]Color, opts.N)
-	for i := range cur {
-		cur[i] = NoColor
-	}
-	ctx := &Context{env: env, pool: pool}
-
 	for r := 0; r < horizon; r++ {
-		if r >= inst.NumRounds() && pool.totalPending() == 0 {
+		if r >= inst.NumRounds() && e.pool.totalPending() == 0 {
 			break
 		}
-		res.Rounds = r + 1
-
-		// Phase 1: drop.
-		dropped := pool.expire(r, func(c Color, n int) {
-			res.DropsByColor[c] += n
-			if dropObs != nil {
-				dropObs.OnDrop(r, c, n)
-			}
-		})
-		res.Dropped += dropped
-		res.Cost.Drop += int64(dropped)
-
-		// Phase 2: arrival.
 		var req Request
 		if r < inst.NumRounds() {
 			req = inst.Requests[r]
-			for _, b := range req {
-				pool.add(b.Color, r+inst.Delays[b.Color], b.Count)
-			}
 		}
-
-		// Phases 3+4, repeated per mini-round.
-		ctx.Round = r
-		ctx.Arrivals = req
-		for mini := 0; mini < speed; mini++ {
-			ctx.Mini = mini
-			assign := pol.Reconfigure(ctx)
-			if len(assign) != opts.N {
-				return nil, fmt.Errorf("sched: policy %s returned assignment of length %d, want %d",
-					pol.Name(), len(assign), opts.N)
-			}
-			for k := 0; k < opts.N; k++ {
-				if assign[k] != cur[k] {
-					res.Reconfigs++
-					res.Cost.Reconfig += int64(inst.Delta)
-					cur[k] = assign[k]
-				}
-				if c := cur[k]; c != NoColor && (c < 0 || int(c) >= inst.NumColors()) {
-					return nil, fmt.Errorf("sched: policy %s assigned unknown color %d", pol.Name(), c)
-				}
-			}
-			if sched != nil {
-				sched.Assign = append(sched.Assign, append([]Color(nil), cur...))
-			}
-			// Phase 4: execution. Locations are served in index order,
-			// which matters when two locations share a color with a single
-			// pending job; the validator replays the same order.
-			for k := 0; k < opts.N; k++ {
-				c := cur[k]
-				if c == NoColor {
-					continue
-				}
-				if _, ok := pool.take(c); ok {
-					res.Executed++
-					res.ExecByColor[c]++
-					if execObs != nil {
-						execObs.OnExec(r, mini, c, 1)
-					}
-				}
-			}
+		if err := e.step(req, nil); err != nil {
+			return nil, err
 		}
 	}
 
 	// Anything still pending at the horizon would be dropped in later
 	// rounds; the horizon covers NumRounds+MaxDelay so this only triggers
-	// when MaxRounds cut the run short. Charge those drops for honesty.
-	if left := pool.totalPending(); left > 0 {
-		res.Dropped += left
-		res.Cost.Drop += int64(left)
-	}
+	// when MaxRounds cut the run short. Charge those drops — with their
+	// per-color attribution, so the breakdown keeps summing to the total —
+	// for honesty.
+	e.dropPending()
 
-	res.Schedule = sched
-	return res, nil
+	res := e.res
+	res.Schedule = e.sched
+	return &res, nil
 }

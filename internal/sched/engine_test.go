@@ -290,3 +290,96 @@ func TestPerColorBreakdownProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaxRoundsAttributesForcedDropsPerColor: jobs still pending when
+// MaxRounds truncates a run are charged as drops WITH their per-color
+// attribution, so DropsByColor keeps summing to Dropped (this used to
+// diverge: the totals were charged but the breakdown was not).
+func TestMaxRoundsAttributesForcedDropsPerColor(t *testing.T) {
+	inst := &Instance{Delta: 2, Delays: []int{8, 8}}
+	inst.AddJobs(0, 0, 3)
+	inst.AddJobs(1, 1, 2)
+	res, err := Run(inst, &scripted{rows: [][]Color{{NoColor}}}, Options{N: 1, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 5 || res.Cost.Drop != 5 {
+		t.Fatalf("dropped %d (cost %d), want 5", res.Dropped, res.Cost.Drop)
+	}
+	if res.DropsByColor[0] != 3 || res.DropsByColor[1] != 2 {
+		t.Fatalf("DropsByColor = %v, want [3 2]", res.DropsByColor)
+	}
+}
+
+// TestRejectedAssignmentLeavesResultUntouched: validation of the full
+// assignment happens before any reconfiguration is charged, so a policy
+// error cannot leave a half-charged Result behind (this used to diverge:
+// Run charged reconfigurations before validating the color).
+func TestRejectedAssignmentLeavesResultUntouched(t *testing.T) {
+	// Location 0 changes to a valid color, location 1 to an unknown one.
+	pol := &scripted{rows: [][]Color{{0, 7}}}
+	st, err := NewStream(pol, StreamConfig{N: 2, Delta: 3, Delays: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Step(Request{{Color: 0, Count: 1}}); err == nil {
+		t.Fatal("unknown color accepted")
+	}
+	if st.Cost() != (Cost{}) {
+		t.Fatalf("rejected assignment charged cost %v", st.Cost())
+	}
+	if res := st.Result(); res.Reconfigs != 0 {
+		t.Fatalf("rejected assignment charged %d reconfigs", res.Reconfigs)
+	}
+}
+
+// TestStreamNormalizesArrivals: duplicate-color and unsorted batches are
+// merged and sorted before the policy and pool see them, exactly as Run's
+// Instance.Normalize would (this used to diverge: Stream only copied).
+func TestStreamNormalizesArrivals(t *testing.T) {
+	pol := &arrivalRecorder{}
+	st, err := NewStream(pol, StreamConfig{N: 1, Delta: 1, Delays: []int{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Request{{Color: 2, Count: 1}, {Color: 0, Count: 2}, {Color: 2, Count: 3}}
+	if _, err := st.Step(raw); err != nil {
+		t.Fatal(err)
+	}
+	seen := pol.seen
+	want := Request{{Color: 0, Count: 2}, {Color: 2, Count: 4}}
+	if len(seen) != 1 || len(seen[0]) != len(want) {
+		t.Fatalf("policy saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[0][i] != want[i] {
+			t.Fatalf("policy saw %v, want %v", seen[0], want)
+		}
+	}
+	// The caller's slice must not be mutated by normalization.
+	if raw[0] != (Batch{Color: 2, Count: 1}) || raw[1] != (Batch{Color: 0, Count: 2}) {
+		t.Fatalf("Step mutated the caller's request: %v", raw)
+	}
+	// Pool state reflects the merged batch.
+	if st.Pending(2) != 4 || st.Pending(0) != 1 { // one color-0 job executed
+		t.Fatalf("pending = [%d _ %d], want [1 _ 4]", st.Pending(0), st.Pending(2))
+	}
+}
+
+// arrivalRecorder records the normalized ctx.Arrivals it is shown.
+type arrivalRecorder struct {
+	n    int
+	seen []Request
+}
+
+func (p *arrivalRecorder) Name() string  { return "arrival-recorder" }
+func (p *arrivalRecorder) Reset(env Env) { p.n = env.N }
+func (p *arrivalRecorder) Reconfigure(ctx *Context) []Color {
+	cp := append(Request(nil), ctx.Arrivals...)
+	p.seen = append(p.seen, cp)
+	row := make([]Color, p.n)
+	for k := range row {
+		row[k] = 0
+	}
+	return row
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/container"
+)
 
 // FuzzReplaySchedule feeds byte-derived schedules to the validator: it
 // must never panic, and every accepted schedule must conserve jobs.
@@ -70,4 +74,173 @@ func FuzzStreamArrivals(f *testing.F) {
 			t.Fatalf("conservation: %d + %d != %d", st.Executed(), st.Dropped(), total)
 		}
 	})
+}
+
+// arrivalSensitive is a policy whose assignment depends on the exact
+// shape of ctx.Arrivals — batch order, multiplicity, and counts — so any
+// normalization divergence between the Run and Stream front-ends changes
+// its behavior and is caught by the differential test below.
+type arrivalSensitive struct {
+	env Env
+	row []Color
+}
+
+func (p *arrivalSensitive) Name() string { return "arrival-sensitive" }
+func (p *arrivalSensitive) Reset(env Env) {
+	p.env = env
+	p.row = make([]Color, env.N)
+}
+func (p *arrivalSensitive) Reconfigure(ctx *Context) []Color {
+	colors := len(p.env.Delays)
+	for k := range p.row {
+		switch {
+		case len(ctx.Arrivals) > 0:
+			b := ctx.Arrivals[k%len(ctx.Arrivals)]
+			p.row[k] = Color((int(b.Color) + b.Count + k + ctx.Mini) % colors)
+		case ctx.TotalPending() > 0:
+			nonidle := ctx.NonidleColors(nil)
+			p.row[k] = nonidle[k%len(nonidle)]
+		default:
+			p.row[k] = NoColor
+		}
+	}
+	return p.row
+}
+
+// rawRandomInstance builds a small random instance WITHOUT normalizing
+// it: rounds may carry duplicate-color and unsorted batches, exactly what
+// a live caller might hand Stream.Step.
+func rawRandomInstance(seed uint64) *Instance {
+	rng := container.NewRNG(seed*7919 + 13)
+	colors := 2 + rng.Intn(3)
+	delayChoices := []int{1, 2, 3, 4, 8}
+	inst := &Instance{Delta: 1 + rng.Intn(5), Delays: make([]int, colors)}
+	for c := range inst.Delays {
+		inst.Delays[c] = delayChoices[rng.Intn(len(delayChoices))]
+	}
+	rounds := 4 + rng.Intn(12)
+	for r := 0; r < rounds; r++ {
+		for b, nb := 0, rng.Intn(4); b < nb; b++ {
+			inst.AddJobs(r, Color(rng.Intn(colors)), 1+rng.Intn(3))
+		}
+	}
+	return inst
+}
+
+func resultsEqual(a, b *Result) bool {
+	if a.Cost != b.Cost || a.Executed != b.Executed || a.Dropped != b.Dropped ||
+		a.Reconfigs != b.Reconfigs || a.Rounds != b.Rounds {
+		return false
+	}
+	for c := range a.DropsByColor {
+		if a.DropsByColor[c] != b.DropsByColor[c] || a.ExecByColor[c] != b.ExecByColor[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunStreamReplayEquivalence is the randomized differential test for
+// the repository's core correctness invariant: a recorded instance fed
+// through Run, through Stream.Step (+Drain, or +DropPending under
+// truncation), and through Replay of the recorded schedule must produce
+// identical Results — costs, totals, per-color breakdowns, reconfig and
+// round counts. It covers duplicate-color unsorted arrival batches,
+// MaxRounds truncation, Speed=2, and both arrival-sensitive and scripted
+// policies, across well over 1000 randomized instances.
+func TestRunStreamReplayEquivalence(t *testing.T) {
+	const trials = 1200
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(trial)
+		rng := container.NewRNG(seed*2654435761 + 17)
+		inst := rawRandomInstance(seed)
+		n := 1 + rng.Intn(3)
+		speed := 1 + rng.Intn(2)
+		maxRounds := 0
+		if rng.Bool(0.3) {
+			maxRounds = 1 + rng.Intn(inst.Horizon())
+		}
+		mk := func() Policy {
+			if trial%2 == 0 {
+				return randomScript(seed+3, inst, n, inst.Horizon())
+			}
+			return &arrivalSensitive{}
+		}
+
+		record := maxRounds == 0
+		want, err := Run(inst.Clone(), mk(), Options{N: n, Speed: speed, MaxRounds: maxRounds, Record: record})
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		// The per-color breakdowns must sum to the totals even under
+		// MaxRounds truncation (forced drops are attributed per color).
+		sumDrop, sumExec := 0, 0
+		for c := range want.DropsByColor {
+			sumDrop += want.DropsByColor[c]
+			sumExec += want.ExecByColor[c]
+		}
+		if sumDrop != want.Dropped || sumExec != want.Executed {
+			t.Fatalf("trial %d: breakdown does not sum: drops %d/%d execs %d/%d",
+				trial, sumDrop, want.Dropped, sumExec, want.Executed)
+		}
+		// Conservation: every job is executed or dropped. Under MaxRounds
+		// truncation jobs arriving past the cap never enter the run, so
+		// the invariant only binds the untruncated case.
+		if maxRounds == 0 && want.Executed+want.Dropped != inst.TotalJobs() {
+			t.Fatalf("trial %d: conservation: %d+%d != %d", trial, want.Executed, want.Dropped, inst.TotalJobs())
+		}
+
+		// Stream: feed the RAW (unnormalized, duplicate-laden) requests.
+		st, err := NewStream(mk(), StreamConfig{N: n, Speed: speed, Delta: inst.Delta, Delays: inst.Delays})
+		if err != nil {
+			t.Fatalf("trial %d: NewStream: %v", trial, err)
+		}
+		if maxRounds == 0 {
+			for r := 0; r < inst.NumRounds(); r++ {
+				if _, err := st.Step(inst.Requests[r]); err != nil {
+					t.Fatalf("trial %d: Step(%d): %v", trial, r, err)
+				}
+			}
+			if _, err := st.Drain(); err != nil {
+				t.Fatalf("trial %d: Drain: %v", trial, err)
+			}
+		} else {
+			// Mirror Run's truncated loop, then charge the leftovers the
+			// way Run's MaxRounds accounting does.
+			horizon := inst.Horizon()
+			if maxRounds < horizon {
+				horizon = maxRounds
+			}
+			for r := 0; r < horizon; r++ {
+				if r >= inst.NumRounds() && st.TotalPending() == 0 {
+					break
+				}
+				var req Request
+				if r < inst.NumRounds() {
+					req = inst.Requests[r]
+				}
+				if _, err := st.Step(req); err != nil {
+					t.Fatalf("trial %d: Step(%d): %v", trial, r, err)
+				}
+			}
+			st.DropPending()
+		}
+		got := st.Result()
+		if !resultsEqual(want, got) {
+			t.Fatalf("trial %d (n=%d speed=%d maxRounds=%d): Run and Stream diverged:\n run:    %v\n stream: %v",
+				trial, n, speed, maxRounds, want, got)
+		}
+
+		// Replay the recorded schedule as the third, independent engine.
+		if record && want.Schedule != nil {
+			rep, err := Replay(inst.Clone(), want.Schedule)
+			if err != nil {
+				t.Fatalf("trial %d: Replay: %v", trial, err)
+			}
+			if !resultsEqual(want, rep) {
+				t.Fatalf("trial %d (n=%d speed=%d): Run and Replay diverged:\n run:    %v\n replay: %v",
+					trial, n, speed, want, rep)
+			}
+		}
+	}
 }

@@ -1,0 +1,61 @@
+package sched
+
+// RoundEvent summarizes one simulated round for observability probes: the
+// outcome of each of the model's four phases plus the pending depth the
+// round left behind.
+type RoundEvent struct {
+	// Round is the simulated round index.
+	Round int
+	// Arrivals counts the jobs that arrived this round.
+	Arrivals int
+	// Dropped counts the jobs dropped in this round's drop phase.
+	Dropped int
+	// Executed counts the jobs executed across the round's mini-rounds.
+	Executed int
+	// Reconfigs counts the location recolorings charged this round.
+	Reconfigs int
+	// Pending counts the jobs still pending after the round.
+	Pending int
+}
+
+// Probe receives one RoundEvent per simulated round from the shared round
+// engine. Attach one via Options.Probe (batch runs) or StreamConfig.Probe
+// (online streams): both front-ends drive the same engine, so a probe
+// observes identical event sequences either way.
+//
+// Probes observe; they cannot influence the simulation. Events are passed
+// by value and the engine allocates nothing on a probe's behalf — and
+// with no probe attached the observability layer costs nothing at all
+// (pinned by TestStepAllocFree and the micro-benchmarks in the repository
+// root).
+type Probe interface {
+	OnRound(ev RoundEvent)
+}
+
+// ExecProbe is optionally implemented by probes that also want per-job
+// execution events. OnJobExec reports one job of color c executed in
+// round, wait rounds after its arrival (0 ≤ wait < D_c) — the job's
+// queueing latency.
+type ExecProbe interface {
+	OnJobExec(round int, c Color, wait int)
+}
+
+// MultiProbe fans every event out to several probes, in order. Members
+// that also implement ExecProbe receive the per-job events.
+type MultiProbe []Probe
+
+// OnRound implements Probe.
+func (m MultiProbe) OnRound(ev RoundEvent) {
+	for _, p := range m {
+		p.OnRound(ev)
+	}
+}
+
+// OnJobExec implements ExecProbe.
+func (m MultiProbe) OnJobExec(round int, c Color, wait int) {
+	for _, p := range m {
+		if ep, ok := p.(ExecProbe); ok {
+			ep.OnJobExec(round, c, wait)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// recordingProbe retains every event for inspection.
+type recordingProbe struct {
+	rounds []RoundEvent
+	execs  []int // waits, in emission order
+}
+
+func (p *recordingProbe) OnRound(ev RoundEvent)               { p.rounds = append(p.rounds, ev) }
+func (p *recordingProbe) OnJobExec(round int, c Color, w int) { p.execs = append(p.execs, w) }
+
+func TestProbeRoundEvents(t *testing.T) {
+	// Round 0: 2 jobs arrive (D=2), 1 executed, 1 reconfig, 1 left.
+	// Round 1: nothing arrives, 1 executed.
+	inst := &Instance{Delta: 3, Delays: []int{2}}
+	inst.AddJobs(0, 0, 2)
+	p := &recordingProbe{}
+	res, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1, Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RoundEvent{
+		{Round: 0, Arrivals: 2, Dropped: 0, Executed: 1, Reconfigs: 1, Pending: 1},
+		{Round: 1, Arrivals: 0, Dropped: 0, Executed: 1, Reconfigs: 0, Pending: 0},
+	}
+	if !reflect.DeepEqual(p.rounds, want) {
+		t.Fatalf("events = %+v, want %+v", p.rounds, want)
+	}
+	// Waits: first job executes in its arrival round (wait 0), the second
+	// one round later (wait 1).
+	if !reflect.DeepEqual(p.execs, []int{0, 1}) {
+		t.Fatalf("waits = %v, want [0 1]", p.execs)
+	}
+	if res.Executed != 2 {
+		t.Fatalf("executed = %d", res.Executed)
+	}
+}
+
+// TestProbeSeesIdenticalEventsFromRunAndStream: the probe stream is part
+// of the Run ≡ Stream contract.
+func TestProbeSeesIdenticalEventsFromRunAndStream(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		inst := rawRandomInstance(uint64(trial) + 500)
+		pa, pb := &recordingProbe{}, &recordingProbe{}
+
+		if _, err := Run(inst.Clone(), &arrivalSensitive{}, Options{N: 2, Probe: pa}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStream(&arrivalSensitive{}, StreamConfig{N: 2, Delta: inst.Delta, Delays: inst.Delays, Probe: pb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < inst.NumRounds(); r++ {
+			if _, err := st.Step(inst.Requests[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := st.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pa.rounds, pb.rounds) {
+			t.Fatalf("trial %d: Run and Stream emitted different round events:\n%v\n%v", trial, pa.rounds, pb.rounds)
+		}
+		if !reflect.DeepEqual(pa.execs, pb.execs) {
+			t.Fatalf("trial %d: Run and Stream emitted different exec waits", trial)
+		}
+	}
+}
+
+func TestCounterSinkTotalsMatchResult(t *testing.T) {
+	inst := rawRandomInstance(42)
+	sink := &CounterSink{}
+	res, err := Run(inst, &arrivalSensitive{}, Options{N: 2, Probe: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Executed != res.Executed || sink.Dropped != res.Dropped ||
+		sink.Reconfigs != res.Reconfigs || sink.Rounds != res.Rounds {
+		t.Fatalf("sink %v disagrees with result %v", sink, res)
+	}
+	if sink.Arrivals != inst.TotalJobs() {
+		t.Fatalf("sink saw %d arrivals, instance has %d jobs", sink.Arrivals, inst.TotalJobs())
+	}
+}
+
+func TestMetricsSink(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{4}}
+	inst.AddJobs(0, 0, 3) // one per round executes: waits 0, 1, 2
+	sink := NewMetricsSink(inst.MaxDelay(), 8)
+	if _, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1, Probe: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Wait.Total() != 3 {
+		t.Fatalf("wait histogram has %d samples, want 3", sink.Wait.Total())
+	}
+	for bin, want := range []int{1, 1, 1, 0} {
+		if sink.Wait.Bins[bin] != want {
+			t.Fatalf("wait bin %d = %d, want %d (bins %v)", bin, sink.Wait.Bins[bin], want, sink.Wait.Bins)
+		}
+	}
+	if sink.Depth.Total() != sink.Rounds {
+		t.Fatalf("depth histogram has %d samples over %d rounds", sink.Depth.Total(), sink.Rounds)
+	}
+	var sb strings.Builder
+	if err := sink.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"totals:", "wait (rounds)", "pending depth"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestMultiProbeFansOut(t *testing.T) {
+	inst := &Instance{Delta: 1, Delays: []int{2}}
+	inst.AddJobs(0, 0, 2)
+	counter := &CounterSink{}
+	rec := &recordingProbe{}
+	if _, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1, Probe: MultiProbe{counter, rec}}); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Executed != 2 || len(rec.rounds) != counter.Rounds || len(rec.execs) != 2 {
+		t.Fatalf("fan-out lost events: counter=%v recorded=%d rounds %d execs",
+			counter, len(rec.rounds), len(rec.execs))
+	}
+}
+
+// TestStepAllocFree pins the engine's zero-allocation guarantee: with no
+// probe attached, a steady-state Stream.Step — including unsorted
+// duplicate-batch normalization, drops, executions, and StepResult
+// assembly — performs no heap allocation.
+func TestStepAllocFree(t *testing.T) {
+	pol := &scripted{rows: [][]Color{{0}}}
+	st, err := NewStream(pol, StreamConfig{N: 1, Delta: 2, Delays: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsorted with a duplicate: color 0 gets 2 jobs/round but executes
+	// only 1, so 1 drops each round once deadlines start expiring; color 1
+	// is never configured and drops entirely. Steady state is bounded.
+	req := Request{{Color: 1, Count: 1}, {Color: 0, Count: 1}, {Color: 0, Count: 1}}
+	for i := 0; i < 64; i++ { // warm up scratch buffers and pool capacity
+		if _, err := st.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := st.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Stream.Step allocated %v times per round with no probe attached, want 0", allocs)
+	}
+
+	// A CounterSink receives events by value: still allocation-free.
+	st2, err := NewStream(&scripted{rows: [][]Color{{0}}}, StreamConfig{
+		N: 1, Delta: 2, Delays: []int{2, 3}, Probe: &CounterSink{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := st2.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := st2.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Stream.Step allocated %v times per round with a CounterSink, want 0", allocs)
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// CounterSink is the cheapest built-in Probe: running totals only, no
+// allocation after construction. Its exported fields may be read at any
+// time between steps.
+type CounterSink struct {
+	Rounds     int // rounds observed
+	Arrivals   int // jobs arrived
+	Dropped    int // jobs dropped
+	Executed   int // jobs executed
+	Reconfigs  int // location recolorings
+	MaxPending int // deepest end-of-round backlog seen
+}
+
+// OnRound implements Probe.
+func (s *CounterSink) OnRound(ev RoundEvent) {
+	s.Rounds++
+	s.Arrivals += ev.Arrivals
+	s.Dropped += ev.Dropped
+	s.Executed += ev.Executed
+	s.Reconfigs += ev.Reconfigs
+	if ev.Pending > s.MaxPending {
+		s.MaxPending = ev.Pending
+	}
+}
+
+// String renders the totals on one line.
+func (s *CounterSink) String() string {
+	return fmt.Sprintf("rounds=%d arrivals=%d executed=%d dropped=%d reconfigs=%d maxPending=%d",
+		s.Rounds, s.Arrivals, s.Executed, s.Dropped, s.Reconfigs, s.MaxPending)
+}
+
+// MetricsSink extends CounterSink with stats.Histogram summaries of the
+// two quantities a capacity planner asks about: per-job queueing latency
+// (rounds between arrival and execution) and backlog occupancy (pending
+// depth at the end of each round).
+type MetricsSink struct {
+	CounterSink
+	// Wait histograms per-job queueing delay over [0, maxDelay) in
+	// unit-round bins, coarsened so the histogram never exceeds 64 bins; a
+	// job of color c waits between 0 and D_c − 1 rounds.
+	Wait *stats.Histogram
+	// Depth histograms the pending depth observed after each round; rounds
+	// deeper than the configured limit land in the Over bucket.
+	Depth *stats.Histogram
+}
+
+// NewMetricsSink builds a MetricsSink. maxDelay bounds the wait histogram
+// (use the instance's MaxDelay, or the largest configured delay bound);
+// depthLimit bounds the pending-depth histogram.
+func NewMetricsSink(maxDelay, depthLimit int) *MetricsSink {
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	if depthLimit < 1 {
+		depthLimit = 1
+	}
+	waitBins := maxDelay
+	if waitBins > 64 {
+		waitBins = 64
+	}
+	depthBins := depthLimit
+	if depthBins > 64 {
+		depthBins = 64
+	}
+	return &MetricsSink{
+		Wait:  stats.NewHistogram(0, float64(maxDelay), waitBins),
+		Depth: stats.NewHistogram(0, float64(depthLimit), depthBins),
+	}
+}
+
+// OnRound implements Probe.
+func (s *MetricsSink) OnRound(ev RoundEvent) {
+	s.CounterSink.OnRound(ev)
+	s.Depth.Add(float64(ev.Pending))
+}
+
+// OnJobExec implements ExecProbe.
+func (s *MetricsSink) OnJobExec(round int, c Color, wait int) {
+	s.Wait.Add(float64(wait))
+}
+
+// Report renders the totals and both histograms to w.
+func (s *MetricsSink) Report(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "totals: %s\n", s.CounterSink.String()); err != nil {
+		return err
+	}
+	if err := writeHistogram(w, "wait (rounds)", s.Wait); err != nil {
+		return err
+	}
+	return writeHistogram(w, "pending depth", s.Depth)
+}
+
+// writeHistogram renders the non-empty bins of h on one labeled line.
+func writeHistogram(w io.Writer, label string, h *stats.Histogram) error {
+	if _, err := fmt.Fprintf(w, "%-14s n=%d", label, h.Total()); err != nil {
+		return err
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, n := range h.Bins {
+		if n == 0 {
+			continue
+		}
+		lo := h.Lo + float64(i)*width
+		if _, err := fmt.Fprintf(w, "  [%g,%g)=%d", lo, lo+width, n); err != nil {
+			return err
+		}
+	}
+	if h.Under > 0 {
+		if _, err := fmt.Fprintf(w, "  under=%d", h.Under); err != nil {
+			return err
+		}
+	}
+	if h.Over > 0 {
+		if _, err := fmt.Fprintf(w, "  over=%d", h.Over); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -12,6 +12,9 @@ type StreamConfig struct {
 	// bounds; together they fix the color universe up front.
 	Delta  int
 	Delays []int
+	// Probe, when non-nil, receives one RoundEvent per Step (see Probe).
+	// Leaving it nil costs nothing.
+	Probe Probe
 }
 
 // Stream drives a policy one round at a time for callers that do not have
@@ -21,21 +24,12 @@ type StreamConfig struct {
 // round and reports what happened; Drain runs empty rounds until nothing
 // is pending.
 //
-// A Stream and a Run over the same arrivals produce identical costs; the
-// equivalence is pinned by tests.
+// A Stream and a Run over the same arrivals produce identical Results by
+// construction: both front-ends drive the same roundEngine. A randomized
+// differential test additionally pins the equivalence against Replay.
 type Stream struct {
-	cfg  StreamConfig
-	pol  Policy
-	pool *jobPool
-	cur  []Color
-	ctx  *Context
-
-	round int
-	cost  Cost
-
-	executed, dropped, reconfigs int
-	dropsByColor, execByColor    []int
-
+	cfg     StreamConfig
+	eng     *roundEngine
 	scratch Request
 }
 
@@ -44,7 +38,8 @@ type StepResult struct {
 	// Round is the round index that was just simulated.
 	Round int
 	// Dropped and Executed list the jobs dropped and executed this round,
-	// grouped per color (entries ordered by color).
+	// grouped per color (entries sorted by color). Like Assignment, the
+	// backing arrays are reused across Steps — copy them to retain them.
 	Dropped  []Batch
 	Executed []Batch
 	// Reconfigs counts location recolorings performed this round.
@@ -74,43 +69,33 @@ func NewStream(pol Policy, cfg StreamConfig) (*Stream, error) {
 		}
 	}
 	env := Env{N: cfg.N, Speed: cfg.Speed, Delta: cfg.Delta, Delays: cfg.Delays}
-	pol.Reset(env)
-	s := &Stream{
-		cfg:          cfg,
-		pol:          pol,
-		pool:         newJobPool(len(cfg.Delays)),
-		cur:          make([]Color, cfg.N),
-		dropsByColor: make([]int, len(cfg.Delays)),
-		execByColor:  make([]int, len(cfg.Delays)),
-	}
-	for i := range s.cur {
-		s.cur[i] = NoColor
-	}
-	s.ctx = &Context{env: env, pool: s.pool}
-	return s, nil
+	return &Stream{cfg: cfg, eng: newRoundEngine(pol, env, cfg.Probe)}, nil
 }
 
 // Round reports the index of the next round Step will simulate.
-func (s *Stream) Round() int { return s.round }
+func (s *Stream) Round() int { return s.eng.round }
 
 // Cost reports the cumulative cost so far.
-func (s *Stream) Cost() Cost { return s.cost }
+func (s *Stream) Cost() Cost { return s.eng.res.Cost }
 
 // Pending reports the pending jobs of color c.
-func (s *Stream) Pending(c Color) int { return s.pool.pending(c) }
+func (s *Stream) Pending(c Color) int { return s.eng.pool.pending(c) }
 
 // TotalPending reports all pending jobs.
-func (s *Stream) TotalPending() int { return s.pool.totalPending() }
+func (s *Stream) TotalPending() int { return s.eng.pool.totalPending() }
 
 // Executed and Dropped report cumulative totals.
-func (s *Stream) Executed() int { return s.executed }
+func (s *Stream) Executed() int { return s.eng.res.Executed }
 
 // Dropped reports the cumulative dropped-job count.
-func (s *Stream) Dropped() int { return s.dropped }
+func (s *Stream) Dropped() int { return s.eng.res.Dropped }
 
 // Step simulates one round with the given arrivals. Batches must name
-// declared colors with positive counts. The returned StepResult's slices
-// are freshly allocated except Assignment (reused).
+// declared colors with positive counts; they need not be sorted or
+// deduplicated — Step normalizes a scratch copy exactly the way Run's
+// Instance.Normalize would, so a policy sees identical arrivals under
+// both front-ends. The returned StepResult's slices are reused across
+// Steps; copy them to retain them.
 func (s *Stream) Step(arrivals Request) (StepResult, error) {
 	for _, b := range arrivals {
 		if b.Color < 0 || int(b.Color) >= len(s.cfg.Delays) {
@@ -120,75 +105,12 @@ func (s *Stream) Step(arrivals Request) (StepResult, error) {
 			return StepResult{}, fmt.Errorf("sched: Stream.Step: non-positive count %d", b.Count)
 		}
 	}
-	r := s.round
-	s.round++
-	out := StepResult{Round: r}
-
-	// Phase 1: drop.
-	dropObs, _ := s.pol.(DropObserver)
-	s.pool.expire(r, func(c Color, n int) {
-		out.Dropped = append(out.Dropped, Batch{Color: c, Count: n})
-		s.dropsByColor[c] += n
-		if dropObs != nil {
-			dropObs.OnDrop(r, c, n)
-		}
-	})
-	for _, b := range out.Dropped {
-		s.dropped += b.Count
-		s.cost.Drop += int64(b.Count)
-	}
-
-	// Phase 2: arrival (normalized copy for the policy's context).
 	s.scratch = append(s.scratch[:0], arrivals...)
-	req := Request(s.scratch)
-	for _, b := range req {
-		s.pool.add(b.Color, r+s.cfg.Delays[b.Color], b.Count)
+	s.scratch = normalizeRequest(s.scratch)
+	var out StepResult
+	if err := s.eng.step(s.scratch, &out); err != nil {
+		return StepResult{}, err
 	}
-
-	// Phases 3+4 per mini-round.
-	execObs, _ := s.pol.(ExecObserver)
-	s.ctx.Round = r
-	s.ctx.Arrivals = req
-	execCount := make(map[Color]int)
-	for mini := 0; mini < s.cfg.Speed; mini++ {
-		s.ctx.Mini = mini
-		assign := s.pol.Reconfigure(s.ctx)
-		if len(assign) != s.cfg.N {
-			return StepResult{}, fmt.Errorf("sched: Stream.Step: policy %s returned %d assignments, want %d",
-				s.pol.Name(), len(assign), s.cfg.N)
-		}
-		for k := 0; k < s.cfg.N; k++ {
-			if assign[k] != s.cur[k] {
-				if c := assign[k]; c != NoColor && (c < 0 || int(c) >= len(s.cfg.Delays)) {
-					return StepResult{}, fmt.Errorf("sched: Stream.Step: policy assigned unknown color %d", c)
-				}
-				out.Reconfigs++
-				s.reconfigs++
-				s.cost.Reconfig += int64(s.cfg.Delta)
-				s.cur[k] = assign[k]
-			}
-		}
-		for k := 0; k < s.cfg.N; k++ {
-			c := s.cur[k]
-			if c == NoColor {
-				continue
-			}
-			if _, ok := s.pool.take(c); ok {
-				execCount[c]++
-				s.executed++
-				s.execByColor[c]++
-				if execObs != nil {
-					execObs.OnExec(r, mini, c, 1)
-				}
-			}
-		}
-	}
-	for c := Color(0); int(c) < len(s.cfg.Delays); c++ {
-		if n := execCount[c]; n > 0 {
-			out.Executed = append(out.Executed, Batch{Color: c, Count: n})
-		}
-	}
-	out.Assignment = s.cur
 	return out, nil
 }
 
@@ -196,7 +118,7 @@ func (s *Stream) Step(arrivals Request) (StepResult, error) {
 // of rounds it took. Call it at the end of a trace so every job is
 // properly executed or charged as a drop.
 func (s *Stream) Drain() (rounds int, err error) {
-	for s.pool.totalPending() > 0 {
+	for s.eng.pool.totalPending() > 0 {
 		if _, err := s.Step(nil); err != nil {
 			return rounds, err
 		}
@@ -205,16 +127,13 @@ func (s *Stream) Drain() (rounds int, err error) {
 	return rounds, nil
 }
 
-// Result summarizes the stream so far in the same shape Run returns.
-func (s *Stream) Result() *Result {
-	return &Result{
-		Policy:       s.pol.Name(),
-		Cost:         s.cost,
-		Executed:     s.executed,
-		Dropped:      s.dropped,
-		Reconfigs:    s.reconfigs,
-		Rounds:       s.round,
-		DropsByColor: append([]int(nil), s.dropsByColor...),
-		ExecByColor:  append([]int(nil), s.execByColor...),
-	}
-}
+// DropPending force-drops every job still pending, charging each as a
+// drop with per-color attribution — the same accounting Run applies when
+// Options.MaxRounds truncates a simulation. Use it instead of Drain when
+// tearing a stream down early. It returns the number of jobs charged; the
+// policy and any attached Probe are not notified.
+func (s *Stream) DropPending() int { return s.eng.dropPending() }
+
+// Result summarizes the stream so far in the same shape Run returns. The
+// returned value is a snapshot; it is not affected by further Steps.
+func (s *Stream) Result() *Result { return s.eng.snapshot() }

@@ -11,10 +11,7 @@
 // (§2 of the paper). The goal is to minimize reconfiguration + drop cost.
 package sched
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Color identifies a job category. Colors are dense small integers
 // 0 … NumColors-1. NoColor represents the initial "black" configuration of
@@ -187,21 +184,35 @@ func (in *Instance) Clone() *Instance {
 // receiver for chaining.
 func (in *Instance) Normalize() *Instance {
 	for i, r := range in.Requests {
-		if len(r) <= 1 {
-			continue
-		}
-		sort.Slice(r, func(a, b int) bool { return r[a].Color < r[b].Color })
-		out := r[:0]
-		for _, b := range r {
-			if n := len(out); n > 0 && out[n-1].Color == b.Color {
-				out[n-1].Count += b.Count
-			} else {
-				out = append(out, b)
-			}
-		}
-		in.Requests[i] = out
+		in.Requests[i] = normalizeRequest(r)
 	}
 	return in
+}
+
+// normalizeRequest sorts a request's batches by color and merges
+// duplicates, in place, returning the canonical slice. Both Instance
+// normalization and Stream.Step use it, so the two front-ends hand
+// policies byte-identical arrivals. Insertion sort keeps the common
+// small-request case allocation-free, which the Stream dataplane's
+// zero-allocation guarantee relies on.
+func normalizeRequest(r Request) Request {
+	if len(r) <= 1 {
+		return r
+	}
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && r[j].Color < r[j-1].Color; j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+	out := r[:0]
+	for _, b := range r {
+		if n := len(out); n > 0 && out[n-1].Color == b.Color {
+			out[n-1].Count += b.Count
+		} else {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // AddJobs appends count jobs of color c arriving at round. The request

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+)
+
+// jsonEvent is the on-disk layout of one per-round engine event: one JSON
+// object per line (JSON Lines), each self-describing with the container
+// format version, so event streams can be tailed, cut, and concatenated.
+type jsonEvent struct {
+	Version   int `json:"v"`
+	Round     int `json:"round"`
+	Arrivals  int `json:"arrivals"`
+	Dropped   int `json:"dropped"`
+	Executed  int `json:"executed"`
+	Reconfigs int `json:"reconfigs"`
+	Pending   int `json:"pending"`
+}
+
+// EventWriter streams the round engine's per-round events as JSON Lines.
+// It implements sched.Probe; attach it via sched.Options.Probe or
+// sched.StreamConfig.Probe. Writes are buffered — call Flush (or check
+// Err, which flushes) when the run finishes.
+type EventWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewEventWriter returns an EventWriter emitting to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	bw := bufio.NewWriter(w)
+	return &EventWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// OnRound implements sched.Probe. Encoding errors are sticky: the first
+// one stops further output and is reported by Err.
+func (ew *EventWriter) OnRound(ev sched.RoundEvent) {
+	if ew.err != nil {
+		return
+	}
+	ew.err = ew.enc.Encode(jsonEvent{
+		Version:   FormatVersion,
+		Round:     ev.Round,
+		Arrivals:  ev.Arrivals,
+		Dropped:   ev.Dropped,
+		Executed:  ev.Executed,
+		Reconfigs: ev.Reconfigs,
+		Pending:   ev.Pending,
+	})
+}
+
+// Flush writes out any buffered events.
+func (ew *EventWriter) Flush() error {
+	if ew.err != nil {
+		return ew.err
+	}
+	ew.err = ew.bw.Flush()
+	return ew.err
+}
+
+// Err flushes and reports the first error encountered, if any.
+func (ew *EventWriter) Err() error { return ew.Flush() }
+
+// ReadEvents parses a JSON Lines event stream produced by EventWriter.
+func ReadEvents(r io.Reader) ([]sched.RoundEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []sched.RoundEvent
+	for {
+		var ev jsonEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(out), err)
+		}
+		if ev.Version != FormatVersion {
+			return nil, fmt.Errorf("trace: event %d has unsupported version %d (want %d)",
+				len(out), ev.Version, FormatVersion)
+		}
+		out = append(out, sched.RoundEvent{
+			Round:     ev.Round,
+			Arrivals:  ev.Arrivals,
+			Dropped:   ev.Dropped,
+			Executed:  ev.Executed,
+			Reconfigs: ev.Reconfigs,
+			Pending:   ev.Pending,
+		})
+	}
+}

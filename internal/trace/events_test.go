@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+func TestEventWriterRoundTrip(t *testing.T) {
+	events := []sched.RoundEvent{
+		{Round: 0, Arrivals: 3, Dropped: 0, Executed: 2, Reconfigs: 1, Pending: 1},
+		{Round: 1, Arrivals: 0, Dropped: 1, Executed: 0, Reconfigs: 0, Pending: 0},
+	}
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	for _, ev := range events {
+		ew.OnRound(ev)
+	}
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Fatalf("wrote %d lines, want %d:\n%s", lines, len(events), buf.String())
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip changed events:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestEventWriterRejectsWrongVersion(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader(`{"v":99,"round":0}` + "\n")); err == nil {
+		t.Fatal("accepted unsupported version")
+	}
+}
+
+// TestEventWriterAsEngineProbe: attached to a live run, the writer
+// produces one line per simulated round whose totals reconcile with the
+// run's Result.
+func TestEventWriterAsEngineProbe(t *testing.T) {
+	inst := &sched.Instance{Delta: 2, Delays: []int{2, 4}}
+	inst.AddJobs(0, 0, 3)
+	inst.AddJobs(1, 1, 2)
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	res, err := sched.Run(inst, policy.NewStatic(0), sched.Options{N: 1, Probe: ew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Rounds {
+		t.Fatalf("wrote %d events over %d rounds", len(events), res.Rounds)
+	}
+	exec, drop := 0, 0
+	for _, ev := range events {
+		exec += ev.Executed
+		drop += ev.Dropped
+	}
+	if exec != res.Executed || drop != res.Dropped {
+		t.Fatalf("event totals %d/%d, result %d/%d", exec, drop, res.Executed, res.Dropped)
+	}
+}

@@ -33,6 +33,19 @@
 // workload generators (including the paper's Appendix A/B adversarial
 // constructions) and the experiment harness that regenerates every
 // figure/table in DESIGN.md are all re-exported below.
+//
+// # Engine and observability
+//
+// Both simulation front-ends — Run for recorded instances and Stream for
+// the true online setting — drive one shared four-phase round engine, so
+// they cannot diverge: identical arrivals produce identical Results,
+// including the per-color breakdowns (which always sum to the totals, a
+// pinned invariant). The engine emits per-round RoundEvents to an
+// optional Probe (Options.Probe / StreamConfig.Probe): CounterSink keeps
+// totals, MetricsSink adds latency and backlog-occupancy histograms, and
+// NewRoundEventWriter streams JSONL for offline analysis. With no probe
+// attached the observability layer performs zero allocations and costs
+// nothing.
 package rrs
 
 import (
@@ -44,6 +57,7 @@ import (
 	"repro/internal/offline"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -100,10 +114,47 @@ type (
 )
 
 // NewStream starts an incremental simulation of pol; call Step with each
-// round's arrivals and Drain at the end of the trace.
+// round's arrivals and Drain (or DropPending) at the end of the trace.
 func NewStream(pol Policy, cfg StreamConfig) (*Stream, error) {
 	return sched.NewStream(pol, cfg)
 }
+
+// ——— Observability (internal/sched probes, internal/trace JSONL) ———
+
+// Observability types: the shared round engine reports each simulated
+// round to an attached Probe. See the package comment.
+type (
+	// Probe receives one RoundEvent per simulated round.
+	Probe = sched.Probe
+	// RoundEvent summarizes one round: arrivals, drops, executions,
+	// reconfigurations, and pending depth.
+	RoundEvent = sched.RoundEvent
+	// ExecProbe is optionally implemented by probes wanting per-job
+	// execution events with queueing latency.
+	ExecProbe = sched.ExecProbe
+	// MultiProbe fans events out to several probes.
+	MultiProbe = sched.MultiProbe
+	// CounterSink accumulates totals (cheapest probe).
+	CounterSink = sched.CounterSink
+	// MetricsSink adds latency/occupancy histogram summaries.
+	MetricsSink = sched.MetricsSink
+	// RoundEventWriter streams per-round events as JSON Lines.
+	RoundEventWriter = trace.EventWriter
+)
+
+// NewMetricsSink builds a MetricsSink; maxDelay bounds the latency
+// histogram (use Instance.MaxDelay) and depthLimit the backlog one.
+func NewMetricsSink(maxDelay, depthLimit int) *MetricsSink {
+	return sched.NewMetricsSink(maxDelay, depthLimit)
+}
+
+// NewRoundEventWriter returns a Probe that streams every round as one
+// JSON line on w; check Err when the run finishes.
+func NewRoundEventWriter(w io.Writer) *RoundEventWriter { return trace.NewEventWriter(w) }
+
+// ReadRoundEvents parses a JSON Lines stream written by
+// NewRoundEventWriter.
+func ReadRoundEvents(r io.Reader) ([]RoundEvent, error) { return trace.ReadEvents(r) }
 
 // ——— The paper's algorithms (internal/core) ———
 
