@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race cover bench benchsmoke check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke check experiments fmt vet clean
 
 all: build test
 
@@ -13,20 +13,38 @@ test:
 race:
 	go test -race ./...
 
+# The hot-path packages (round engine, parallel sweep runner) under the
+# race detector with fresh (uncached) runs — the fast pre-commit subset.
+race-hot:
+	go test -race -count=1 ./internal/sched/ ./internal/exp/
+
 cover:
 	go test -cover ./...
 
 bench:
 	go test -bench=. -benchmem -run '^$$' ./...
 
-# One iteration of every benchmark: a fast smoke test that the benchmark
-# harness still compiles and runs (not a measurement).
+# Measure the fixed regression suite and write BENCH_$(BENCH_LABEL).json
+# (see docs/PERFORMANCE.md). Compare two files with:
+#   go run ./cmd/rrbench -compare old.json new.json
+BENCH_LABEL ?= local
+BENCHTIME ?= 1s
+bench-json:
+	go run ./cmd/rrbench -json -label $(BENCH_LABEL) -benchtime $(BENCHTIME)
+
+# One iteration of every benchmark plus an end-to-end run of the JSON
+# emitter and comparator (self-compare doubles as a schema validation):
+# a fast smoke test that the harnesses still compile and run, not a
+# measurement.
 benchsmoke:
 	go test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
+	go run ./cmd/rrbench -json -label smoke -benchtime 10ms -out /tmp/BENCH_smoke.json
+	go run ./cmd/rrbench -compare /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json
+	rm -f /tmp/BENCH_smoke.json
 
-# The pre-commit gate: static analysis plus the full test suite under the
-# race detector.
-check: vet race
+# The pre-commit gate: static analysis, the race-detector subset on the
+# hot-path packages, then the full test suite under the race detector.
+check: vet race-hot race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -156,6 +156,29 @@ func benchStreamStep(b *testing.B, probe sched.Probe) {
 
 func BenchmarkStreamStepNoProbe(b *testing.B) { benchStreamStep(b, nil) }
 
+// benchPolicyStep measures one steady-state Stream.Step for a real policy
+// — the complete per-round cost including tracker bookkeeping, ranking
+// sorts and cache maintenance, not just the engine shell that
+// benchStreamStep (Static policy) isolates. The benchmem column must read
+// 0 allocs/op; TestFullPolicyStepAllocFree pins the same contract.
+func benchPolicyStep(b *testing.B, pol sched.Policy) {
+	b.Helper()
+	st, req := steadyStream(b, pol, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Step(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyStepDLRUEDF(b *testing.B) { benchPolicyStep(b, core.NewDLRUEDF()) }
+
+func BenchmarkPolicyStepDLRU(b *testing.B) { benchPolicyStep(b, policy.NewDLRU()) }
+
+func BenchmarkPolicyStepEDF(b *testing.B) { benchPolicyStep(b, policy.NewEDF()) }
+
 func BenchmarkStreamStepCounterSink(b *testing.B) { benchStreamStep(b, &sched.CounterSink{}) }
 
 func BenchmarkStreamStepMetricsSink(b *testing.B) {

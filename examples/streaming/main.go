@@ -36,7 +36,11 @@ func main() {
 	// batch work trickling in.
 	rng := container.NewRNG(42)
 	var replay []rrs.Request // keep the trace to reconcile with Run below
-	logged := 0
+	// Rounds where something costly happened, kept for the report below.
+	// A StepResult's slices alias buffers the Stream reuses on the next
+	// Step, so anything retained must be Cloned — appending `out` directly
+	// would make every saved entry silently mutate into the last round.
+	var costly []rrs.StepResult
 	for r := 0; r < rounds; r++ {
 		var req rrs.Request
 		if (r/20)%2 == 0 { // interactive burst phase
@@ -53,13 +57,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Log rounds where something costly happened.
-		if (len(out.Dropped) > 0 || out.Reconfigs > 0) && logged < 10 {
-			fmt.Printf("round %3d: arrivals=%d executed=%d dropped=%v reconfigs=%d\n",
-				out.Round, req.Jobs(), countJobs(out.Executed), out.Dropped, out.Reconfigs)
-			logged++
+		if len(out.Dropped) > 0 || out.Reconfigs > 0 {
+			costly = append(costly, out.Clone())
 		}
 	}
+	for _, out := range costly[:min(10, len(costly))] {
+		fmt.Printf("round %3d: executed=%d dropped=%v reconfigs=%d\n",
+			out.Round, countJobs(out.Executed), out.Dropped, out.Reconfigs)
+	}
+	fmt.Printf("(%d costly rounds in total)\n", len(costly))
 	if _, err := st.Drain(); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOpts keeps measurement loops short enough for unit tests while
+// still exercising the full iteration-growth path.
+var tinyOpts = Options{Benchtime: 2 * time.Millisecond, Samples: 2}
+
+func mkFile(t *testing.T, specs []Spec) *File {
+	t.Helper()
+	f, err := Run("test", specs, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func constSpec(name string, allocs int) Spec {
+	return Spec{Name: name, Make: func() (func() error, int, int) {
+		sink := make([][]byte, 0, allocs)
+		op := func() error {
+			sink = sink[:0]
+			for i := 0; i < allocs; i++ {
+				sink = append(sink, make([]byte, 64))
+			}
+			return nil
+		}
+		return op, 1, 2
+	}}
+}
+
+// TestMeasureCountsAllocations checks that the MemStats-delta accounting
+// attributes the right allocs/op to an op with a known allocation count,
+// and that a non-allocating op reads 0 — the property the zero-alloc
+// regression guard depends on.
+func TestMeasureCountsAllocations(t *testing.T) {
+	f := mkFile(t, []Spec{constSpec("alloc3", 3), constSpec("alloc0", 0)})
+	if got := f.Benchmarks[0].AllocsPerOp; got < 2.5 || got > 3.5 {
+		t.Errorf("alloc3: got %.2f allocs/op, want ≈3", got)
+	}
+	if got := f.Benchmarks[1].AllocsPerOp; got > 0.01 {
+		t.Errorf("alloc0: got %.2f allocs/op, want 0", got)
+	}
+	for _, m := range f.Benchmarks {
+		if m.NsPerOp <= 0 || m.Iterations < 1 {
+			t.Errorf("%s: implausible measurement %+v", m.Name, m)
+		}
+		if m.RoundsPerSec <= 0 || m.JobsPerSec <= 0 {
+			t.Errorf("%s: rate metrics missing: %+v", m.Name, m)
+		}
+	}
+}
+
+// TestCompareSelfIsClean: a file compared against itself must produce no
+// regressions at any threshold — this is what `make benchsmoke` runs end
+// to end as a schema check.
+func TestCompareSelfIsClean(t *testing.T) {
+	f := mkFile(t, []Spec{constSpec("a", 1), constSpec("b", 0)})
+	cmp, err := Compare(f, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 || len(cmp.Missing) != 0 || len(cmp.Added) != 0 {
+		t.Fatalf("self-compare not clean: %+v", cmp)
+	}
+}
+
+// TestCompareFlagsInjectedRegressions hand-builds the old/new pair and
+// checks every flagging rule: time beyond threshold, any allocation on a
+// previously zero-alloc benchmark, proportional slack on large counts,
+// and missing/added bookkeeping.
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	old := &File{SchemaVersion: SchemaVersion, Label: "old", Benchmarks: []Measurement{
+		{Name: "time", Iterations: 1, NsPerOp: 100},
+		{Name: "zeroalloc", Iterations: 1, NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "bigalloc", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "gone", Iterations: 1, NsPerOp: 100},
+	}}
+	new := &File{SchemaVersion: SchemaVersion, Label: "new", Benchmarks: []Measurement{
+		{Name: "time", Iterations: 1, NsPerOp: 150},                      // +50% time
+		{Name: "zeroalloc", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1}, // 0 → 1 alloc
+		{Name: "bigalloc", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1050},
+		{Name: "fresh", Iterations: 1, NsPerOp: 100},
+	}}
+	cmp, err := Compare(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged []string
+	for _, r := range cmp.Regressions {
+		flagged = append(flagged, r.Name+"/"+r.Metric)
+	}
+	want := []string{"time/ns_per_op", "zeroalloc/allocs_per_op"}
+	if !reflect.DeepEqual(flagged, want) {
+		t.Errorf("flagged %v, want %v (bigalloc's +5%% is within 10%% slack)", flagged, want)
+	}
+	if !reflect.DeepEqual(cmp.Missing, []string{"gone"}) {
+		t.Errorf("missing = %v, want [gone]", cmp.Missing)
+	}
+	if !reflect.DeepEqual(cmp.Added, []string{"fresh"}) {
+		t.Errorf("added = %v, want [fresh]", cmp.Added)
+	}
+
+	// Raising the threshold above the injected slowdown clears the time
+	// flag but never excuses a broken zero-alloc contract.
+	cmp, err = Compare(old, new, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0].Name != "zeroalloc" {
+		t.Errorf("at threshold 0.60: %+v, want only zeroalloc", cmp.Regressions)
+	}
+}
+
+// TestCompareSchemaMismatch: files from different schema generations must
+// not be silently compared.
+func TestCompareSchemaMismatch(t *testing.T) {
+	a := &File{SchemaVersion: SchemaVersion, Label: "a",
+		Benchmarks: []Measurement{{Name: "x", Iterations: 1, NsPerOp: 1}}}
+	b := &File{SchemaVersion: SchemaVersion + 1, Label: "b",
+		Benchmarks: []Measurement{{Name: "x", Iterations: 1, NsPerOp: 1}}}
+	if _, err := Compare(a, b, 0.1); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestValidateRejectsMalformedFiles covers each structural invariant.
+func TestValidateRejectsMalformedFiles(t *testing.T) {
+	good := func() *File {
+		return &File{SchemaVersion: SchemaVersion, Label: "ok",
+			Benchmarks: []Measurement{{Name: "x", Iterations: 1, NsPerOp: 1}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"wrong schema version", func(f *File) { f.SchemaVersion = 99 }},
+		{"empty label", func(f *File) { f.Label = "" }},
+		{"no benchmarks", func(f *File) { f.Benchmarks = nil }},
+		{"duplicate name", func(f *File) { f.Benchmarks = append(f.Benchmarks, f.Benchmarks[0]) }},
+		{"empty name", func(f *File) { f.Benchmarks[0].Name = "" }},
+		{"negative ns", func(f *File) { f.Benchmarks[0].NsPerOp = -1 }},
+		{"zero iterations", func(f *File) { f.Benchmarks[0].Iterations = 0 }},
+	}
+	if err := Validate(good()); err != nil {
+		t.Fatalf("baseline file invalid: %v", err)
+	}
+	for _, tc := range cases {
+		f := good()
+		tc.mutate(f)
+		if err := Validate(f); err == nil {
+			t.Errorf("%s: not rejected", tc.name)
+		}
+	}
+}
+
+// TestFileRoundTrip: Write then Read recovers the same file, and the
+// on-disk form carries the schema version.
+func TestFileRoundTrip(t *testing.T) {
+	f := mkFile(t, []Spec{constSpec("rt", 1)})
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+// TestDefaultSuiteSmoke runs the real suite at a tiny benchtime: the
+// numbers are noise, but the file must validate, self-compare clean, and
+// the steady-state step benchmarks must uphold the zero-alloc contract
+// even under this harness (not just under testing.AllocsPerRun).
+func TestDefaultSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	f, err := Run("smoke", DefaultSuite(), Options{Benchtime: time.Millisecond, Samples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(f, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("self-compare: %+v", cmp.Regressions)
+	}
+	for _, m := range f.Benchmarks {
+		if strings.HasPrefix(m.Name, "step/") && m.AllocsPerOp > 0.01 {
+			t.Errorf("%s: %.2f allocs/op, zero-alloc contract broken", m.Name, m.AllocsPerOp)
+		}
+		if strings.HasPrefix(m.Name, "run/") && m.RoundsPerSec <= 0 {
+			t.Errorf("%s: no rounds/s rate recorded", m.Name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// DefaultSuite is the fixed benchmark set behind `rrbench -json`: the
+// hot paths whose numbers docs/PERFORMANCE.md tracks. Every spec is
+// deterministic (fixed seeds), so two runs on the same machine differ
+// only by timing noise — which is exactly what -compare's threshold
+// absorbs.
+func DefaultSuite() []Spec {
+	return []Spec{
+		fullRunSpec("run/dlruedf/router4096", func() sched.Policy { return core.NewDLRUEDF() }),
+		fullRunSpec("run/dlru/router4096", func() sched.Policy { return policy.NewDLRU() }),
+		fullRunSpec("run/edf/router4096", func() sched.Policy { return policy.NewEDF() }),
+		stepSpec("step/dlruedf", func() sched.Policy { return core.NewDLRUEDF() }),
+		stepSpec("step/dlru", func() sched.Policy { return policy.NewDLRU() }),
+		stepSpec("step/edf", func() sched.Policy { return policy.NewEDF() }),
+		sweepSpec("sweep/dlruedf/16x256/serial", 1),
+		sweepSpec("sweep/dlruedf/16x256/parallel", 0),
+	}
+}
+
+// fullRunSpec measures a complete sched.Run of a policy over a fixed
+// mid-size router trace (the same one bench_test.go's Engine benchmarks
+// use), yielding meaningful rounds/s and jobs/s rates.
+func fullRunSpec(name string, mk func() sched.Policy) Spec {
+	return Spec{Name: name, Make: func() (func() error, int, int) {
+		inst := workload.Router(3, 4, 8, 4096, 12)
+		probe, err := sched.Run(inst, mk(), sched.Options{N: 16})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s probe run: %v", name, err))
+		}
+		op := func() error {
+			_, err := sched.Run(inst, mk(), sched.Options{N: 16})
+			return err
+		}
+		return op, probe.Rounds, inst.TotalJobs()
+	}}
+}
+
+// stepSpec measures one steady-state Stream.Step for a policy — the full
+// per-round dataplane cost. The stream is warmed before measurement so
+// the op exercises the zero-allocation contract (allocs_per_op must stay
+// 0; -compare flags any growth).
+func stepSpec(name string, mk func() sched.Policy) Spec {
+	return Spec{Name: name, Make: func() (func() error, int, int) {
+		st, err := sched.NewStream(mk(), sched.StreamConfig{
+			N: 16, Delta: 4, Delays: []int{2, 8, 4, 16, 2, 8, 4, 16},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", name, err))
+		}
+		// Unsorted request with a duplicate batch so every Step pays for
+		// normalization too; same shape as the alloc-pinning tests.
+		req := sched.Request{
+			{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
+			{Color: 1, Count: 1}, {Color: 7, Count: 2},
+		}
+		jobs := 0
+		for _, b := range req {
+			jobs += b.Count
+		}
+		for i := 0; i < 512; i++ { // steady state: warm buffers, bounded pool
+			if _, err := st.Step(req); err != nil {
+				panic(fmt.Sprintf("bench: %s warm-up: %v", name, err))
+			}
+		}
+		op := func() error {
+			_, err := st.Step(req)
+			return err
+		}
+		return op, 1, jobs
+	}}
+}
+
+// sweepSpec measures the sharded sweep runner end to end: 16 independent
+// ΔLRU-EDF simulations of 256 rounds each. workers 0 means GOMAXPROCS,
+// so serial vs parallel quantifies the runner's scaling on this host
+// (≈1.0 on a single-core machine — see docs/PERFORMANCE.md).
+func sweepSpec(name string, workers int) Spec {
+	return Spec{Name: name, Make: func() (func() error, int, int) {
+		seeds := make([]uint64, 16)
+		for i := range seeds {
+			seeds[i] = 900 + uint64(i)
+		}
+		rounds, jobs := 0, 0
+		for _, seed := range seeds {
+			in := workload.Router(seed, 4, 8, 256, 12)
+			r, err := sched.Run(in, core.NewDLRUEDF(), sched.Options{N: 16})
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s probe run: %v", name, err))
+			}
+			rounds += r.Rounds
+			jobs += in.TotalJobs()
+		}
+		op := func() error {
+			_, err := exp.Sweep(workers, seeds, func(seed uint64) (int64, error) {
+				in := workload.Router(seed, 4, 8, 256, 12)
+				r, err := sched.Run(in, core.NewDLRUEDF(), sched.Options{N: 16})
+				if err != nil {
+					return 0, err
+				}
+				return r.Cost.Total(), nil
+			})
+			return err
+		}
+		return op, rounds, jobs
+	}}
+}

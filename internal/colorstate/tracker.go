@@ -19,8 +19,6 @@
 package colorstate
 
 import (
-	"sort"
-
 	"repro/internal/container"
 	"repro/internal/sched"
 )
@@ -60,7 +58,12 @@ type Tracker struct {
 	states    []State
 	due       *container.IndexedHeap[sched.Color, int]
 
-	eligible map[sched.Color]struct{}
+	// eligible is the eligible-color set kept as a sorted slice (the
+	// "consistent order of colors" of §3.1.2 is its natural order).
+	// Membership tests go through State.Eligible; the slice exists so
+	// AppendEligible is a single allocation-free copy on the hot path
+	// instead of a map iteration plus sort.
+	eligible []sched.Color
 	known    int
 
 	// immediateTs (an ablation knob, not the paper's rule) makes the
@@ -103,7 +106,6 @@ func NewWithThreshold(delta, threshold int, delays []int) *Tracker {
 		delays:    delays,
 		states:    make([]State, len(delays)),
 		due:       container.NewIndexedHeap[sched.Color, int](func(a, b int) bool { return a < b }),
-		eligible:  make(map[sched.Color]struct{}),
 	}
 }
 
@@ -156,7 +158,7 @@ func (t *Tracker) BeginRound(k int, cached func(sched.Color) bool) {
 			st.Eligible = false
 			st.Cnt = 0
 			st.EpochsEnded++
-			delete(t.eligible, c)
+			t.removeEligible(c)
 			if t.recordTsEvents {
 				t.epochEnds = append(t.epochEnds, TsEvent{Round: m, C: c})
 			}
@@ -188,7 +190,7 @@ func (t *Tracker) OnArrival(k int, c sched.Color, count int) {
 		}
 		if !st.Eligible {
 			st.Eligible = true
-			t.eligible[c] = struct{}{}
+			t.insertEligible(c)
 		}
 	}
 }
@@ -210,17 +212,43 @@ func (t *Tracker) register(k int, c sched.Color) {
 // Eligible reports whether color c is eligible.
 func (t *Tracker) Eligible(c sched.Color) bool { return t.states[c].Eligible }
 
+// insertEligible adds c to the sorted eligible slice (binary search +
+// shift; the set is small and the operation amortizes to nothing against
+// the per-round sort it replaced).
+func (t *Tracker) insertEligible(c sched.Color) {
+	i := searchColor(t.eligible, c)
+	t.eligible = append(t.eligible, 0)
+	copy(t.eligible[i+1:], t.eligible[i:])
+	t.eligible[i] = c
+}
+
+// removeEligible deletes c from the sorted eligible slice.
+func (t *Tracker) removeEligible(c sched.Color) {
+	i := searchColor(t.eligible, c)
+	if i < len(t.eligible) && t.eligible[i] == c {
+		t.eligible = append(t.eligible[:i], t.eligible[i+1:]...)
+	}
+}
+
+// searchColor returns the insertion index of c in the sorted slice s.
+func searchColor(s []sched.Color, c sched.Color) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // AppendEligible appends the eligible colors to dst in increasing color
 // order (the deterministic "consistent order of colors" of §3.1.2) and
-// returns it.
+// returns it. It performs no allocation once dst has capacity.
 func (t *Tracker) AppendEligible(dst []sched.Color) []sched.Color {
-	start := len(dst)
-	for c := range t.eligible {
-		dst = append(dst, c)
-	}
-	tail := dst[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	return dst
+	return append(dst, t.eligible...)
 }
 
 // NumEligible reports the number of currently eligible colors.

@@ -118,11 +118,17 @@ func (h *IndexedHeap[K, P]) Clear() {
 
 // Keys returns the keys currently in the heap in unspecified order.
 func (h *IndexedHeap[K, P]) Keys() []K {
-	out := make([]K, len(h.items))
-	for i, it := range h.items {
-		out[i] = it.key
+	return h.AppendKeys(make([]K, 0, len(h.items)))
+}
+
+// AppendKeys appends the keys currently in the heap to dst in unspecified
+// order and returns it. Allocation-free once dst has capacity; hot paths
+// (the engine's nonidle-color scan) use it with reusable scratch.
+func (h *IndexedHeap[K, P]) AppendKeys(dst []K) []K {
+	for _, it := range h.items {
+		dst = append(dst, it.key)
 	}
-	return out
+	return dst
 }
 
 func (h *IndexedHeap[K, P]) removeAt(i int) {

@@ -40,9 +40,13 @@ type DLRUEDF struct {
 	threshold float64
 	immediate bool
 
-	lruSet   map[sched.Color]bool
+	// lruMark is indexed by color and marks the current ΔLRU half; a
+	// bool slice instead of a map keeps the per-round marking and the
+	// protected-eviction checks allocation-free.
+	lruMark  []bool
 	scratchA []sched.Color
 	scratchB []sched.Color
+	scratchC []sched.Color
 
 	eligibleDrops   int64
 	ineligibleDrops int64
@@ -131,7 +135,7 @@ func (d *DLRUEDF) Reset(env sched.Env) {
 		d.lruQuota = cap
 	}
 	d.edfQuota = cap - d.lruQuota
-	d.lruSet = make(map[sched.Color]bool, d.lruQuota)
+	d.lruMark = make([]bool, len(env.Delays))
 	d.eligibleDrops, d.ineligibleDrops = 0, 0
 	d.roundDrops, d.roundReconfigs = 0, 0
 	d.prevCache = make(map[sched.Color]bool, cap)
@@ -179,9 +183,9 @@ func (d *DLRUEDF) Reconfigure(ctx *sched.Context) []sched.Color {
 	if len(lruWant) > d.lruQuota {
 		lruWant = lruWant[:d.lruQuota]
 	}
-	clear(d.lruSet)
+	clear(d.lruMark)
 	for _, c := range lruWant {
-		d.lruSet[c] = true
+		d.lruMark[c] = true
 	}
 
 	// Non-LRU eligible colors in EDF rank order (§3.1.2 ranking); this
@@ -189,7 +193,7 @@ func (d *DLRUEDF) Reconfigure(ctx *sched.Context) []sched.Color {
 	// eviction order (worst rank evicted first).
 	nonLRU := d.scratchB[:0]
 	for _, c := range elig {
-		if !d.lruSet[c] {
+		if !d.lruMark[c] {
 			nonLRU = append(nonLRU, c)
 		}
 	}
@@ -203,7 +207,7 @@ func (d *DLRUEDF) Reconfigure(ctx *sched.Context) []sched.Color {
 			continue
 		}
 		if d.cache.Len() == d.cache.Capacity() {
-			if !policy.EvictWorst(d.cache, nonLRU, d.lruSet) {
+			if !policy.EvictWorst(d.cache, nonLRU, d.lruMark) {
 				panic("core: ΔLRU-EDF could not make room for an LRU color")
 			}
 		}
@@ -212,13 +216,13 @@ func (d *DLRUEDF) Reconfigure(ctx *sched.Context) []sched.Color {
 
 	// EDF half: admit the nonidle non-LRU colors in the top edfQuota
 	// rankings, evicting the lowest-ranked non-LRU cached colors.
-	policy.AdmitTop(d.cache, nonLRU, d.edfQuota, d.lruSet, ctx)
+	policy.AdmitTop(d.cache, nonLRU, d.edfQuota, d.lruMark, ctx)
 
 	if d.adaptive != nil && ctx.Mini == 0 {
 		d.roundReconfigs += d.noteReconfigs(d.prevCache)
 		clear(d.prevCache)
-		var cur []sched.Color
-		for _, c := range d.cache.Colors(cur) {
+		d.scratchC = d.cache.Colors(d.scratchC[:0])
+		for _, c := range d.scratchC {
 			d.prevCache[c] = true
 		}
 	}

@@ -1,6 +1,7 @@
 // Package exp is the experiment harness: every table and figure listed in
 // DESIGN.md §3 has a registered experiment here that regenerates it. The
-// harness provides a parallel parameter-sweep runner, a uniform report
+// harness provides a work-stealing sharded sweep runner (Sweep) whose
+// results are bit-identical for every worker count, a uniform report
 // format, and a registry consumed by cmd/rrbench and the root benchmarks.
 package exp
 
@@ -10,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -123,40 +125,118 @@ func All() []Experiment {
 	return out
 }
 
-// Sweep runs fn over items on a bounded worker pool, preserving result
-// order. The first error cancels nothing (remaining items still run) but
-// is returned; experiments treat any error as fatal.
+// sweepShard is one contiguous slice of the item index space. Workers
+// claim indices with an atomic fetch-add, so a shard can be drained
+// cooperatively by its owner and any number of thieves without locks.
+// The pad keeps neighboring cursors out of one cache line (the cursors
+// are the only contended words in a sweep).
+type sweepShard struct {
+	next atomic.Int64 // next unclaimed index
+	hi   int64        // exclusive upper bound, immutable after setup
+	_    [48]byte     // pad to a cache line
+}
+
+// remaining reports how many indices are still unclaimed. It may
+// transiently overshoot to a negative value when thieves race past hi;
+// callers treat anything ≤ 0 as empty.
+func (s *sweepShard) remaining() int64 { return s.hi - s.next.Load() }
+
+// Sweep runs fn over items on a work-stealing sharded runner and returns
+// results in item order: results[i] = fn(items[i]).
+//
+// The index space is split into one contiguous shard per worker; each
+// worker drains its own shard front to back via an atomic cursor and,
+// when it runs dry, steals from the shard with the most remaining work
+// until every shard is empty. Stealing keeps all cores busy when item
+// costs are skewed (one slow simulation no longer serializes the tail),
+// while the shard-local fast path avoids contending on a single shared
+// cursor.
+//
+// Because results[i] depends only on items[i] — never on which worker ran
+// it or in what order — the output is bit-identical for every worker
+// count. Experiments rely on this: per-instance seeds are derived from
+// the item (seedRange), so a sweep at -workers 8 reproduces -workers 1
+// exactly (pinned by TestSweepDeterministicAcrossWorkers).
+//
+// Every item runs even when one fails; the first error in item order is
+// returned. Experiments treat any error as fatal.
 func Sweep[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(items) {
-		workers = len(items)
+	if workers > n {
+		workers = n
 	}
-	results := make([]R, len(items))
-	errs := make([]error, len(items))
+	results := make([]R, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i, it := range items {
+			results[i], errs[i] = fn(it)
+		}
+		return results, firstError(errs)
+	}
+
+	// One contiguous shard per worker; the first n%workers shards take the
+	// extra items.
+	shards := make([]sweepShard, workers)
+	per, rem := n/workers, n%workers
+	lo := 0
+	for s := range shards {
+		size := per
+		if s < rem {
+			size++
+		}
+		shards[s].next.Store(int64(lo))
+		shards[s].hi = int64(lo + size)
+		lo += size
+	}
+
 	var wg sync.WaitGroup
-	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(own int) {
 			defer wg.Done()
-			for i := range idx {
-				results[i], errs[i] = fn(items[i])
+			for s := own; ; {
+				sh := &shards[s]
+				for {
+					i := sh.next.Add(1) - 1
+					if i >= sh.hi {
+						break
+					}
+					results[i], errs[i] = fn(items[i])
+				}
+				// Steal from the fullest shard. A victim may be drained
+				// between the scan and the claim; the claim loop above
+				// simply comes up empty and we rescan.
+				s = -1
+				var most int64
+				for v := range shards {
+					if r := shards[v].remaining(); r > most {
+						s, most = v, r
+					}
+				}
+				if s < 0 {
+					return
+				}
 			}
-		}()
+		}(w)
 	}
-	for i := range items {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
+	return results, firstError(errs)
+}
+
+// firstError returns the first non-nil error in item order.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // seedRange builds a slice of consecutive seeds for sweeps.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -60,5 +61,8 @@ func runT9(cfg Config) (*Report, error) {
 		}
 		scaling.AddRow(w, d.Round(time.Millisecond).String(), float64(base)/float64(d))
 	}
+	scaling.AddNote("work-stealing sharded runner (exp.Sweep); results are bit-identical at every worker count. "+
+		"Speedup is bounded by available cores: this host has GOMAXPROCS=%d, so speedup ≈ min(workers, %d) minus scheduling overhead (≈1.0 throughout on a single-core host)",
+		runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0))
 	return &Report{ID: "T9", Title: "Throughput", Tables: []*stats.Table{tab, scaling}}, nil
 }

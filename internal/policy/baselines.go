@@ -2,7 +2,7 @@ package policy
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/sched"
 )
@@ -91,12 +91,12 @@ func (g *GreedyPending) Reset(env sched.Env) {
 // Reconfigure implements sched.Policy.
 func (g *GreedyPending) Reconfigure(ctx *sched.Context) []sched.Color {
 	cand := ctx.NonidleColors(g.scratch[:0])
-	sort.Slice(cand, func(i, j int) bool {
-		pi, pj := ctx.Pending(cand[i]), ctx.Pending(cand[j])
-		if pi != pj {
-			return pi > pj
+	slices.SortFunc(cand, func(a, b sched.Color) int {
+		pa, pb := ctx.Pending(a), ctx.Pending(b)
+		if pa != pb {
+			return pb - pa // descending backlog
 		}
-		return cand[i] < cand[j]
+		return int(a) - int(b)
 	})
 	if len(cand) > g.cache.Capacity() {
 		cand = cand[:g.cache.Capacity()]

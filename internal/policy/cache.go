@@ -25,6 +25,12 @@ type Cache struct {
 	assign []sched.Color
 	free   []int
 	repl   bool
+
+	// Scratch reused by SyncTo so the per-round "pin the exact cache
+	// content" policies (ΔLRU, GreedyPending) stay allocation-free in the
+	// steady state.
+	wantSet  map[sched.Color]struct{}
+	evictBuf []sched.Color
 }
 
 // NewCache builds a cache over n locations. With replicate set, n must be
@@ -111,6 +117,39 @@ func (c *Cache) Colors(dst []sched.Color) []sched.Color {
 		}
 	}
 	return dst
+}
+
+// SyncTo makes the cache contain exactly the colors in want, which must
+// contain no duplicates and fit the capacity: cached colors outside want
+// are evicted, missing ones inserted. The scratch it needs is owned by
+// the cache, so steady-state calls do not allocate.
+func (c *Cache) SyncTo(want []sched.Color) {
+	if c.wantSet == nil {
+		c.wantSet = make(map[sched.Color]struct{}, c.half)
+	}
+	clear(c.wantSet)
+	for _, col := range want {
+		c.wantSet[col] = struct{}{}
+	}
+	c.evictBuf = c.evictBuf[:0]
+	for _, col := range c.slots {
+		if col == sched.NoColor {
+			continue
+		}
+		if _, ok := c.wantSet[col]; !ok {
+			c.evictBuf = append(c.evictBuf, col)
+		}
+	}
+	for _, col := range c.evictBuf {
+		c.Evict(col)
+	}
+	for _, col := range want {
+		if !c.Contains(col) {
+			if !c.Insert(col) {
+				panic("policy: Cache.SyncTo overflow")
+			}
+		}
+	}
 }
 
 // Assignment materializes the location assignment: location i gets

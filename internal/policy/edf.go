@@ -58,9 +58,10 @@ func (e *EDF) Reconfigure(ctx *sched.Context) []sched.Color {
 // cache is inserted, evicting the lowest-ranked evictable cached color
 // when full. ranked must be in best-rank-first order and contain every
 // cached evictable color (cached colors are always eligible). protected,
-// when non-nil, marks colors that must not be evicted (ΔLRU-EDF protects
-// its LRU half).
-func AdmitTop(cache *Cache, ranked []sched.Color, top int, protected map[sched.Color]bool, ctx *sched.Context) {
+// when non-nil, is indexed by color and marks colors that must not be
+// evicted (ΔLRU-EDF protects its LRU half); a plain bool slice rather
+// than a map keeps the per-round admission loop allocation-free.
+func AdmitTop(cache *Cache, ranked []sched.Color, top int, protected []bool, ctx *sched.Context) {
 	if top > len(ranked) {
 		top = len(ranked)
 	}
@@ -79,11 +80,13 @@ func AdmitTop(cache *Cache, ranked []sched.Color, top int, protected map[sched.C
 }
 
 // EvictWorst evicts the lowest-ranked cached, unprotected color, scanning
-// the ranked list from the back. It reports whether an eviction happened.
-func EvictWorst(cache *Cache, ranked []sched.Color, protected map[sched.Color]bool) bool {
+// the ranked list from the back. protected follows the AdmitTop
+// convention (nil or indexed by color). It reports whether an eviction
+// happened.
+func EvictWorst(cache *Cache, ranked []sched.Color, protected []bool) bool {
 	for i := len(ranked) - 1; i >= 0; i-- {
 		c := ranked[i]
-		if protected[c] {
+		if protected != nil && protected[c] {
 			continue
 		}
 		if cache.Contains(c) {

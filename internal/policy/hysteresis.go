@@ -1,7 +1,7 @@
 package policy
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/sched"
 )
@@ -25,8 +25,9 @@ type Hysteresis struct {
 
 	// credit[c] counts executions still owed before color c may be
 	// displaced cheaply; pressure is recomputed every round.
-	credit  map[sched.Color]int
-	scratch []sched.Color
+	credit        map[sched.Color]int
+	scratch       []sched.Color
+	cachedScratch []sched.Color
 }
 
 // NewHysteresis returns the baseline with admission threshold θ·Δ
@@ -69,18 +70,17 @@ func (h *Hysteresis) Reconfigure(ctx *sched.Context) []sched.Color {
 			filtered = append(filtered, c)
 		}
 	}
-	sort.Slice(filtered, func(i, j int) bool {
-		pi, pj := ctx.Pending(filtered[i]), ctx.Pending(filtered[j])
-		if pi != pj {
-			return pi > pj
+	slices.SortFunc(filtered, func(a, b sched.Color) int {
+		pa, pb := ctx.Pending(a), ctx.Pending(b)
+		if pa != pb {
+			return pb - pa // descending backlog
 		}
-		return filtered[i] < filtered[j]
+		return int(a) - int(b)
 	})
 
 	// Evict cached colors that are idle and have repaid their switch.
-	var cached []sched.Color
-	cached = h.cache.Colors(cached)
-	for _, c := range cached {
+	h.cachedScratch = h.cache.Colors(h.cachedScratch[:0])
+	for _, c := range h.cachedScratch {
 		if ctx.Pending(c) == 0 && h.credit[c] <= 0 {
 			h.cache.Evict(c)
 			delete(h.credit, c)
@@ -100,8 +100,8 @@ func (h *Hysteresis) Reconfigure(ctx *sched.Context) []sched.Color {
 		// Find the weakest cached color.
 		victim := sched.NoColor
 		victimPending := 0
-		var vs []sched.Color
-		for _, v := range h.cache.Colors(vs) {
+		h.cachedScratch = h.cache.Colors(h.cachedScratch[:0])
+		for _, v := range h.cachedScratch {
 			p := ctx.Pending(v)
 			if victim == sched.NoColor || p < victimPending || (p == victimPending && v > victim) {
 				victim = v
@@ -117,8 +117,8 @@ func (h *Hysteresis) Reconfigure(ctx *sched.Context) []sched.Color {
 	}
 
 	// Pay down credits for colors that will execute this mini-round.
-	var cs []sched.Color
-	for _, c := range h.cache.Colors(cs) {
+	h.cachedScratch = h.cache.Colors(h.cachedScratch[:0])
+	for _, c := range h.cachedScratch {
 		if ctx.Pending(c) > 0 && h.credit[c] > 0 {
 			h.credit[c]--
 		}

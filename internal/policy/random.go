@@ -13,12 +13,13 @@ import (
 // uniformly random cached color when full. The randomness is driven by an
 // explicit seed, so runs remain reproducible.
 type RandomEvict struct {
-	env     sched.Env
-	tr      *colorstate.Tracker
-	cache   *Cache
-	rng     *container.RNG
-	seed    uint64
-	scratch []sched.Color
+	env           sched.Env
+	tr            *colorstate.Tracker
+	cache         *Cache
+	rng           *container.RNG
+	seed          uint64
+	scratch       []sched.Color
+	cachedScratch []sched.Color
 }
 
 // NewRandomEvict returns the randomized-eviction baseline with the given
@@ -58,9 +59,8 @@ func (p *RandomEvict) Reconfigure(ctx *sched.Context) []sched.Color {
 			continue
 		}
 		if p.cache.Len() == p.cache.Capacity() {
-			var cached []sched.Color
-			cached = p.cache.Colors(cached)
-			victim := cached[p.rng.Intn(len(cached))]
+			p.cachedScratch = p.cache.Colors(p.cachedScratch[:0])
+			victim := p.cachedScratch[p.rng.Intn(len(p.cachedScratch))]
 			p.cache.Evict(victim)
 		}
 		p.cache.Insert(c)

@@ -1,7 +1,7 @@
 package policy
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/colorstate"
 	"repro/internal/sched"
@@ -35,10 +35,19 @@ func (a RankKey) Less(b RankKey) bool {
 
 // RankEligible sorts the given eligible colors into EDF rank order (best
 // rank first) using the tracker's per-color deadlines and the pending
-// state for idleness. It sorts colors in place.
+// state for idleness. It sorts colors in place and performs no heap
+// allocation (slices.SortFunc, unlike sort.Slice, needs no reflection
+// header; the comparison closure stays on the stack).
 func RankEligible(colors []sched.Color, tr *colorstate.Tracker, ctx *sched.Context) {
-	sort.Slice(colors, func(i, j int) bool {
-		return rankKeyOf(colors[i], tr, ctx).Less(rankKeyOf(colors[j], tr, ctx))
+	slices.SortFunc(colors, func(a, b sched.Color) int {
+		ka, kb := rankKeyOf(a, tr, ctx), rankKeyOf(b, tr, ctx)
+		if ka.Less(kb) {
+			return -1
+		}
+		if kb.Less(ka) {
+			return 1
+		}
+		return 0
 	})
 }
 
@@ -55,43 +64,38 @@ func rankKeyOf(c sched.Color, tr *colorstate.Tracker, ctx *sched.Context) RankKe
 // SortByRecency sorts eligible colors by ΔLRU recency (§3.1.1): most
 // recent timestamp first, ties broken in favor of currently-cached colors
 // (to avoid gratuitous churn; the paper breaks ties arbitrarily), then by
-// ascending color index.
+// ascending color index. Allocation-free, like RankEligible.
 func SortByRecency(colors []sched.Color, tr *colorstate.Tracker, cached func(sched.Color) bool) {
-	sort.Slice(colors, func(i, j int) bool {
-		a, b := colors[i], colors[j]
+	slices.SortFunc(colors, func(a, b sched.Color) int {
 		ta, tb := tr.Get(a).Timestamp, tr.Get(b).Timestamp
 		if ta != tb {
-			return ta > tb
+			if ta > tb {
+				return -1
+			}
+			return 1
 		}
 		ca, cb := cached(a), cached(b)
 		if ca != cb {
-			return ca
+			if ca {
+				return -1
+			}
+			return 1
 		}
-		return a < b
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
 	})
 }
 
 // SyncCacheToSet makes the cache contain exactly the colors in want
 // (which must fit the capacity): colors outside want are evicted, missing
-// ones inserted. Used by ΔLRU, whose invariant pins the exact cache
-// content each round.
+// ones inserted. Used by ΔLRU and GreedyPending, whose invariants pin the
+// exact cache content each round. It is a thin wrapper over Cache.SyncTo,
+// which owns the scratch that keeps the operation allocation-free.
 func SyncCacheToSet(cache *Cache, want []sched.Color) {
-	inWant := make(map[sched.Color]struct{}, len(want))
-	for _, c := range want {
-		inWant[c] = struct{}{}
-	}
-	var evict []sched.Color
-	evict = cache.Colors(evict[:0])
-	for _, c := range evict {
-		if _, ok := inWant[c]; !ok {
-			cache.Evict(c)
-		}
-	}
-	for _, c := range want {
-		if !cache.Contains(c) {
-			if !cache.Insert(c) {
-				panic("policy: SyncCacheToSet overflow")
-			}
-		}
-	}
+	cache.SyncTo(want)
 }

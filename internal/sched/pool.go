@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/container"
 )
@@ -89,13 +89,11 @@ func (p *jobPool) refreshHeap(c Color, q *container.BucketQueue) {
 }
 
 // nonidle appends the colors with pending jobs to dst in increasing color
-// order and returns it.
+// order and returns it. Allocation-free once dst has capacity
+// (slices.Sort needs no reflection header, unlike sort.Slice).
 func (p *jobPool) nonidle(dst []Color) []Color {
 	start := len(dst)
-	for _, c := range p.dl.Keys() {
-		dst = append(dst, c)
-	}
-	tail := dst[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	dst = p.dl.AppendKeys(dst)
+	slices.Sort(dst[start:])
 	return dst
 }

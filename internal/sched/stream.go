@@ -34,19 +34,39 @@ type Stream struct {
 }
 
 // StepResult reports one round of a Stream.
+//
+// Footgun warning: the slice fields (Dropped, Executed, Assignment) share
+// backing arrays that the Stream reuses on every Step — that is what
+// keeps the steady-state step allocation-free. A StepResult is therefore
+// only valid until the next Step; retaining one across Steps (appending
+// it to a history, sending it to another goroutine) silently yields the
+// later round's data. Call Clone on any result you keep.
 type StepResult struct {
 	// Round is the round index that was just simulated.
 	Round int
 	// Dropped and Executed list the jobs dropped and executed this round,
 	// grouped per color (entries sorted by color). Like Assignment, the
-	// backing arrays are reused across Steps — copy them to retain them.
+	// backing arrays are reused across Steps — Clone the result to retain
+	// them.
 	Dropped  []Batch
 	Executed []Batch
 	// Reconfigs counts location recolorings performed this round.
 	Reconfigs int
 	// Assignment is the configuration at the end of the round; the
-	// backing array is reused across Steps — copy it to retain it.
+	// backing array is reused across Steps — Clone the result to retain
+	// it.
 	Assignment []Color
+}
+
+// Clone returns a deep copy whose slices do not alias the Stream's
+// reusable buffers, safe to retain across Steps or hand to another
+// goroutine. Cloning is the explicit opt-in to allocation: the Step hot
+// path itself stays allocation-free.
+func (r StepResult) Clone() StepResult {
+	r.Dropped = append([]Batch(nil), r.Dropped...)
+	r.Executed = append([]Batch(nil), r.Executed...)
+	r.Assignment = append([]Color(nil), r.Assignment...)
+	return r
 }
 
 // NewStream validates the configuration and prepares a stream.
@@ -95,7 +115,7 @@ func (s *Stream) Dropped() int { return s.eng.res.Dropped }
 // deduplicated — Step normalizes a scratch copy exactly the way Run's
 // Instance.Normalize would, so a policy sees identical arrivals under
 // both front-ends. The returned StepResult's slices are reused across
-// Steps; copy them to retain them.
+// Steps; call StepResult.Clone to retain one (see the StepResult doc).
 func (s *Stream) Step(arrivals Request) (StepResult, error) {
 	for _, b := range arrivals {
 		if b.Color < 0 || int(b.Color) >= len(s.cfg.Delays) {

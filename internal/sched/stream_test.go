@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -138,5 +139,47 @@ func TestStreamMatchesRunProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStepResultClone pins the retention contract: a raw StepResult
+// aliases buffers the Stream overwrites on the next Step, while a Clone
+// is a stable deep copy. The first half of the test is the footgun the
+// StepResult doc warns about; the second half is the cure.
+func TestStepResultClone(t *testing.T) {
+	rows := make([][]Color, 16)
+	for i := range rows {
+		rows[i] = []Color{0, 1}
+	}
+	st, err := NewStream(&scripted{rows: rows}, StreamConfig{N: 2, Delta: 2, Delays: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A round with arrivals on both colors, so Executed is non-empty.
+	raw, err := st.Step(Request{{Color: 0, Count: 1}, {Color: 1, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := raw.Clone()
+	if !reflect.DeepEqual(raw, clone) {
+		t.Fatalf("clone diverged immediately: raw %+v clone %+v", raw, clone)
+	}
+	if len(clone.Executed) > 0 && &clone.Executed[0] == &raw.Executed[0] {
+		t.Fatal("Clone shares the Executed backing array")
+	}
+	if len(clone.Assignment) > 0 && &clone.Assignment[0] == &raw.Assignment[0] {
+		t.Fatal("Clone shares the Assignment backing array")
+	}
+	savedRound, savedExec := clone.Round, append([]Batch(nil), clone.Executed...)
+
+	// Drive more rounds; the raw result is now stale storage, the clone
+	// must be untouched.
+	for i := 0; i < 8; i++ {
+		if _, err := st.Step(Request{{Color: 1, Count: 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clone.Round != savedRound || !reflect.DeepEqual(clone.Executed, savedExec) {
+		t.Fatalf("clone mutated by later Steps: %+v", clone)
 	}
 }

@@ -9,12 +9,19 @@ import (
 	"sort"
 )
 
-// Summary aggregates a sample of float64 observations.
+// Summary aggregates a sample of float64 observations. The JSON tags
+// give it a stable serialized form for tooling that persists summaries
+// (e.g. the benchmark regression harness in internal/bench).
 type Summary struct {
-	N                int
-	Mean, Std        float64
-	Min, Max         float64
-	P50, P90, P99    float64
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+
 	sortedForPercent []float64
 }
 

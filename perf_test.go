@@ -1,0 +1,76 @@
+package rrs
+
+// This file pins the repository's zero-allocation contracts (see
+// docs/PERFORMANCE.md): a steady-state Stream.Step must not allocate for
+// the full ΔLRU-EDF policy — tracker bookkeeping, recency sort, EDF
+// ranking, cache sync and engine accounting included — nor for the ΔLRU,
+// EDF and Seq-EDF baselines. The contract covers the complete policy
+// step, not just the unprobed engine (which TestStepAllocFree in
+// internal/sched pins separately with a trivial Static policy).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+// steadyStream warms a stream over a mixed workload until every scratch
+// buffer has reached its steady-state capacity.
+func steadyStream(t testing.TB, pol sched.Policy, probe sched.Probe) (*sched.Stream, sched.Request) {
+	t.Helper()
+	st, err := sched.NewStream(pol, sched.StreamConfig{
+		N:      16,
+		Delta:  4,
+		Delays: []int{2, 8, 4, 16, 2, 8, 4, 16},
+		Probe:  probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsorted, with a duplicate batch, so Step also pays normalization.
+	req := sched.Request{
+		{Color: 1, Count: 2}, {Color: 0, Count: 1}, {Color: 3, Count: 1},
+		{Color: 5, Count: 2}, {Color: 0, Count: 1}, {Color: 6, Count: 1},
+	}
+	for i := 0; i < 512; i++ {
+		if _, err := st.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, req
+}
+
+// pinStepAllocs asserts the steady-state allocation count of one Step.
+func pinStepAllocs(t *testing.T, name string, pol sched.Policy, probe sched.Probe, want float64) {
+	t.Helper()
+	st, req := steadyStream(t, pol, probe)
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := st.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > want {
+		t.Errorf("%s: %v allocs per steady-state Step, want ≤ %v", name, allocs, want)
+	}
+}
+
+// TestFullPolicyStepAllocFree is the allocation-pinning test for the
+// complete ΔLRU-EDF policy step (and the §3.1 baselines): zero heap
+// allocations per round in the steady state. A regression here means a
+// hot-path change reintroduced per-round garbage — see docs/PERFORMANCE.md
+// for the usual culprits (sort.Slice, per-call maps, local scratch).
+func TestFullPolicyStepAllocFree(t *testing.T) {
+	pinStepAllocs(t, "DLRU-EDF", core.NewDLRUEDF(), nil, 0)
+	pinStepAllocs(t, "DLRU", policy.NewDLRU(), nil, 0)
+	pinStepAllocs(t, "EDF", policy.NewEDF(), nil, 0)
+	pinStepAllocs(t, "SeqEDF", policy.NewSeqEDF(), nil, 0)
+	pinStepAllocs(t, "GreedyPending", policy.NewGreedyPending(), nil, 0)
+}
+
+// TestFullPolicyStepAllocFreeWithCounterSink extends the contract to the
+// cheapest probe: observability at CounterSink level must stay free.
+func TestFullPolicyStepAllocFreeWithCounterSink(t *testing.T) {
+	pinStepAllocs(t, "DLRU-EDF+CounterSink", core.NewDLRUEDF(), &sched.CounterSink{}, 0)
+}
