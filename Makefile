@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke check experiments fmt vet clean
 
 all: build test
 
@@ -42,9 +42,18 @@ benchsmoke:
 	go run ./cmd/rrbench -compare /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json
 	rm -f /tmp/BENCH_smoke.json
 
+# The crash-fault-injection harness for the checkpoint/restore subsystem
+# (docs/CHECKPOINT.md): kill a stream at every round, restore it, finish
+# the trace, require a bit-identical Result — for every policy — plus
+# corruption/mismatch rejection. Fresh runs, never cached.
+faultsmoke:
+	go test -run 'TestFaultInjection' -count=1 .
+	go test -run 'TestCheckpoint' -count=1 ./internal/trace/
+
 # The pre-commit gate: static analysis, the race-detector subset on the
-# hot-path packages, then the full test suite under the race detector.
-check: vet race-hot race
+# hot-path packages, the fault-injection harness, then the full test
+# suite under the race detector.
+check: vet race-hot faultsmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -46,6 +46,9 @@ func main() {
 		analyze      = flag.Int("analyze", 0, "print a windowed timeline with the given window width and a per-QoS-class breakdown (direct policies only)")
 		metrics      = flag.Bool("metrics", false, "print engine metrics: latency/occupancy histograms (direct policies only)")
 		traceEvents  = flag.String("trace-events", "", "write per-round engine events as JSON lines to this file (direct policies only)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint the run every N rounds (direct policies only; 0 = off)")
+		ckptPath     = flag.String("checkpoint", "rrsim.ckpt", "checkpoint file written by -checkpoint-every")
+		resumePath   = flag.String("resume", "", "resume a run from this checkpoint file instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -83,7 +86,15 @@ func main() {
 		probe = probes
 	}
 
-	res, err := runPolicy(*policyName, inst, *n, *gantt > 0 || *analyze > 0, probe)
+	var res *rrs.Result
+	if *ckptEvery > 0 || *resumePath != "" {
+		if *gantt > 0 || *analyze > 0 {
+			fatal(fmt.Errorf("-checkpoint-every/-resume run via the stream engine, which records no schedule; drop -gantt/-analyze"))
+		}
+		res, err = runStreamed(*policyName, inst, *n, *ckptEvery, *ckptPath, *resumePath, probe)
+	} else {
+		res, err = runPolicy(*policyName, inst, *n, *gantt > 0 || *analyze > 0, probe)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -146,28 +157,93 @@ func runPolicy(name string, inst *rrs.Instance, n int, record bool, probe sched.
 	case "static":
 		return offline.StaticCost(inst, offline.BestStaticColors(inst, n), n)
 	}
-	var pol sched.Policy
+	pol, err := newDirectPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run(inst, pol, sched.Options{N: n, Record: record, Probe: probe})
+}
+
+// newDirectPolicy builds a fresh instance of one of the policies the
+// round engine can drive directly (everything except the layered
+// solve/distribute/static modes).
+func newDirectPolicy(name string) (sched.Policy, error) {
 	switch name {
 	case "dlruedf":
-		pol = core.NewDLRUEDF()
+		return core.NewDLRUEDF(), nil
 	case "adaptive":
-		pol = core.NewDLRUEDF(core.WithAdaptiveSplit())
+		return core.NewDLRUEDF(core.WithAdaptiveSplit()), nil
 	case "dlru":
-		pol = policy.NewDLRU()
+		return policy.NewDLRU(), nil
 	case "edf":
-		pol = policy.NewEDF()
+		return policy.NewEDF(), nil
 	case "seqedf":
-		pol = policy.NewSeqEDF()
+		return policy.NewSeqEDF(), nil
 	case "hysteresis":
-		pol = policy.NewHysteresis(1)
+		return policy.NewHysteresis(1), nil
 	case "greedy":
-		pol = policy.NewGreedyPending()
+		return policy.NewGreedyPending(), nil
 	case "never":
-		pol = policy.NewNever()
+		return policy.NewNever(), nil
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
-	return sched.Run(inst, pol, sched.Options{N: n, Record: record, Probe: probe})
+}
+
+// runStreamed drives the instance through the Stream front-end so the
+// run can be checkpointed every N rounds and resumed after a crash. A
+// resumed run continues from the checkpoint's round and produces the
+// same Result the uninterrupted run would (the engine's deterministic-
+// resume guarantee), so -resume composes with -checkpoint-every to
+// survive repeated interruptions.
+func runStreamed(name string, inst *rrs.Instance, n, every int, ckpt, resume string, probe sched.Probe) (*rrs.Result, error) {
+	pol, err := newDirectPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if every < 0 {
+		return nil, fmt.Errorf("-checkpoint-every must be ≥ 0, got %d", every)
+	}
+	inst = inst.Normalize()
+	var st *sched.Stream
+	if resume != "" {
+		st, err = trace.LoadCheckpoint(resume, pol, probe)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("resumed %s from %s at round %d\n", pol.Name(), resume, st.Round())
+	} else {
+		st, err = sched.NewStream(pol, sched.StreamConfig{
+			N: n, Delta: inst.Delta, Delays: inst.Delays, Probe: probe,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	saved := 0
+	for st.Round() < inst.NumRounds() || st.TotalPending() > 0 {
+		var req sched.Request
+		if r := st.Round(); r < inst.NumRounds() {
+			req = inst.Requests[r]
+		}
+		if _, err := st.Step(req); err != nil {
+			return nil, err
+		}
+		if every > 0 && st.Round()%every == 0 {
+			if err := trace.SaveCheckpoint(ckpt, st); err != nil {
+				return nil, err
+			}
+			saved++
+		}
+	}
+	if every > 0 {
+		// Final checkpoint so the finished state is durable too.
+		if err := trace.SaveCheckpoint(ckpt, st); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %d checkpoints to %s\n", saved+1, ckpt)
+	}
+	return st.Result(), nil
 }
 
 func printColors(inst *rrs.Instance, res *rrs.Result) {

@@ -1,0 +1,230 @@
+package rrs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// Crash-fault-injection differential harness for the checkpoint/restore
+// subsystem: for every policy and every round k of a reference run, the
+// stream is "killed" at round k (simulated by restoring the snapshot
+// taken there into a fresh policy) and driven to the end of the trace.
+// The resumed Result must be bit-identical to the uninterrupted run's —
+// the deterministic-resume contract of Stream.Snapshot/RestoreStream —
+// and re-snapshotting immediately after the restore must reproduce the
+// snapshot bytes exactly.
+//
+// `make faultsmoke` runs exactly the TestFaultInjection* tests.
+
+type faultCase struct {
+	name  string
+	mk    func() Policy
+	speed int
+}
+
+func faultCases() []faultCase {
+	return []faultCase{
+		{"dlruedf", func() Policy { return NewDLRUEDF() }, 1},
+		{"dlruedf-adaptive", func() Policy { return NewDLRUEDF(WithAdaptiveSplit()) }, 1},
+		{"dlru", func() Policy { return NewDLRU() }, 1},
+		{"edf", func() Policy { return NewEDF() }, 1},
+		{"seqedf", func() Policy { return NewSeqEDF() }, 1},
+		{"ds-seqedf", func() Policy { return NewSeqEDF() }, 2},
+		{"static", func() Policy { return NewStatic(0, 1, 2, 3) }, 1},
+		{"never", func() Policy { return NewNever() }, 1},
+		{"greedy", func() Policy { return NewGreedyPending() }, 1},
+		{"hysteresis", func() Policy { return NewHysteresis(1) }, 1},
+		{"randomevict", func() Policy { return policy.NewRandomEvict(42) }, 1},
+	}
+}
+
+// faultInstance is the shared corpus: a router trace with 8 QoS colors,
+// small enough that crashing at every single round stays fast.
+func faultInstance() *Instance {
+	return workload.Router(5, 2, 6, 64, 5).Normalize()
+}
+
+func TestFaultInjectionResumeEveryRound(t *testing.T) {
+	inst := faultInstance()
+	for _, fc := range faultCases() {
+		t.Run(fc.name, func(t *testing.T) {
+			cfg := StreamConfig{N: 8, Speed: fc.speed, Delta: inst.Delta, Delays: inst.Delays}
+			arrivals := func(r int) Request {
+				if r < inst.NumRounds() {
+					return inst.Requests[r]
+				}
+				return nil // drain phase
+			}
+
+			// Reference run, snapshotting at every round boundary.
+			st, err := NewStream(fc.mk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snaps [][]byte
+			takeSnap := func() {
+				b, err := st.Snapshot()
+				if err != nil {
+					t.Fatalf("snapshot at round %d: %v", st.Round(), err)
+				}
+				snaps = append(snaps, b)
+			}
+			takeSnap()
+			for st.Round() < inst.NumRounds() || st.TotalPending() > 0 {
+				if _, err := st.Step(arrivals(st.Round())); err != nil {
+					t.Fatal(err)
+				}
+				takeSnap()
+			}
+			want := st.Result()
+			total := st.Round()
+
+			// Crash at every round k, restore, finish the trace.
+			for k := 0; k <= total; k++ {
+				st2, err := RestoreStream(fc.mk(), snaps[k], nil)
+				if err != nil {
+					t.Fatalf("restore at round %d: %v", k, err)
+				}
+				if st2.Round() != k {
+					t.Fatalf("restore at round %d resumed at round %d", k, st2.Round())
+				}
+				re, err := st2.Snapshot()
+				if err != nil {
+					t.Fatalf("re-snapshot at round %d: %v", k, err)
+				}
+				if !bytes.Equal(re, snaps[k]) {
+					t.Fatalf("re-snapshot at round %d is not byte-identical to the snapshot", k)
+				}
+				for st2.Round() < total {
+					if _, err := st2.Step(arrivals(st2.Round())); err != nil {
+						t.Fatalf("resumed run at round %d: %v", st2.Round(), err)
+					}
+				}
+				if got := st2.Result(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("crash at round %d: resumed Result diverged\n got: %+v\nwant: %+v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultInjectionCorruptSnapshots: RestoreStream must reject — with
+// an error, never a panic — every truncation of a real snapshot, and
+// must survive arbitrary byte corruption without panicking.
+func TestFaultInjectionCorruptSnapshots(t *testing.T) {
+	inst := faultInstance()
+	st, err := NewStream(NewDLRUEDF(), StreamConfig{N: 8, Delta: inst.Delta, Delays: inst.Delays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		if _, err := st.Step(inst.Requests[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the untampered snapshot restores.
+	if _, err := RestoreStream(NewDLRUEDF(), good, nil); err != nil {
+		t.Fatalf("pristine snapshot failed to restore: %v", err)
+	}
+
+	// Every strict prefix must be rejected.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := RestoreStream(NewDLRUEDF(), good[:cut], nil); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) restored without error", cut, len(good))
+		}
+	}
+
+	// Byte-level corruption must never panic (RestoreStream's validation
+	// plus its recover backstop). A flip that only touches a free-standing
+	// counter may legitimately restore; the guarantee under test is
+	// error-or-success, never a crash.
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		_, _ = RestoreStream(NewDLRUEDF(), bad, nil)
+	}
+}
+
+// TestFaultInjectionMismatches: snapshots must only restore into the
+// policy and version they were taken with.
+func TestFaultInjectionMismatches(t *testing.T) {
+	inst := faultInstance()
+	st, err := NewStream(NewDLRUEDF(), StreamConfig{N: 8, Delta: inst.Delta, Delays: inst.Delays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if _, err := st.Step(inst.Requests[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreStream(NewEDF(), snap, nil); err == nil {
+		t.Fatal("snapshot of DLRU-EDF restored into EDF without error")
+	}
+	if _, err := RestoreStream(NewDLRUEDF(WithAdaptiveSplit()), snap, nil); err == nil {
+		t.Fatal("fixed-split snapshot restored into adaptive-split policy without error")
+	}
+	if _, err := RestoreStream(NewDLRUEDF(), nil, nil); err == nil {
+		t.Fatal("empty snapshot restored without error")
+	}
+	// The version tag is the first varint; 1 encodes as the single byte
+	// 0x02 (zigzag), so rewriting it to encode 2 must be rejected.
+	bumped := append([]byte(nil), snap...)
+	bumped[0] = 0x04
+	if _, err := RestoreStream(NewDLRUEDF(), bumped, nil); err == nil {
+		t.Fatal("snapshot with bumped version restored without error")
+	}
+}
+
+// TestFaultInjectionProbeReattach: a probe handed to RestoreStream sees
+// exactly the post-restore rounds — observability resumes cleanly even
+// though sinks are not serialized.
+func TestFaultInjectionProbeReattach(t *testing.T) {
+	inst := faultInstance()
+	cfg := StreamConfig{N: 8, Delta: inst.Delta, Delays: inst.Delays}
+	st, err := NewStream(NewDLRUEDF(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const crashAt = 20
+	for r := 0; r < crashAt; r++ {
+		if _, err := st.Step(inst.Requests[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink CounterSink
+	st2, err := RestoreStream(NewDLRUEDF(), snap, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st2.Round() < inst.NumRounds() || st2.TotalPending() > 0 {
+		var req Request
+		if r := st2.Round(); r < inst.NumRounds() {
+			req = inst.Requests[r]
+		}
+		if _, err := st2.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := sink.Rounds, st2.Round()-crashAt; got != want {
+		t.Fatalf("reattached probe saw %d rounds, want %d", got, want)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/stats"
@@ -265,11 +266,38 @@ func (r Regression) String() string {
 // Comparison is the full result of comparing two BENCH files.
 type Comparison struct {
 	Regressions []Regression
-	// Missing lists benchmarks present in old but absent from new
-	// (renamed or deleted benchmarks — reported, not failed).
+	// Missing lists benchmarks present in old but absent from new. A
+	// missing benchmark is a lost performance pin — a rename or deletion
+	// that would let regressions slip through unmeasured — so Err treats
+	// it as a failure, exactly like a regression. Intentional renames
+	// must update the baseline file in the same change.
 	Missing []string
-	// Added lists benchmarks new to the second file.
+	// Added lists benchmarks new to the second file (informational).
 	Added []string
+}
+
+// Err returns nil when the comparison passes, and otherwise an error
+// naming every flagged regression and every benchmark missing from the
+// new file. `rrbench -compare` exits non-zero exactly when Err is
+// non-nil, so a silently dropped benchmark fails as loudly as a slow
+// one.
+func (c *Comparison) Err() error {
+	if len(c.Regressions) == 0 && len(c.Missing) == 0 {
+		return nil
+	}
+	var parts []string
+	if n := len(c.Regressions); n > 0 {
+		names := make([]string, n)
+		for i, r := range c.Regressions {
+			names[i] = r.String()
+		}
+		parts = append(parts, fmt.Sprintf("%d regression(s): %s", n, strings.Join(names, "; ")))
+	}
+	if n := len(c.Missing); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d benchmark(s) missing from new file: %s",
+			n, strings.Join(c.Missing, ", ")))
+	}
+	return fmt.Errorf("bench: %s", strings.Join(parts, "; "))
 }
 
 // Compare matches benchmarks by name and flags regressions beyond
@@ -336,7 +364,7 @@ func (c *Comparison) Table() *stats.Table {
 		tab.AddNote("no regressions")
 	}
 	if len(c.Missing) > 0 {
-		tab.AddNote("missing from new file: %v", c.Missing)
+		tab.AddNote("MISSING from new file (fails the comparison): %v", c.Missing)
 	}
 	if len(c.Added) > 0 {
 		tab.AddNote("new benchmarks: %v", c.Added)

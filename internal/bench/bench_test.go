@@ -118,6 +118,41 @@ func TestCompareFlagsInjectedRegressions(t *testing.T) {
 	}
 }
 
+// TestComparisonErr: Err must fail the comparison on regressions AND on
+// benchmarks missing from the new file, naming each offender — a
+// silently dropped benchmark is a lost performance pin, not a skip.
+func TestComparisonErr(t *testing.T) {
+	clean := &Comparison{Added: []string{"fresh"}}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("clean comparison (added only) failed: %v", err)
+	}
+
+	missing := &Comparison{Missing: []string{"gone_a", "gone_b"}}
+	err := missing.Err()
+	if err == nil {
+		t.Fatal("comparison with missing benchmarks passed")
+	}
+	for _, name := range []string{"gone_a", "gone_b"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("Err does not name missing benchmark %s: %v", name, err)
+		}
+	}
+
+	both := &Comparison{
+		Regressions: []Regression{{Name: "slow", Metric: "ns_per_op", Old: 100, New: 200, Ratio: 2}},
+		Missing:     []string{"gone"},
+	}
+	err = both.Err()
+	if err == nil {
+		t.Fatal("comparison with regressions and missing benchmarks passed")
+	}
+	for _, want := range []string{"slow", "gone"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Err does not name %q: %v", want, err)
+		}
+	}
+}
+
 // TestCompareSchemaMismatch: files from different schema generations must
 // not be silently compared.
 func TestCompareSchemaMismatch(t *testing.T) {

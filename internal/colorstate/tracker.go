@@ -21,6 +21,7 @@ package colorstate
 import (
 	"repro/internal/container"
 	"repro/internal/sched"
+	"repro/internal/snap"
 )
 
 // State is the paper's per-color record.
@@ -299,6 +300,172 @@ func (t *Tracker) SuperEpochWindows(width int) [][2]int {
 // EpochEndLog returns the recorded epoch-end events (round, color) in
 // order. RecordTsEvents must have been enabled.
 func (t *Tracker) EpochEndLog() []TsEvent { return t.epochEnds }
+
+// trackerSnapVersion identifies the Tracker checkpoint layout.
+const trackerSnapVersion = 1
+
+// Snapshot appends the tracker's complete dynamic state to e, including
+// the per-color states, the due-multiple heap (in exact internal order,
+// so deadline ties resolve identically after restore) and any recorded
+// instrumentation events. Configuration (Δ, threshold, delays, the
+// timestamp-rule flag) is written only as a consistency fingerprint:
+// Restore runs on a tracker freshly built with the same configuration.
+func (t *Tracker) Snapshot(e *snap.Encoder) {
+	e.Int(trackerSnapVersion)
+	e.Int(t.delta)
+	e.Int(t.threshold)
+	e.Bool(t.immediateTs)
+	e.Bool(t.recordTsEvents)
+	e.Int(len(t.states))
+	for i := range t.states {
+		st := &t.states[i]
+		e.Bool(st.Known)
+		e.Int(st.Cnt)
+		e.Int(st.Deadline)
+		e.Bool(st.Eligible)
+		e.Int(st.LastWrap)
+		e.Int(st.Timestamp)
+		e.Int(st.EpochsEnded)
+		e.Int(st.Wraps)
+		e.Int(st.TsUpdates)
+	}
+	e.Int(t.due.Len())
+	t.due.Export(func(c sched.Color, m int) {
+		e.Int(int(c))
+		e.Int(m)
+	})
+	if t.recordTsEvents {
+		snapshotEvents(e, t.tsEvents)
+		snapshotEvents(e, t.epochEnds)
+	}
+}
+
+func snapshotEvents(e *snap.Encoder, evs []TsEvent) {
+	e.Int(len(evs))
+	for _, ev := range evs {
+		e.Int(ev.Round)
+		e.Int(int(ev.C))
+	}
+}
+
+// Restore rebuilds the tracker's dynamic state from d. The receiver must
+// be freshly constructed with the same configuration the snapshot was
+// taken under; any mismatch, truncation or inconsistency is reported as
+// an error (never a panic). The eligible-color slice is reconstructed
+// from the per-color eligibility bits, whose sorted order is canonical.
+func (t *Tracker) Restore(d *snap.Decoder) error {
+	if v := d.Int(); d.Err() == nil && v != trackerSnapVersion {
+		d.Failf("colorstate: tracker snapshot version %d, this build reads %d", v, trackerSnapVersion)
+	}
+	if v := d.Int(); d.Err() == nil && v != t.delta {
+		d.Failf("colorstate: snapshot Δ=%d, tracker has Δ=%d", v, t.delta)
+	}
+	if v := d.Int(); d.Err() == nil && v != t.threshold {
+		d.Failf("colorstate: snapshot threshold %d, tracker has %d", v, t.threshold)
+	}
+	if v := d.Bool(); d.Err() == nil && v != t.immediateTs {
+		d.Failf("colorstate: snapshot immediate-timestamp flag %v, tracker has %v", v, t.immediateTs)
+	}
+	if v := d.Bool(); d.Err() == nil && v != t.recordTsEvents {
+		d.Failf("colorstate: snapshot event-recording flag %v, tracker has %v", v, t.recordTsEvents)
+	}
+	if n := d.Len(); d.Err() == nil && n != len(t.states) {
+		d.Failf("colorstate: snapshot has %d colors, tracker has %d", n, len(t.states))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.known = 0
+	t.eligible = t.eligible[:0]
+	for i := range t.states {
+		st := &t.states[i]
+		st.Known = d.Bool()
+		st.Cnt = d.Int()
+		st.Deadline = d.Int()
+		st.Eligible = d.Bool()
+		st.LastWrap = d.Int()
+		st.Timestamp = d.Int()
+		st.EpochsEnded = d.Int()
+		st.Wraps = d.Int()
+		st.TsUpdates = d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if !st.Known && (st.Eligible || st.Cnt != 0) {
+			return failf(d, "colorstate: color %d has state but is not known", i)
+		}
+		if st.Cnt < 0 || st.Cnt >= t.threshold && t.threshold > 0 {
+			return failf(d, "colorstate: color %d has counter %d outside [0, %d)", i, st.Cnt, t.threshold)
+		}
+		if st.Known {
+			t.known++
+		}
+		if st.Eligible {
+			t.eligible = append(t.eligible, sched.Color(i))
+		}
+	}
+	t.due.Clear()
+	nd := d.Len()
+	if d.Err() == nil && nd != t.known {
+		d.Failf("colorstate: due heap has %d entries for %d known colors", nd, t.known)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for k := 0; k < nd; k++ {
+		c, m := d.Int(), d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if c < 0 || c >= len(t.states) || !t.states[c].Known {
+			return failf(d, "colorstate: due heap names invalid color %d", c)
+		}
+		if !t.due.Import(sched.Color(c), m) {
+			return failf(d, "colorstate: due heap repeats color %d", c)
+		}
+	}
+	t.tsEvents, t.epochEnds = nil, nil
+	if t.recordTsEvents {
+		var err error
+		if t.tsEvents, err = restoreEvents(d, len(t.states)); err != nil {
+			return err
+		}
+		if t.epochEnds, err = restoreEvents(d, len(t.states)); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+func restoreEvents(d *snap.Decoder, numColors int) ([]TsEvent, error) {
+	n := d.Len()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	evs := make([]TsEvent, n)
+	for i := range evs {
+		evs[i].Round = d.Int()
+		c := d.Int()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if c < 0 || c >= numColors {
+			return nil, failf(d, "colorstate: event %d names invalid color %d", i, c)
+		}
+		evs[i].C = sched.Color(c)
+	}
+	return evs, nil
+}
+
+// failf records the error on the decoder (so later reads stay inert)
+// and returns it for immediate propagation.
+func failf(d *snap.Decoder, format string, args ...any) error {
+	d.Failf(format, args...)
+	return d.Err()
+}
 
 // EpochsOverlapping counts, for color c, how many of its epochs intersect
 // the round window [lo, hi]. An epoch spans from the end of the previous

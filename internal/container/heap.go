@@ -131,6 +131,31 @@ func (h *IndexedHeap[K, P]) AppendKeys(dst []K) []K {
 	return dst
 }
 
+// Export calls f for every (key, priority) pair in internal array
+// order. Together with Import it lets a checkpoint preserve the heap's
+// exact layout: restoring the same array order guarantees the restored
+// heap breaks priority ties identically to the original, which the
+// deterministic-resume contract of the checkpoint subsystem relies on.
+func (h *IndexedHeap[K, P]) Export(f func(key K, pri P)) {
+	for _, it := range h.items {
+		f(it.key, it.pri)
+	}
+}
+
+// Import appends one item without re-establishing heap order, rebuilding
+// the exact layout captured by Export: the caller must Clear first and
+// replay the pairs in Export order. It reports false (and leaves the
+// heap unchanged) when key is already present — a corrupt checkpoint,
+// which the caller must treat as an error.
+func (h *IndexedHeap[K, P]) Import(key K, pri P) bool {
+	if _, ok := h.pos[key]; ok {
+		return false
+	}
+	h.items = append(h.items, heapItem[K, P]{key: key, pri: pri})
+	h.pos[key] = len(h.items) - 1
+	return true
+}
+
 func (h *IndexedHeap[K, P]) removeAt(i int) {
 	last := len(h.items) - 1
 	delete(h.pos, h.items[i].key)

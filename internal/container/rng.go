@@ -14,6 +14,15 @@ type RNG struct {
 // independent-looking streams.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's internal state so it can be
+// checkpointed; SetState(State()) resumes the stream exactly where it
+// left off.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state, typically with a
+// value previously obtained from State when restoring a checkpoint.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

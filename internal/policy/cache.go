@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/sched"
+	"repro/internal/snap"
 )
 
 // Cache views the n resources as cache locations holding colors (§3.1).
@@ -150,6 +151,85 @@ func (c *Cache) SyncTo(want []sched.Color) {
 			}
 		}
 	}
+}
+
+// cacheSnapVersion identifies the Cache checkpoint layout.
+const cacheSnapVersion = 1
+
+// Snapshot appends the cache's dynamic state to e: the slot array and
+// the free-slot stack, both in exact order. The free-stack order is
+// history-dependent and decides which slot the next Insert picks, so it
+// must survive for deterministic resume; the slot-of index is derived
+// and rebuilt on Restore.
+func (c *Cache) Snapshot(e *snap.Encoder) {
+	e.Int(cacheSnapVersion)
+	e.Int(c.n)
+	e.Bool(c.repl)
+	e.Int(len(c.slots))
+	for _, col := range c.slots {
+		e.Int(int(col))
+	}
+	e.Ints(c.free)
+}
+
+// Restore rebuilds the cache from d. The receiver must be freshly
+// constructed with the same n/replication the snapshot was taken under.
+// Every structural invariant is re-validated — slot colors distinct,
+// free stack exactly covering the empty slots — and violations surface
+// as errors, never panics.
+func (c *Cache) Restore(d *snap.Decoder) error {
+	if v := d.Int(); d.Err() == nil && v != cacheSnapVersion {
+		d.Failf("policy: cache snapshot version %d, this build reads %d", v, cacheSnapVersion)
+	}
+	if v := d.Int(); d.Err() == nil && v != c.n {
+		d.Failf("policy: snapshot cache has n=%d, this cache has n=%d", v, c.n)
+	}
+	if v := d.Bool(); d.Err() == nil && v != c.repl {
+		d.Failf("policy: snapshot replication flag %v, this cache has %v", v, c.repl)
+	}
+	if ns := d.Len(); d.Err() == nil && ns != c.half {
+		d.Failf("policy: snapshot has %d slots, this cache has %d", ns, c.half)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	clear(c.slotOf)
+	for i := range c.slots {
+		col := sched.Color(d.Int())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if col != sched.NoColor {
+			if col < 0 {
+				d.Failf("policy: slot %d holds invalid color %d", i, col)
+				return d.Err()
+			}
+			if _, dup := c.slotOf[col]; dup {
+				d.Failf("policy: color %d cached in two slots", col)
+				return d.Err()
+			}
+			c.slotOf[col] = i
+		}
+		c.slots[i] = col
+	}
+	free := d.Ints()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(free) != c.half-len(c.slotOf) {
+		d.Failf("policy: free stack has %d entries for %d empty slots", len(free), c.half-len(c.slotOf))
+		return d.Err()
+	}
+	seen := make(map[int]bool, len(free))
+	for _, f := range free {
+		if f < 0 || f >= c.half || c.slots[f] != sched.NoColor || seen[f] {
+			d.Failf("policy: free stack entry %d is not a distinct empty slot", f)
+			return d.Err()
+		}
+		seen[f] = true
+	}
+	c.free = append(c.free[:0], free...)
+	return nil
 }
 
 // Assignment materializes the location assignment: location i gets

@@ -23,6 +23,14 @@ type RoundEvent struct {
 // (online streams): both front-ends drive the same engine, so a probe
 // observes identical event sequences either way.
 //
+// One event does not correspond to a simulated round: when pending jobs
+// are force-dropped outside any round (Stream.DropPending, or Run when
+// Options.MaxRounds truncates a simulation), the probe receives a final
+// RoundEvent carrying those drops — Round repeats the next unsimulated
+// round's index and only Dropped is non-zero. Sinks therefore keep
+// agreeing with the Result's totals; a sink's Rounds count can exceed
+// Result.Rounds by one.
+//
 // Probes observe; they cannot influence the simulation. Events are passed
 // by value and the engine allocates nothing on a probe's behalf — and
 // with no probe attached the observability layer costs nothing at all

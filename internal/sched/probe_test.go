@@ -132,6 +132,60 @@ func TestMultiProbeFansOut(t *testing.T) {
 	}
 }
 
+// TestProbeSeesForcedDrops: forced drops — Stream.DropPending and Run's
+// MaxRounds truncation — must reach an attached probe as one final
+// RoundEvent, so sink totals keep matching the Result (they used to be
+// silently lost).
+func TestProbeSeesForcedDrops(t *testing.T) {
+	// Stream side: two undrainable colors pending when DropPending hits.
+	rec := &recordingProbe{}
+	st, err := NewStream(&scripted{rows: [][]Color{{NoColor}}}, StreamConfig{
+		N: 1, Delta: 1, Delays: []int{4, 4}, Probe: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Step(Request{{Color: 0, Count: 2}, {Color: 1, Count: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.DropPending(); n != 5 {
+		t.Fatalf("DropPending dropped %d, want 5", n)
+	}
+	want := []RoundEvent{
+		{Round: 0, Arrivals: 5, Pending: 5},
+		{Round: 1, Dropped: 5},
+	}
+	if !reflect.DeepEqual(rec.rounds, want) {
+		t.Fatalf("events = %+v, want %+v", rec.rounds, want)
+	}
+	// Repeating the call must not emit an empty event.
+	if n := st.DropPending(); n != 0 {
+		t.Fatalf("second DropPending dropped %d, want 0", n)
+	}
+	if len(rec.rounds) != 2 {
+		t.Fatalf("empty DropPending emitted an event: %+v", rec.rounds)
+	}
+
+	// Run side: MaxRounds truncation charges the stranded jobs and the
+	// sink must agree with the Result's totals.
+	inst := &Instance{Delta: 1, Delays: []int{8}}
+	inst.AddJobs(0, 0, 6)
+	sink := &CounterSink{}
+	res, err := Run(inst, &scripted{rows: [][]Color{{0}}}, Options{N: 1, MaxRounds: 2, Probe: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 4 || res.Executed != 2 {
+		t.Fatalf("truncated run: executed %d dropped %d, want 2/4", res.Executed, res.Dropped)
+	}
+	if sink.Dropped != res.Dropped || sink.Executed != res.Executed {
+		t.Fatalf("sink %v disagrees with truncated result %v", sink, res)
+	}
+	if sink.Rounds != res.Rounds+1 {
+		t.Fatalf("sink saw %d events for %d rounds + 1 forced-drop event", sink.Rounds, res.Rounds)
+	}
+}
+
 // TestStepAllocFree pins the engine's zero-allocation guarantee: with no
 // probe attached, a steady-state Stream.Step — including unsorted
 // duplicate-batch normalization, drops, executions, and StepResult

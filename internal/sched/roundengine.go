@@ -228,8 +228,12 @@ func (e *roundEngine) noteExec(c Color) {
 // dropPending force-drops every job still pending, attributing the drops
 // per color exactly like the round drop phase. Run applies it when
 // Options.MaxRounds truncates a simulation; Stream exposes it as
-// DropPending. The policy's DropObserver and any attached Probe are not
-// notified — no round is simulated, the jobs are charged by fiat.
+// DropPending. No round is simulated and the policy's DropObserver is
+// not notified — the jobs are charged by fiat — but an attached Probe
+// does receive the forced drops as one final RoundEvent (Round set to
+// the next unsimulated round, only Dropped non-zero), so probe totals
+// keep matching the Result instead of silently losing the truncation
+// drops.
 func (e *roundEngine) dropPending() int {
 	if e.pool.totalPending() == 0 {
 		return 0
@@ -237,6 +241,9 @@ func (e *roundEngine) dropPending() int {
 	e.forced = true
 	n := e.pool.expire(math.MaxInt, e.dropFn)
 	e.forced = false
+	if e.probe != nil {
+		e.probe.OnRound(RoundEvent{Round: e.round, Dropped: n})
+	}
 	return n
 }
 

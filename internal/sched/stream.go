@@ -150,8 +150,10 @@ func (s *Stream) Drain() (rounds int, err error) {
 // DropPending force-drops every job still pending, charging each as a
 // drop with per-color attribution — the same accounting Run applies when
 // Options.MaxRounds truncates a simulation. Use it instead of Drain when
-// tearing a stream down early. It returns the number of jobs charged; the
-// policy and any attached Probe are not notified.
+// tearing a stream down early. It returns the number of jobs charged.
+// The policy is not notified (no round is simulated), but an attached
+// Probe receives the forced drops as one final RoundEvent with only
+// Dropped set, so sink totals stay consistent with Result.
 func (s *Stream) DropPending() int { return s.eng.dropPending() }
 
 // Result summarizes the stream so far in the same shape Run returns. The

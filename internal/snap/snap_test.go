@@ -1,0 +1,164 @@
+package snap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint64(0)
+	e.Uint64(math.MaxUint64)
+	e.Int64(math.MinInt64)
+	e.Int64(math.MaxInt64)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(math.Pi)
+	e.Float64(math.Inf(-1))
+	e.String("")
+	e.String("héllo\x00world")
+	e.Ints(nil)
+	e.Ints([]int{3, -1, 0})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint64(); v != 0 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Uint64(); v != math.MaxUint64 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Int64(); v != math.MinInt64 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Int64(); v != math.MaxInt64 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Int(); v != -42 {
+		t.Errorf("Int = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool mismatch")
+	}
+	if v := d.Float64(); v != math.Pi {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.Float64(); !math.IsInf(v, -1) {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.String(); v != "héllo\x00world" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.Ints(); v != nil {
+		t.Errorf("Ints = %v", v)
+	}
+	if v := d.Ints(); len(v) != 3 || v[0] != 3 || v[1] != -1 || v[2] != 0 {
+		t.Errorf("Ints = %v", v)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64BitExact(t *testing.T) {
+	// NaN payloads and signed zeros must survive exactly: the checkpoint
+	// contract is bit-identical state, not merely numerically-equal state.
+	for _, f := range []float64{math.Copysign(0, -1), math.Float64frombits(0x7ff8000000000001)} {
+		e := NewEncoder()
+		e.Float64(f)
+		d := NewDecoder(e.Bytes())
+		got := d.Float64()
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("bits %016x → %016x", math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.Int(12345)
+	e.String("some payload")
+	full := e.Bytes()
+	// Every strict prefix must produce an error somewhere, never panic.
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.Int()
+		_ = d.String()
+		if d.Err() == nil && d.Done() == nil {
+			t.Errorf("prefix of %d/%d bytes decoded cleanly", cut, len(full))
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	if v := d.Int(); v != 0 {
+		t.Errorf("Int after error = %d", v)
+	}
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Later failures must not replace the first.
+	d.Failf("later error")
+	if d.Err() != first {
+		t.Errorf("error replaced: %v", d.Err())
+	}
+	if d.Bool() || d.Float64() != 0 || d.String() != "" || d.Ints() != nil {
+		t.Error("reads after error must return zero values")
+	}
+}
+
+func TestDecoderRejectsHugeLength(t *testing.T) {
+	e := NewEncoder()
+	e.Int(1 << 40) // a length that cannot possibly fit
+	d := NewDecoder(e.Bytes())
+	if n := d.Len(); n != 0 || d.Err() == nil {
+		t.Fatalf("Len = %d, err = %v; want rejection", n, d.Err())
+	}
+}
+
+func TestDecoderRejectsNegativeLength(t *testing.T) {
+	e := NewEncoder()
+	e.Int(-1)
+	d := NewDecoder(e.Bytes())
+	if n := d.Len(); n != 0 || d.Err() == nil {
+		t.Fatalf("Len = %d, err = %v; want rejection", n, d.Err())
+	}
+}
+
+func TestDecoderRejectsInvalidBool(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	if d.Bool() || d.Err() == nil {
+		t.Fatal("bool byte 7 must be rejected")
+	}
+}
+
+func TestDoneRejectsTrailingBytes(t *testing.T) {
+	e := NewEncoder()
+	e.Int(1)
+	data := append(bytes.Clone(e.Bytes()), 0xff)
+	d := NewDecoder(data)
+	d.Int()
+	if err := d.Done(); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	mk := func() []byte {
+		e := NewEncoder()
+		e.Int(7)
+		e.String("abc")
+		e.Ints([]int{1, 2, 3})
+		e.Float64(1.5)
+		return e.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

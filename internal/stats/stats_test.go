@@ -1,7 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -109,5 +112,61 @@ func TestHistogramPanics(t *testing.T) {
 func TestSummaryString(t *testing.T) {
 	if s := Summarize([]float64{1, 2}).String(); s == "" {
 		t.Fatal("empty String")
+	}
+}
+
+// TestSummaryQuantile: a live Summary answers arbitrary quantiles from
+// its retained sample; bad p is rejected.
+func TestSummaryQuantile(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	q, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != s.P50 {
+		t.Fatalf("Quantile(0.5) = %v, P50 = %v", q, s.P50)
+	}
+	if q, err := s.Quantile(0); err != nil || q != 1 {
+		t.Fatalf("Quantile(0) = %v, %v", q, err)
+	}
+	if q, err := s.Quantile(1); err != nil || q != 4 {
+		t.Fatalf("Quantile(1) = %v, %v", q, err)
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(p); err == nil {
+			t.Fatalf("Quantile(%v) accepted", p)
+		}
+	}
+}
+
+// TestSummaryJSONRoundTrip pins the serialization contract: the exported
+// fields survive a JSON roundtrip bit-exactly, the retained sample is
+// deliberately NOT serialized, and Quantile on the roundtripped value
+// makes that explicit by reporting ErrNoSample instead of a wrong
+// answer.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	orig := Summarize([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "sortedForPercent") {
+		t.Fatalf("raw sample leaked into JSON: %s", data)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || back.Mean != orig.Mean || back.Std != orig.Std ||
+		back.Min != orig.Min || back.Max != orig.Max ||
+		back.P50 != orig.P50 || back.P90 != orig.P90 || back.P99 != orig.P99 {
+		t.Fatalf("exported fields changed across roundtrip:\n got %+v\nwant %+v", back, orig)
+	}
+	if _, err := back.Quantile(0.5); !errors.Is(err, ErrNoSample) {
+		t.Fatalf("Quantile after roundtrip: err = %v, want ErrNoSample", err)
+	}
+	// The zero value behaves like a deserialized one.
+	if _, err := (Summary{}).Quantile(0.5); !errors.Is(err, ErrNoSample) {
+		t.Fatalf("Quantile on zero Summary: err = %v, want ErrNoSample", err)
 	}
 }

@@ -119,6 +119,44 @@ func NewStream(pol Policy, cfg StreamConfig) (*Stream, error) {
 	return sched.NewStream(pol, cfg)
 }
 
+// ——— Checkpoint/restore (internal/sched snapshots, internal/trace files) ———
+
+// Snapshotter is the checkpoint/restore capability of a Policy; every
+// policy in this repository implements it. Stream.Snapshot serializes a
+// live stream (configuration, round engine, cost ledger, pending pool
+// and policy state) and RestoreStream rebuilds one that continues
+// bit-identically — see docs/CHECKPOINT.md for the format and the
+// determinism contract.
+type Snapshotter = sched.Snapshotter
+
+// SnapshotVersion is the version tag of the Stream.Snapshot state blob.
+const SnapshotVersion = sched.SnapshotVersion
+
+// RestoreStream rebuilds a live Stream from a Stream.Snapshot blob. pol
+// must be a fresh policy of the type that produced the snapshot; probe
+// (not serialized) is attached to the restored stream. Corrupt input is
+// reported as an error, never a panic. See sched.RestoreStream.
+func RestoreStream(pol Policy, snapshot []byte, probe Probe) (*Stream, error) {
+	return sched.RestoreStream(pol, snapshot, probe)
+}
+
+// WriteCheckpoint wraps a Stream.Snapshot blob in the durable container
+// format (magic, version, length prefix, CRC-32) on w.
+func WriteCheckpoint(w io.Writer, state []byte) error { return trace.WriteCheckpoint(w, state) }
+
+// ReadCheckpoint reads one checkpoint container from r, verifies it and
+// returns the state blob for RestoreStream.
+func ReadCheckpoint(r io.Reader) ([]byte, error) { return trace.ReadCheckpoint(r) }
+
+// SaveCheckpoint atomically snapshots st to a checkpoint file at path
+// (temp file + rename; a crash mid-write preserves the previous file).
+func SaveCheckpoint(path string, st *Stream) error { return trace.SaveCheckpoint(path, st) }
+
+// LoadCheckpoint restores a live stream from the checkpoint at path.
+func LoadCheckpoint(path string, pol Policy, probe Probe) (*Stream, error) {
+	return trace.LoadCheckpoint(path, pol, probe)
+}
+
 // ——— Observability (internal/sched probes, internal/trace JSONL) ———
 
 // Observability types: the shared round engine reports each simulated
