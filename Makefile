@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke check experiments fmt vet clean
 
 all: build test
 
@@ -13,10 +13,13 @@ test:
 race:
 	go test -race ./...
 
-# The hot-path packages (round engine, parallel sweep runner) under the
-# race detector with fresh (uncached) runs — the fast pre-commit subset.
+# The hot-path packages (round engine, parallel sweep runner, exact
+# solver) under the race detector with fresh (uncached) runs — the fast
+# pre-commit subset. The offline package runs in -short mode: the full
+# differential corpus under the race detector belongs to `make race`.
 race-hot:
 	go test -race -count=1 ./internal/sched/ ./internal/exp/
+	go test -race -count=1 -short ./internal/offline/
 
 cover:
 	go test -cover ./...
@@ -50,10 +53,16 @@ faultsmoke:
 	go test -run 'TestFaultInjection' -count=1 .
 	go test -run 'TestCheckpoint' -count=1 ./internal/trace/
 
+# The exact-solver smoke: the branch-and-bound optimum pinned
+# bit-identical to the legacy DFS on the differential corpus, at several
+# worker counts, plus the wide-key fallback. Fresh runs, never cached.
+optsmoke:
+	go test -run 'TestSolveExact|TestExactBetweenBounds' -short -count=1 ./internal/offline/
+
 # The pre-commit gate: static analysis, the race-detector subset on the
-# hot-path packages, the fault-injection harness, then the full test
-# suite under the race detector.
-check: vet race-hot faultsmoke race
+# hot-path packages, the fault-injection and exact-solver harnesses, then
+# the full test suite under the race detector.
+check: vet race-hot faultsmoke optsmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -74,7 +74,9 @@ func (c *Config) Defaults() {
 		c.StepsPerRestart = 60
 	}
 	if c.BruteForceStates == 0 {
-		c.BruteForceStates = 400_000
+		// Branch-and-bound states are cheap (see offline.SolveExact), so
+		// the default budget is generous: fewer discarded candidates.
+		c.BruteForceStates = 2_000_000
 	}
 }
 
@@ -100,7 +102,10 @@ func Search(cfg Config, newPolicy func() sched.Policy) (*Result, error) {
 	best := &Result{Ratio: -1}
 
 	evaluate := func(inst *sched.Instance) (float64, int64, int64, bool) {
-		opt, err := offline.BruteForce(inst.Clone(), cfg.M, cfg.BruteForceStates)
+		opt, err := offline.SolveExact(inst, cfg.M, offline.ExactOptions{
+			MaxStates: cfg.BruteForceStates,
+			Workers:   1, // hill climbing evaluates many candidates serially
+		})
 		var lim *offline.BruteForceLimitError
 		if errors.As(err, &lim) {
 			return 0, 0, 0, false

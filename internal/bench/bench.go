@@ -46,9 +46,12 @@ type Measurement struct {
 
 	// RoundsPerSec and JobsPerSec are simulator-rate views of the same
 	// sample, present only for benchmarks that declare how many rounds
-	// and jobs one op simulates.
+	// and jobs one op simulates. StatesPerSec is the analogous rate for
+	// exact-solver benchmarks (expanded search states per second) — the
+	// throughput number docs/PERFORMANCE.md's solver table pins.
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 	JobsPerSec   float64 `json:"jobs_per_sec,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
 }
 
 // File is one serialized benchmark run: the unit BENCH_<label>.json
@@ -65,13 +68,21 @@ type File struct {
 	Benchmarks []Measurement `json:"benchmarks"`
 }
 
+// Rates declares what one op covers, for the per-second rate views of a
+// measurement: simulator rounds and jobs for engine benchmarks, expanded
+// search states for exact-solver benchmarks. Zero fields suppress the
+// corresponding rate (e.g. for a comparator micro-benchmark).
+type Rates struct {
+	Rounds int
+	Jobs   int
+	States int
+}
+
 // Spec is one benchmark in a suite. Make builds a fresh warmed-up op
-// closure and reports how many simulator rounds and jobs a single op
-// covers (0 when rate metrics make no sense, e.g. for a comparator
-// micro-benchmark).
+// closure and reports the Rates a single op covers.
 type Spec struct {
 	Name string
-	Make func() (op func() error, rounds, jobs int)
+	Make func() (op func() error, rates Rates)
 }
 
 // Options tunes Run.
@@ -132,7 +143,7 @@ func measure(spec Spec, opts Options) (Measurement, error) {
 	m := Measurement{Name: spec.Name, Samples: opts.samples()}
 	var nsSamples []float64
 	for s := 0; s < opts.samples(); s++ {
-		op, rounds, jobs := spec.Make()
+		op, rates := spec.Make()
 		if err := op(); err != nil { // warm-up iteration
 			return m, err
 		}
@@ -150,11 +161,14 @@ func measure(spec Spec, opts Options) (Measurement, error) {
 					m.Iterations = n
 					m.AllocsPerOp = float64(mallocs) / float64(n)
 					m.BytesPerOp = float64(bytes) / float64(n)
-					if rounds > 0 && nsPerOp > 0 {
-						m.RoundsPerSec = float64(rounds) / (nsPerOp / 1e9)
+					if rates.Rounds > 0 && nsPerOp > 0 {
+						m.RoundsPerSec = float64(rates.Rounds) / (nsPerOp / 1e9)
 					}
-					if jobs > 0 && nsPerOp > 0 {
-						m.JobsPerSec = float64(jobs) / (nsPerOp / 1e9)
+					if rates.Jobs > 0 && nsPerOp > 0 {
+						m.JobsPerSec = float64(rates.Jobs) / (nsPerOp / 1e9)
+					}
+					if rates.States > 0 && nsPerOp > 0 {
+						m.StatesPerSec = float64(rates.States) / (nsPerOp / 1e9)
 					}
 				}
 				break
@@ -209,7 +223,7 @@ func Validate(f *File) error {
 			return fmt.Errorf("bench: duplicate benchmark %q", m.Name)
 		}
 		seen[m.Name] = true
-		for _, v := range []float64{m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.RoundsPerSec, m.JobsPerSec} {
+		for _, v := range []float64{m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.RoundsPerSec, m.JobsPerSec, m.StatesPerSec} {
 			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 				return fmt.Errorf("bench: %s has invalid value %v", m.Name, v)
 			}

@@ -22,7 +22,7 @@ func mkFile(t *testing.T, specs []Spec) *File {
 }
 
 func constSpec(name string, allocs int) Spec {
-	return Spec{Name: name, Make: func() (func() error, int, int) {
+	return Spec{Name: name, Make: func() (func() error, Rates) {
 		sink := make([][]byte, 0, allocs)
 		op := func() error {
 			sink = sink[:0]
@@ -31,7 +31,7 @@ func constSpec(name string, allocs int) Spec {
 			}
 			return nil
 		}
-		return op, 1, 2
+		return op, Rates{Rounds: 1, Jobs: 2}
 	}}
 }
 

@@ -13,8 +13,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/offline"
 	"repro/internal/stats"
 )
+
+// exactOpts is how experiments call the exact solver: a generous state
+// budget (branch-and-bound states are cheap — see offline.SolveExact) and
+// no root-splitting parallelism, because the per-seed work already runs
+// inside a Sweep worker.
+var exactOpts = offline.ExactOptions{MaxStates: 2_000_000, Workers: 1}
 
 // Config tunes an experiment run.
 type Config struct {

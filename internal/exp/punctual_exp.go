@@ -121,7 +121,7 @@ func runT11(cfg Config) (*Report, error) {
 			}
 		}
 		inst.Normalize()
-		opt, err := offline.BruteForce(inst.Clone(), m, 600_000)
+		opt, err := offline.SolveExact(inst, m, exactOpts)
 		var lim *offline.BruteForceLimitError
 		if errors.As(err, &lim) {
 			return sample{skipped: true}, nil

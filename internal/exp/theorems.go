@@ -39,7 +39,8 @@ func runT1(cfg Config) (*Report, error) {
 	samples, err := Sweep(cfg.workers(), seeds, func(seed uint64) (sample, error) {
 		// Rate-limited batched instance for the Theorem 1 core claim.
 		inst := workload.RandomSmall(seed, 3, 2, 13, []int{1, 2, 4}, 3, true)
-		opt, err := offline.BruteForce(inst.Clone(), m, 600_000)
+		// Workers: 1 — the sweep itself already fans seeds across cores.
+		opt, err := offline.SolveExact(inst, m, exactOpts)
 		var lim *offline.BruteForceLimitError
 		if errors.As(err, &lim) {
 			return sample{skipped: true}, nil
@@ -53,7 +54,7 @@ func runT1(cfg Config) (*Report, error) {
 		}
 		// Unbatched instance for the end-to-end Theorem 3 pipeline.
 		raw := workload.RandomSmall(seed+1_000_000, 3, 2, 13, []int{1, 2, 4}, 3, false)
-		optRaw, err := offline.BruteForce(raw.Clone(), m, 600_000)
+		optRaw, err := offline.SolveExact(raw, m, exactOpts)
 		if errors.As(err, &lim) {
 			return sample{skipped: true}, nil
 		}

@@ -1,9 +1,12 @@
 package offline
 
 import (
+	"container/heap"
+	"errors"
 	"fmt"
-	"sort"
-	"strconv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -16,272 +19,1433 @@ func (e *BruteForceLimitError) Error() string {
 	return fmt.Sprintf("offline: brute force exceeded the state budget (%d states)", e.States)
 }
 
+// DefaultStateBudget is the state cap used when a caller passes
+// maxStates ≤ 0. Branch-and-bound states are two dense slices (memo entry
+// header + key words) instead of the legacy solver's string-keyed map, so
+// the budget is generous.
+const DefaultStateBudget = 4_000_000
+
+func errBadM(m int) error {
+	return fmt.Errorf("offline: exact solver needs m ≥ 1, got %d", m)
+}
+
+// ExactOptions tunes SolveExact.
+type ExactOptions struct {
+	// MaxStates caps the number of expanded branch nodes across all
+	// workers (≤ 0 means DefaultStateBudget). Exceeding it returns a
+	// BruteForceLimitError.
+	MaxStates int
+	// Workers bounds the root-splitting parallelism; 0 means GOMAXPROCS.
+	// The returned optimum is bit-identical at every worker count.
+	Workers int
+	// UpperBound, when > 0, seeds the incumbent with a known upper bound
+	// on the m-resource optimum — it MUST be ≥ OPT, which any achievable
+	// total cost is (e.g. the local-search upper bound BracketOPT
+	// computes anyway). The solver then only searches below it. When 0
+	// the solver seeds itself from the best-static heuristic.
+	UpperBound int64
+}
+
+// ExactStats reports how hard a SolveExact call had to work.
+type ExactStats struct {
+	// States is the number of distinct states solved (the budget metric,
+	// directly comparable with ReferenceBruteForce's state count).
+	States int64
+	// MemoHits counts node visits answered by the value memo.
+	MemoHits int64
+	// BoundPrunes counts children skipped (and root tasks dropped)
+	// because a certified lower bound proved they cannot improve the
+	// best alternative already solved exactly.
+	BoundPrunes int64
+	// Tasks and Workers describe the root split that was used.
+	Tasks   int
+	Workers int
+}
+
 // BruteForce computes the exact optimal offline cost OPT(σ) with m
-// resources by memoized search over (round, configuration, pending-jobs)
-// states. Configurations are treated as multisets of colors — locations
-// are interchangeable, so the minimal reconfiguration cost between two
-// configurations is Δ·(m − |intersection|).
+// resources. It is the historical entry point, now backed by the
+// branch-and-bound solver; see SolveExact for the tuning knobs.
+// maxStates ≤ 0 means DefaultStateBudget.
+func BruteForce(inst *sched.Instance, m int, maxStates int) (int64, error) {
+	return SolveExact(inst, m, ExactOptions{MaxStates: maxStates})
+}
+
+// SolveExact computes the exact optimal offline cost OPT(σ) with m
+// resources by certified branch-and-bound over (round, configuration,
+// pending-jobs) states. Configurations are treated as multisets of colors
+// — locations are interchangeable, so the minimal reconfiguration cost
+// between two configurations is Δ·(m − |intersection|).
 //
 // The search restricts candidate configurations to colors that currently
 // have pending jobs plus the colors already configured, which loses no
 // generality: configuring a color before it has pending jobs can always be
 // postponed to the round it first helps, at identical cost.
 //
-// BruteForce is exponential and intended for tiny instances (a handful of
-// colors, short horizons, m ≤ 3); maxStates caps the explored state count
-// (0 means 4,000,000). It returns the optimal total cost.
-func BruteForce(inst *sched.Instance, m int, maxStates int) (int64, error) {
+// The search is a memoized DFS wrapped in branch and bound. Three
+// mechanisms make it fast where the legacy solver (ReferenceBruteForce)
+// drowned:
+//
+//   - certified pruning: children of a node are explored in order of an
+//     admissible lower bound on their total — reconfiguration cost plus
+//     max(Par-EDF drop tail of the remaining arrivals, Σ over colors the
+//     child leaves unconfigured of min(Δ, remaining jobs)) — and the
+//     tail of that order is skipped wholesale once a sibling solved
+//     exactly beats it; whole root tasks are likewise dropped when
+//     cost-so-far + suffix bound reaches the incumbent, which is seeded
+//     with an achievable upper bound before the search starts. Skipped
+//     subtrees are certifiably ≥ the exact minimum kept, so memoized
+//     values stay exact and nothing is ever re-searched;
+//   - allocation-free node processing: an undo-stack DFS over per-color
+//     bucket queues replaces copy-on-branch pending state, and a flat
+//     open-addressing value memo over compact word-encoded keys replaces
+//     the string-keyed map;
+//   - root splitting: the first branching level(s) fan out across
+//     workers that share an atomic incumbent and a state budget.
+//
+// The optimum is deterministic (bit-identical) at every worker count.
+// SolveExact never mutates inst.
+func SolveExact(inst *sched.Instance, m int, opts ExactOptions) (int64, error) {
+	opt, _, err := SolveExactStats(inst, m, opts)
+	return opt, err
+}
+
+// SolveExactStats is SolveExact with search statistics (states expanded,
+// memo hits, prunes); the benchmarks use it for states/sec rates.
+func SolveExactStats(inst *sched.Instance, m int, opts ExactOptions) (int64, ExactStats, error) {
+	var stats ExactStats
 	if err := inst.Validate(); err != nil {
-		return 0, err
+		return 0, stats, err
 	}
 	if m < 1 {
-		return 0, fmt.Errorf("offline: BruteForce needs m ≥ 1, got %d", m)
+		return 0, stats, errBadM(m)
 	}
+	if inst.TotalJobs() == 0 {
+		return 0, stats, nil
+	}
+	// The packed state encoding (see encodeKey) carries color in 12 bits
+	// and relative deadline in 20, and the memo stores suffix costs as
+	// int32 (any total cost is ≤ jobs dropped + Δ·m per round); anything
+	// larger is far beyond exact solvability anyway.
+	worstCost := int64(inst.TotalJobs()) + int64(inst.Delta)*int64(m)*int64(inst.Horizon()+1)
+	if inst.NumColors() >= 1<<12 || inst.Horizon()-inst.NumRounds() >= 1<<20 || worstCost >= 1<<31 {
+		return 0, stats, fmt.Errorf("offline: instance exceeds exact-solver encoding limits (%d colors, max delay %d, worst cost %d)",
+			inst.NumColors(), inst.Horizon()-inst.NumRounds(), worstCost)
+	}
+	inst = inst.Clone().Normalize()
+
+	maxStates := opts.MaxStates
 	if maxStates <= 0 {
-		maxStates = 4_000_000
+		maxStates = DefaultStateBudget
 	}
-	inst.Normalize()
-	bf := &bruteForcer{
-		inst:      inst,
-		m:         m,
-		memo:      make(map[string]int64),
-		maxStates: maxStates,
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	cfg := make([]sched.Color, m)
-	for i := range cfg {
-		cfg[i] = sched.NoColor
+
+	// Seed the incumbent with an achievable upper bound: the caller's
+	// (BracketOPT passes its local-search bound) or the best-static run.
+	seed := opts.UpperBound
+	if seed <= 0 {
+		res, err := StaticCost(inst.Clone(), BestStaticColors(inst, m), m)
+		if err != nil {
+			return 0, stats, err
+		}
+		seed = res.Cost.Total()
 	}
-	return bf.solve(0, cfg, newPendingState(inst.NumColors()))
-}
 
-type bruteForcer struct {
-	inst      *sched.Instance
-	m         int
-	memo      map[string]int64
-	states    int
-	maxStates int
-}
+	shared := &exactShared{maxStates: int64(maxStates)}
+	shared.incumbent.Store(seed)
+	pre := newExactPrecomp(inst, m)
 
-// pendingState holds, per color, the pending (deadline, count) buckets in
-// ascending deadline order. It is copied on branching; instances are tiny.
-type pendingState struct {
-	buckets [][]bucket
-	total   int
-}
+	// Expand the root into one task per first-level configuration choice;
+	// a second level when that yields too few tasks to keep workers busy.
+	w0 := newExactWorker(inst, m, pre, shared)
+	tasks := w0.expandLevel([]rootTask{{}})
+	if len(tasks) > 0 && len(tasks) < 2*workers {
+		tasks = w0.expandLevel(tasks)
+	}
+	stats.Tasks = len(tasks)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
 
-type bucket struct {
-	deadline int
-	count    int
-}
-
-func newPendingState(numColors int) *pendingState {
-	return &pendingState{buckets: make([][]bucket, numColors)}
-}
-
-func (p *pendingState) clone() *pendingState {
-	c := &pendingState{buckets: make([][]bucket, len(p.buckets)), total: p.total}
-	for i, bs := range p.buckets {
-		if len(bs) > 0 {
-			c.buckets[i] = append([]bucket(nil), bs...)
+	var err error
+	if workers == 1 {
+		for _, t := range tasks {
+			if err = w0.runTask(t); err != nil {
+				break
+			}
+		}
+		w0.flushStates()
+		stats.add(&w0.stats)
+	} else {
+		var next atomic.Int64
+		ws := make([]*exactWorker, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			ws[i] = newExactWorker(inst, m, pre, shared)
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				w := ws[id]
+				for {
+					j := int(next.Add(1) - 1)
+					if j >= len(tasks) || shared.stop.Load() {
+						break
+					}
+					if e := w.runTask(tasks[j]); e != nil {
+						errs[id] = e
+						break
+					}
+				}
+				w.flushStates()
+			}(i)
+		}
+		wg.Wait()
+		stats.add(&w0.stats)
+		for i, w := range ws {
+			stats.add(&w.stats)
+			if errs[i] != nil && err == nil {
+				err = errs[i]
+			}
 		}
 	}
-	return c
+	stats.States = shared.states.Load()
+	if err != nil || shared.stop.Load() {
+		if err == nil || errors.Is(err, errExactStopped) {
+			err = &BruteForceLimitError{States: int(stats.States)}
+		}
+		return 0, stats, err
+	}
+	return shared.incumbent.Load(), stats, nil
 }
 
-// expire drops all jobs with deadline ≤ round and returns how many.
-func (p *pendingState) expire(round int) int {
-	dropped := 0
-	for c, bs := range p.buckets {
-		i := 0
-		for i < len(bs) && bs[i].deadline <= round {
-			dropped += bs[i].count
-			i++
-		}
-		if i > 0 {
-			p.buckets[c] = bs[i:]
+// errExactStopped unwinds worker stacks when the shared state budget is
+// exhausted; SolveExactStats converts it to a BruteForceLimitError.
+var errExactStopped = errors.New("offline: exact search stopped")
+
+// exactShared is the cross-worker state of one SolveExact call.
+type exactShared struct {
+	// states counts expanded branch nodes across all workers; exceeding
+	// maxStates sets stop.
+	states    atomic.Int64
+	maxStates int64
+	stop      atomic.Bool
+	// incumbent is the best known upper bound on the total cost (seeded
+	// ≥ OPT, achieved by every terminal state's path cost). Every
+	// certified pruning decision compares against it; when the search
+	// completes within budget it has converged onto OPT exactly.
+	incumbent atomic.Int64
+}
+
+// propose lowers the incumbent to total if it improves it (CAS-min).
+func (s *exactShared) propose(total int64) {
+	for {
+		cur := s.incumbent.Load()
+		if total >= cur || s.incumbent.CompareAndSwap(cur, total) {
+			return
 		}
 	}
-	p.total -= dropped
+}
+
+func (st *ExactStats) add(o *ExactStats) {
+	st.MemoHits += o.MemoHits
+	st.BoundPrunes += o.BoundPrunes
+}
+
+// The pending-bucket key encodings, densest first. A bucket's count is
+// never 0, so in the sub-word modes an all-zero (or zero-count) lane is
+// unambiguous padding and compaction can skip it.
+const (
+	// keyQuarter: 16-bit lanes, four buckets per word — color 3 bits,
+	// relative deadline 5, count 8.
+	keyQuarter = uint8(iota)
+	// keyHalf: 32-bit lanes, two buckets per word — color 6 bits,
+	// relative deadline 10, count 16.
+	keyHalf
+	// keyWide: one word per bucket — color 12 bits, relative deadline
+	// 20, count 32; the field widths SolveExact guards at entry.
+	keyWide
+)
+
+// ——— Precomputed admissible suffix bounds ———
+
+// exactPrecomp holds the read-only per-instance tables every worker
+// shares: the Par-EDF drop tail per round and per-color arrival suffix
+// counts. Both feed the admissible suffix lower bound (see suffixBound).
+type exactPrecomp struct {
+	horizon   int
+	numRounds int
+	// keyMode selects the densest pending-bucket encoding the instance
+	// provably fits (see encodeKey). Shrinking key bytes matters twice
+	// over: probe cost on large memos is dominated by reading the arena
+	// for key verification, and hashing time is linear in key words.
+	keyMode uint8
+	// tails[r] is the Par-EDF drop count (Lemma 3.7 relaxation, m fused
+	// resources) of the arrival suffix σ[r:] started with no pending
+	// jobs. Any m-resource continuation from any state at round r drops
+	// at least tails[r] of the jobs arriving in rounds ≥ r: extra initial
+	// pending only adds load, and Par-EDF minimizes drops on the suffix
+	// alone.
+	tails []int64
+	// arrSuffix[r][c] counts color-c jobs arriving in rounds ≥ r
+	// (row numRounds is all zeros).
+	arrSuffix [][]int
+}
+
+func newExactPrecomp(inst *sched.Instance, m int) *exactPrecomp {
+	horizon := inst.Horizon()
+	rounds := inst.NumRounds()
+	colors := inst.NumColors()
+	p := &exactPrecomp{horizon: horizon, numRounds: rounds}
+	p.arrSuffix = make([][]int, rounds+1)
+	p.arrSuffix[rounds] = make([]int, colors)
+	for r := rounds - 1; r >= 0; r-- {
+		row := make([]int, colors)
+		copy(row, p.arrSuffix[r+1])
+		for _, b := range inst.Requests[r] {
+			row[b.Color] += b.Count
+		}
+		p.arrSuffix[r] = row
+	}
+	p.tails = make([]int64, horizon+2)
+	for r := horizon; r >= 0; r-- {
+		p.tails[r] = parEDFSuffixDrops(inst, m, r)
+	}
+	// Bucket counts never exceed one round's arrivals of one color:
+	// per-color delays are fixed, so equal (color, deadline) implies an
+	// equal arrival round, and that is the only way buckets merge.
+	maxCnt := 0
+	counts := make([]int, colors)
+	for r := 0; r < rounds; r++ {
+		for _, b := range inst.Requests[r] {
+			counts[b.Color] += b.Count
+		}
+		for _, b := range inst.Requests[r] {
+			if counts[b.Color] > maxCnt {
+				maxCnt = counts[b.Color]
+			}
+			counts[b.Color] = 0
+		}
+	}
+	switch {
+	case colors <= 8 && horizon-rounds <= 31 && maxCnt <= 255:
+		p.keyMode = keyQuarter
+	case colors <= 63 && horizon-rounds <= 1023 && maxCnt <= 65535:
+		p.keyMode = keyHalf
+	default:
+		p.keyMode = keyWide
+	}
+	return p
+}
+
+// arrRow returns the arrival-suffix counts from round r (clamped past the
+// last request round to the zero row).
+func (p *exactPrecomp) arrRow(r int) []int {
+	if r > p.numRounds {
+		r = p.numRounds
+	}
+	return p.arrSuffix[r]
+}
+
+// parEDFSuffixDrops simulates Par-EDF (speed 1) on the arrival suffix
+// σ[from:] with no initial pending jobs.
+func parEDFSuffixDrops(inst *sched.Instance, m, from int) int64 {
+	var pq jobHeap
+	dropped := int64(0)
+	horizon := inst.Horizon()
+	for r := from; r < horizon; r++ {
+		if r >= inst.NumRounds() && pq.Len() == 0 {
+			break
+		}
+		for pq.Len() > 0 && pq.items[0].deadline <= r {
+			dropped += int64(pq.items[0].count)
+			heap.Pop(&pq)
+		}
+		if r < inst.NumRounds() {
+			for _, b := range inst.Requests[r] {
+				heap.Push(&pq, parJob{
+					deadline: r + inst.Delays[b.Color],
+					delay:    inst.Delays[b.Color],
+					color:    b.Color,
+					count:    b.Count,
+				})
+			}
+		}
+		budget := m
+		for budget > 0 && pq.Len() > 0 {
+			top := &pq.items[0]
+			take := top.count
+			if take > budget {
+				take = budget
+			}
+			budget -= take
+			top.count -= take
+			if top.count == 0 {
+				heap.Pop(&pq)
+			}
+		}
+	}
 	return dropped
 }
 
-func (p *pendingState) add(c sched.Color, deadline, count int) {
-	bs := p.buckets[c]
-	if n := len(bs); n > 0 && bs[n-1].deadline == deadline {
-		bs[n-1].count += count
-	} else {
-		p.buckets[c] = append(bs, bucket{deadline: deadline, count: count})
+// ——— Pending state with an undo journal ———
+
+// pqueues is the solver's pending-job state: per-color (deadline, count)
+// bucket queues in ascending deadline order, with an explicit undo journal
+// so the DFS mutates one shared structure in place instead of cloning per
+// leaf. Every mutating operation first snapshots the touched color's
+// active window into an arena; undoTo replays the journal in reverse.
+type pqueues struct {
+	q        []colorQueue
+	perColor []int
+	total    int
+	recs     []pqSave
+	arena    []bucket
+}
+
+// colorQueue's active window is buckets[head:]; expired and fully
+// executed buckets are skipped by advancing head, never resliced away, so
+// restoring a saved head resurrects them.
+type colorQueue struct {
+	buckets []bucket
+	head    int
+}
+
+type pqSave struct {
+	color    int32
+	head     int32
+	length   int32
+	arenaOff int32
+	total    int32
+	pcount   int32
+}
+
+func (p *pqueues) reset(numColors int) {
+	if cap(p.q) < numColors {
+		p.q = make([]colorQueue, numColors)
+		p.perColor = make([]int, numColors)
 	}
+	p.q = p.q[:numColors]
+	p.perColor = p.perColor[:numColors]
+	for c := range p.q {
+		p.q[c].buckets = p.q[c].buckets[:0]
+		p.q[c].head = 0
+		p.perColor[c] = 0
+	}
+	p.total = 0
+	p.recs = p.recs[:0]
+	p.arena = p.arena[:0]
+}
+
+func (p *pqueues) mark() int { return len(p.recs) }
+
+// save snapshots color c's queue (and the global totals) so undoTo can
+// restore the exact state. Callers save before every mutation of c within
+// the current journal segment; duplicate saves are harmless because
+// restore runs in reverse order.
+func (p *pqueues) save(c int) {
+	q := &p.q[c]
+	p.recs = append(p.recs, pqSave{
+		color:    int32(c),
+		head:     int32(q.head),
+		length:   int32(len(q.buckets)),
+		arenaOff: int32(len(p.arena)),
+		total:    int32(p.total),
+		pcount:   int32(p.perColor[c]),
+	})
+	p.arena = append(p.arena, q.buckets[q.head:]...)
+}
+
+func (p *pqueues) undoTo(m int) {
+	for i := len(p.recs) - 1; i >= m; i-- {
+		r := p.recs[i]
+		q := &p.q[r.color]
+		q.head = int(r.head)
+		q.buckets = q.buckets[:r.length]
+		copy(q.buckets[r.head:], p.arena[r.arenaOff:])
+		p.arena = p.arena[:r.arenaOff]
+		p.total = int(r.total)
+		p.perColor[r.color] = int(r.pcount)
+	}
+	p.recs = p.recs[:m]
+}
+
+// expire drops all jobs with deadline ≤ round and returns how many.
+func (p *pqueues) expire(round int) int {
+	dropped := 0
+	for c := range p.q {
+		q := &p.q[c]
+		i := q.head
+		for i < len(q.buckets) && q.buckets[i].deadline <= round {
+			i++
+		}
+		if i == q.head {
+			continue
+		}
+		p.save(c)
+		d := 0
+		for j := q.head; j < i; j++ {
+			d += q.buckets[j].count
+		}
+		q.head = i
+		p.perColor[c] -= d
+		p.total -= d
+		dropped += d
+	}
+	return dropped
+}
+
+func (p *pqueues) add(c sched.Color, deadline, count int) {
+	p.save(int(c))
+	q := &p.q[c]
+	if n := len(q.buckets); n > q.head && q.buckets[n-1].deadline == deadline {
+		q.buckets[n-1].count += count
+	} else {
+		q.buckets = append(q.buckets, bucket{deadline: deadline, count: count})
+	}
+	p.perColor[c] += count
 	p.total += count
 }
 
 // exec executes up to k earliest-deadline jobs of color c.
-func (p *pendingState) exec(c sched.Color, k int) {
-	bs := p.buckets[c]
-	i := 0
-	for k > 0 && i < len(bs) {
-		take := bs[i].count
+func (p *pqueues) exec(c sched.Color, k int) {
+	q := &p.q[c]
+	if k <= 0 || q.head >= len(q.buckets) {
+		return
+	}
+	p.save(int(c))
+	done := 0
+	for k > 0 && q.head < len(q.buckets) {
+		b := &q.buckets[q.head]
+		take := b.count
 		if take > k {
 			take = k
 		}
-		bs[i].count -= take
+		b.count -= take
 		k -= take
-		p.total -= take
-		if bs[i].count == 0 {
-			i++
+		done += take
+		if b.count == 0 {
+			q.head++
 		}
 	}
-	if i > 0 {
-		p.buckets[c] = bs[i:]
+	p.perColor[c] -= done
+	p.total -= done
+}
+
+// ——— The branch-and-bound worker ———
+
+// rootTask is one root-split unit: the configuration decisions for the
+// first branching round(s). Workers replay the (cheap, deterministic)
+// prefix themselves, so tasks carry no pending state.
+type rootTask struct {
+	path [][]sched.Color
+}
+
+// searchFrame is per-depth scratch: candidate colors, the odometer over
+// nondecreasing candidate-index sequences, the materialized child
+// configurations (flat, m colors each) with their reconfiguration costs,
+// certified scores and exploration order, the per-color residual
+// contributions, and the node's memo key. Reusing them per depth keeps
+// node processing allocation-free once the frames are warm.
+type searchFrame struct {
+	cands      []sched.Color
+	idx        []int
+	key        []uint64
+	childCfg   []sched.Color
+	childCost  []int64 // reconfiguration cost per child
+	childScore []int64 // recost + admissible child bound
+	order      []int32
+	contrib    []int64
+
+	// Child-probe scratch (see buildBaseKey/probeChild): the shared
+	// no-execution state key of round r+1, the per-child adjusted copy,
+	// and per-color bookkeeping — jobs due exactly at r+1, each color's
+	// bucket-word range in baseKey, and how many of those words are
+	// surviving pre-arrival buckets (the only ones execution can touch).
+	baseKey  []uint64
+	probeKey []uint64
+	due      []int32
+	pend2    []int32
+	colorOff []int32
+	elig     []int32
+}
+
+type exactWorker struct {
+	inst    *sched.Instance
+	m       int
+	delta   int64
+	pre     *exactPrecomp
+	shared  *exactShared
+	p       pqueues
+	memo    exactMemo
+	frames  []searchFrame
+	rootCfg []sched.Color
+	stats   ExactStats
+
+	pendingStates int
+	flushEvery    int
+}
+
+func newExactWorker(inst *sched.Instance, m int, pre *exactPrecomp, shared *exactShared) *exactWorker {
+	w := &exactWorker{
+		inst:       inst,
+		m:          m,
+		delta:      int64(inst.Delta),
+		pre:        pre,
+		shared:     shared,
+		frames:     make([]searchFrame, pre.horizon+2),
+		rootCfg:    make([]sched.Color, m),
+		flushEvery: 64,
+	}
+	if shared.maxStates < 4096 {
+		// Tiny budgets must fail exactly at the limit, not at the next
+		// batched flush.
+		w.flushEvery = 1
+	}
+	for i := range w.rootCfg {
+		w.rootCfg[i] = sched.NoColor
+	}
+	w.p.reset(inst.NumColors())
+	w.memo.init()
+	return w
+}
+
+// countState accounts one expanded branch node against the shared budget.
+func (w *exactWorker) countState() error {
+	w.pendingStates++
+	if w.pendingStates >= w.flushEvery {
+		if err := w.flushStates(); err != nil {
+			return err
+		}
+	}
+	if w.shared.stop.Load() {
+		return errExactStopped
+	}
+	return nil
+}
+
+func (w *exactWorker) flushStates() error {
+	if w.pendingStates == 0 {
+		return nil
+	}
+	n := w.shared.states.Add(int64(w.pendingStates))
+	w.pendingStates = 0
+	if n > w.shared.maxStates {
+		w.shared.stop.Store(true)
+		return errExactStopped
+	}
+	return nil
+}
+
+// advance walks the worker's freshly-reset pending state forward from
+// round 0, consuming path decisions at branching rounds, and stops just
+// before the first branching round with no decision left: the returned
+// (r, cfg, g) describe a search node (round r's drop phase not yet
+// applied) reached at accumulated cost g. done reports that the instance
+// completed along the path with no further branching; g is then the exact
+// total cost of the path.
+func (w *exactWorker) advance(path [][]sched.Color) (int, []sched.Color, int64, bool) {
+	inst := w.inst
+	cfg := w.rootCfg
+	g := int64(0)
+	pi := 0
+	for r := 0; ; r++ {
+		if (r >= inst.NumRounds() && w.p.total == 0) || r >= w.pre.horizon {
+			return r, cfg, g, true
+		}
+		if pi == len(path) {
+			// Peek: is round r a branching round?
+			mk := w.p.mark()
+			drops := w.p.expire(r)
+			if r < inst.NumRounds() {
+				for _, b := range inst.Requests[r] {
+					w.p.add(b.Color, r+inst.Delays[b.Color], b.Count)
+				}
+			}
+			if w.p.total > 0 {
+				w.p.undoTo(mk)
+				return r, cfg, g, false
+			}
+			g += int64(drops)
+			continue
+		}
+		drops := w.p.expire(r)
+		if r < inst.NumRounds() {
+			for _, b := range inst.Requests[r] {
+				w.p.add(b.Color, r+inst.Delays[b.Color], b.Count)
+			}
+		}
+		g += int64(drops)
+		if w.p.total == 0 {
+			continue
+		}
+		next := path[pi]
+		pi++
+		g += w.delta * int64(w.m-multisetIntersection(cfg, next))
+		w.execConfig(next)
+		cfg = next
 	}
 }
 
-func (p *pendingState) pendingColors(dst []sched.Color) []sched.Color {
-	for c, bs := range p.buckets {
-		if len(bs) > 0 {
-			dst = append(dst, sched.Color(c))
+// expandLevel replaces every task by its branch-node children, one
+// configuration choice deeper. Tasks whose replay completes the instance
+// are folded into the shared incumbent as exact path costs.
+func (w *exactWorker) expandLevel(tasks []rootTask) []rootTask {
+	var out []rootTask
+	for _, t := range tasks {
+		w.p.reset(w.inst.NumColors())
+		r, cfg, g, done := w.advance(t.path)
+		if done {
+			w.shared.propose(g)
+			continue
+		}
+		w.p.expire(r)
+		if r < w.inst.NumRounds() {
+			for _, b := range w.inst.Requests[r] {
+				w.p.add(b.Color, r+w.inst.Delays[b.Color], b.Count)
+			}
+		}
+		cands := w.candidates(cfg, nil)
+		idx := make([]int, w.m)
+		for {
+			next := make([]sched.Color, w.m)
+			for i, ix := range idx {
+				next[i] = cands[ix]
+			}
+			path := make([][]sched.Color, 0, len(t.path)+1)
+			path = append(path, t.path...)
+			path = append(path, next)
+			out = append(out, rootTask{path: path})
+			if !nextOdometer(idx, len(cands)) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// nextOdometer advances idx to the next nondecreasing index sequence over
+// [0, n); it returns false after the last one. The order matches the
+// legacy enumerator, child configurations are emitted sorted.
+func nextOdometer(idx []int, n int) bool {
+	j := len(idx) - 1
+	for j >= 0 && idx[j] == n-1 {
+		j--
+	}
+	if j < 0 {
+		return false
+	}
+	v := idx[j] + 1
+	for ; j < len(idx); j++ {
+		idx[j] = v
+	}
+	return true
+}
+
+// runTask replays one root task and solves its subtree, unless a
+// certified bound proves the whole task cannot improve the incumbent.
+func (w *exactWorker) runTask(t rootTask) error {
+	w.p.reset(w.inst.NumColors())
+	r, cfg, g, done := w.advance(t.path)
+	if done {
+		w.shared.propose(g)
+		return nil
+	}
+	// Peek at the node after round r's drop and arrival phases: if
+	// cost-so-far plus the admissible suffix bound reaches the incumbent,
+	// no completion of this task improves it (and if the incumbent is
+	// OPT, equality is fine — OPT is already recorded).
+	mk := w.p.mark()
+	drops := int64(w.p.expire(r))
+	if r < w.inst.NumRounds() {
+		for _, b := range w.inst.Requests[r] {
+			w.p.add(b.Color, r+w.inst.Delays[b.Color], b.Count)
+		}
+	}
+	h := w.suffixBound(r, cfg)
+	w.p.undoTo(mk)
+	if g+drops+h >= w.shared.incumbent.Load() {
+		w.stats.BoundPrunes++
+		return nil
+	}
+	v, err := w.search(r, 0, cfg)
+	if err != nil {
+		return err
+	}
+	w.shared.propose(g + v)
+	return nil
+}
+
+// candidates appends the sorted candidate colors for the current node:
+// NoColor plus every color that is pending or already configured.
+func (w *exactWorker) candidates(cfg []sched.Color, dst []sched.Color) []sched.Color {
+	dst = append(dst, sched.NoColor)
+	ci := 0
+	for c := range w.p.q {
+		col := sched.Color(c)
+		for ci < len(cfg) && cfg[ci] < col {
+			ci++
+		}
+		if w.p.perColor[c] > 0 || (ci < len(cfg) && cfg[ci] == col) {
+			dst = append(dst, col)
 		}
 	}
 	return dst
 }
 
-// encode builds a canonical state signature: round, sorted configuration,
-// and relative-deadline pending buckets per color.
-func (bf *bruteForcer) encode(r int, cfg []sched.Color, p *pendingState) string {
-	buf := make([]byte, 0, 64)
-	buf = strconv.AppendInt(buf, int64(r), 10)
-	buf = append(buf, '|')
-	for _, c := range cfg {
-		buf = strconv.AppendInt(buf, int64(c), 10)
-		buf = append(buf, ',')
-	}
-	buf = append(buf, '|')
-	for c, bs := range p.buckets {
-		if len(bs) == 0 {
+// suffixBound returns an admissible lower bound on the value of the
+// current node (round r, drop and arrival phases applied, configuration
+// cfg entering the round): the larger of
+//
+//   - the Par-EDF drop tail of the remaining arrivals (tails[r+1]): the
+//     continuation drops at least that many of the jobs arriving in
+//     rounds ≥ r+1, whatever it does (Lemma 3.7 applied to the suffix;
+//     current pending only adds load);
+//   - the residual color cost Σ min(Δ, remaining_c) over colors c not in
+//     cfg with remaining_c = pending_c + future arrivals: each such color
+//     either sees a reconfiguration (≥ Δ, attributable to c alone) or
+//     drops all its remaining jobs (Corollary 3.3's argument).
+//
+// The two certify disjoint scenarios of the same continuation, but may
+// both count a dropped job, so they combine by max, not sum.
+func (w *exactWorker) suffixBound(r int, cfg []sched.Color) int64 {
+	h := w.pre.tails[r+1]
+	arr := w.pre.arrRow(r + 1)
+	var cs int64
+	ci := 0
+	for c := range w.p.perColor {
+		rem := int64(w.p.perColor[c]) + int64(arr[c])
+		if rem == 0 {
 			continue
 		}
-		buf = strconv.AppendInt(buf, int64(c), 10)
-		buf = append(buf, ':')
-		for _, b := range bs {
-			buf = strconv.AppendInt(buf, int64(b.deadline-r), 10)
-			buf = append(buf, 'x')
-			buf = strconv.AppendInt(buf, int64(b.count), 10)
-			buf = append(buf, ',')
+		col := sched.Color(c)
+		for ci < len(cfg) && cfg[ci] < col {
+			ci++
 		}
-		buf = append(buf, ';')
+		if ci < len(cfg) && cfg[ci] == col {
+			continue
+		}
+		if rem < w.delta {
+			cs += rem
+		} else {
+			cs += w.delta
+		}
 	}
-	return string(buf)
+	if cs > h {
+		h = cs
+	}
+	return h
 }
 
-// solve returns the minimal cost from the start of round r (before its
-// drop phase) given the configuration at the end of round r−1.
-func (bf *bruteForcer) solve(r int, cfg []sched.Color, p *pendingState) (int64, error) {
-	inst := bf.inst
-	if r >= inst.NumRounds() && p.total == 0 {
-		return 0, nil
+// hasWorkAt reports whether round r has any decision to make: arrivals,
+// or pending jobs surviving r's drop phase (some bucket deadline > r —
+// bucket deadlines are ascending, so checking each color's last bucket
+// suffices).
+func (w *exactWorker) hasWorkAt(r int) bool {
+	if r < w.inst.NumRounds() && len(w.inst.Requests[r]) > 0 {
+		return true
 	}
-	if r >= inst.Horizon() {
-		// All jobs have expired by the horizon; nothing left to decide.
-		return 0, nil
-	}
-
-	// Drop phase.
-	drops := int64(p.expire(r))
-	// Arrival phase.
-	if r < inst.NumRounds() {
-		for _, b := range inst.Requests[r] {
-			p.add(b.Color, r+inst.Delays[b.Color], b.Count)
+	for c := range w.p.q {
+		q := &w.p.q[c]
+		if n := len(q.buckets); n > q.head && q.buckets[n-1].deadline > r {
+			return true
 		}
 	}
-	if p.total == 0 {
-		// Nothing pending: the optimum keeps the configuration and waits.
-		rest, err := bf.solve(r+1, cfg, p)
-		return drops + rest, err
-	}
+	return false
+}
 
-	key := bf.encode(r, cfg, p)
-	if v, ok := bf.memo[key]; ok {
-		return drops + v, nil
+// execConfig runs the execution phase for configuration next (sorted):
+// each location executes one earliest-deadline pending job of its color.
+func (w *exactWorker) execConfig(next []sched.Color) {
+	for i := 0; i < len(next); {
+		c := next[i]
+		j := i + 1
+		for j < len(next) && next[j] == c {
+			j++
+		}
+		if c != sched.NoColor {
+			w.p.exec(c, j-i)
+		}
+		i = j
 	}
-	bf.states++
-	if bf.states > bf.maxStates {
-		return 0, &BruteForceLimitError{States: bf.states}
-	}
+}
 
-	// Candidate colors: pending now or already configured.
-	candSet := map[sched.Color]struct{}{sched.NoColor: {}}
+// encodeKey appends the canonical state key: round, configuration, and
+// the pending buckets in the precomp's key mode. Sub-word modes pack
+// each bucket into a 16- or 32-bit lane — color, deadline−r (post-
+// arrival deadlines are always > r, so the field is never 0), count —
+// several per word, with zero pad lanes after the last bucket (a zero
+// count lane is never a bucket, so padding is unambiguous). Wide mode
+// spends one word per bucket, with field widths guarded at SolveExact
+// entry. Bucket order is deterministic (ascending color, then ascending
+// deadline), so equal states produce equal keys.
+func (w *exactWorker) encodeKey(r int, cfg []sched.Color, dst []uint64) []uint64 {
+	dst = append(dst, uint64(r))
 	for _, c := range cfg {
-		candSet[c] = struct{}{}
+		dst = append(dst, uint64(uint32(c)))
 	}
-	var scratch []sched.Color
-	for _, c := range p.pendingColors(scratch) {
-		candSet[c] = struct{}{}
+	switch w.pre.keyMode {
+	case keyQuarter:
+		var cur uint64
+		nq := 0
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			for _, b := range q.buckets[q.head:] {
+				h := uint64(c)<<13 | uint64(b.deadline-r)<<8 | uint64(b.count)
+				cur |= h << (uint(nq&3) * 16)
+				if nq&3 == 3 {
+					dst = append(dst, cur)
+					cur = 0
+				}
+				nq++
+			}
+		}
+		if nq&3 != 0 {
+			dst = append(dst, cur)
+		}
+	case keyHalf:
+		var cur uint64
+		nh := 0
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			for _, b := range q.buckets[q.head:] {
+				h := uint64(c)<<26 | uint64(b.deadline-r)<<16 | uint64(b.count)
+				if nh&1 == 0 {
+					cur = h
+				} else {
+					dst = append(dst, cur|h<<32)
+				}
+				nh++
+			}
+		}
+		if nh&1 == 1 {
+			dst = append(dst, cur)
+		}
+	default:
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			for _, b := range q.buckets[q.head:] {
+				dst = append(dst, uint64(c)<<52|uint64(b.deadline-r)<<32|uint64(uint32(b.count)))
+			}
+		}
 	}
-	cands := make([]sched.Color, 0, len(candSet))
-	for c := range candSet {
-		cands = append(cands, c)
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return dst
+}
 
-	best := int64(-1)
-	next := make([]sched.Color, bf.m)
-	var enumerate func(pos, minIdx int) error
-	enumerate = func(pos, minIdx int) error {
-		if pos == bf.m {
-			recost := int64(inst.Delta) * int64(bf.m-multisetIntersection(cfg, next))
-			p2 := p.clone()
-			for _, c := range next {
-				if c != sched.NoColor {
-					p2.exec(c, 1)
+// buildBaseKey prepares the frame for probeChild: the key of round
+// r+1's post-drop, post-arrival state assuming no execution this round
+// (configuration words left as placeholders), the word range of each
+// color's buckets within it, and how many leading words of each range
+// are surviving pre-arrival buckets (f.due is already filled by the
+// caller). Returns the no-execution drop count; the pending state is
+// restored before returning.
+//
+// Only called when round r+1 has arrivals, which guarantees the child
+// search will key its state at exactly round r+1 (no fast-forward) in
+// exactly this layout.
+func (w *exactWorker) buildBaseKey(f *searchFrame, r int) int64 {
+	nc := len(w.p.q)
+	if cap(f.colorOff) < nc {
+		f.colorOff = make([]int32, nc)
+		f.elig = make([]int32, nc)
+	}
+	due := f.due[:nc] // filled by search just before
+	off := f.colorOff[:nc]
+	elig := f.elig[:nc]
+	for c := range w.p.q {
+		q := &w.p.q[c]
+		n := len(q.buckets) - q.head
+		if due[c] > 0 {
+			n-- // the head bucket is the due bucket; expire removes it
+		}
+		elig[c] = int32(n)
+	}
+	mk := w.p.mark()
+	drops := int64(w.p.expire(r + 1))
+	for _, b := range w.inst.Requests[r+1] {
+		w.p.add(b.Color, r+1+w.inst.Delays[b.Color], b.Count)
+	}
+	key := f.baseKey[:0]
+	key = append(key, uint64(r+1))
+	for i := 0; i < w.m; i++ {
+		key = append(key, 0)
+	}
+	switch w.pre.keyMode {
+	case keyQuarter:
+		// off[c] counts in bucket (lane) units from the start of the
+		// bucket region; probeChild translates.
+		var cur uint64
+		nq := 0
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			off[c] = int32(nq)
+			for _, b := range q.buckets[q.head:] {
+				h := uint64(c)<<13 | uint64(b.deadline-(r+1))<<8 | uint64(b.count)
+				cur |= h << (uint(nq&3) * 16)
+				if nq&3 == 3 {
+					key = append(key, cur)
+					cur = 0
+				}
+				nq++
+			}
+		}
+		if nq&3 != 0 {
+			key = append(key, cur)
+		}
+	case keyHalf:
+		var cur uint64
+		nh := 0
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			off[c] = int32(nh)
+			for _, b := range q.buckets[q.head:] {
+				h := uint64(c)<<26 | uint64(b.deadline-(r+1))<<16 | uint64(b.count)
+				if nh&1 == 0 {
+					cur = h
+				} else {
+					key = append(key, cur|h<<32)
+				}
+				nh++
+			}
+		}
+		if nh&1 == 1 {
+			key = append(key, cur)
+		}
+	default:
+		for c := range w.p.q {
+			q := &w.p.q[c]
+			off[c] = int32(len(key))
+			for _, b := range q.buckets[q.head:] {
+				key = append(key, uint64(c)<<52|uint64(b.deadline-(r+1))<<32|uint64(uint32(b.count)))
+			}
+		}
+	}
+	f.baseKey = key
+	w.p.undoTo(mk)
+	return drops
+}
+
+// probeChild answers a child edge from the memo without mutating
+// anything: the child's round-(r+1) state key is the frame's base key
+// with the child configuration filled in and the executed colors'
+// buckets decremented. Execution is earliest-deadline-first, so it
+// consumes the due-now jobs first — each reducing the child's drop
+// count — and then the earliest surviving buckets, which are exactly
+// the leading words of the color's base-key range (arrivals of a color
+// always carry a strictly later deadline than anything it has pending,
+// since per-color delays are fixed). On a hit, returns the memoized
+// child value and the child's round-(r+1) drop count.
+func (w *exactWorker) probeChild(f *searchFrame, child []sched.Color, dropsBase int64) (int64, int64, bool) {
+	pk := append(f.probeKey[:0], f.baseKey...)
+	f.probeKey = pk
+	for i, c := range child {
+		pk[1+i] = uint64(uint32(c))
+	}
+	fromDue := int64(0)
+	removed := false
+	for i := 0; i < len(child); {
+		c := child[i]
+		j := i + 1
+		for j < len(child) && child[j] == c {
+			j++
+		}
+		k := int32(j - i)
+		i = j
+		if c == sched.NoColor {
+			continue
+		}
+		if d := f.due[c]; d > 0 {
+			if d > k {
+				d = k
+			}
+			fromDue += int64(d)
+			k -= d
+		}
+		o := int(f.colorOff[c])
+		e := o + int(f.elig[c])
+		switch w.pre.keyMode {
+		case keyQuarter:
+			b0 := 1 + w.m
+			for h := o; k > 0 && h < e; h++ {
+				wi := b0 + h>>2
+				sh := uint(h&3) * 16
+				cnt := int32((pk[wi] >> sh) & 0xFF)
+				t := cnt
+				if t > k {
+					t = k
+				}
+				pk[wi] -= uint64(t) << sh
+				k -= t
+				if t == cnt {
+					removed = true
 				}
 			}
-			cfg2 := append([]sched.Color(nil), next...)
-			rest, err := bf.solve(r+1, cfg2, p2)
-			if err != nil {
-				return err
+		case keyHalf:
+			b0 := 1 + w.m
+			for h := o; k > 0 && h < e; h++ {
+				wi := b0 + h>>1
+				sh := uint(h&1) * 32
+				cnt := int32((pk[wi] >> sh) & 0xFFFF)
+				t := cnt
+				if t > k {
+					t = k
+				}
+				pk[wi] -= uint64(t) << sh
+				k -= t
+				if t == cnt {
+					removed = true
+				}
 			}
-			if total := recost + rest; best < 0 || total < best {
-				best = total
+		default:
+			for wi := o; k > 0 && wi < e; wi++ {
+				cnt := int32(uint32(pk[wi]))
+				t := cnt
+				if t > k {
+					t = k
+				}
+				pk[wi] -= uint64(t)
+				k -= t
+				if t == cnt {
+					removed = true
+				}
 			}
-			return nil
 		}
-		for i := minIdx; i < len(cands); i++ {
-			next[pos] = cands[i]
-			if err := enumerate(pos+1, i); err != nil {
-				return err
+		// k may remain > 0: the color ran out of jobs and the extra
+		// locations idle, exactly as exec would.
+	}
+	if removed {
+		// Drop zeroed buckets and re-pack. Only decremented buckets can
+		// reach count zero, and only the region past the 1+m header
+		// holds buckets (a configuration word can legitimately be zero).
+		b0 := 1 + w.m
+		switch w.pre.keyMode {
+		case keyQuarter:
+			// Re-pack the surviving lanes densely; trailing pad lanes
+			// (count 0) are skipped like any drained bucket, so the
+			// result is canonical. Writes never outrun the read cursor
+			// (the current word is cached in w64 before any write).
+			qw := 0
+			for wi := b0; wi < len(pk); wi++ {
+				w64 := pk[wi]
+				for s := uint(0); s < 64; s += 16 {
+					h := (w64 >> s) & 0xFFFF
+					if h&0xFF == 0 {
+						continue
+					}
+					twi := b0 + qw>>2
+					if qw&3 == 0 {
+						pk[twi] = h
+					} else {
+						pk[twi] |= h << (uint(qw&3) * 16)
+					}
+					qw++
+				}
 			}
+			pk = pk[:b0+(qw+3)>>2]
+		case keyHalf:
+			hw := 0
+			for wi := b0; wi < len(pk); wi++ {
+				w64 := pk[wi]
+				for s := uint(0); s < 64; s += 32 {
+					h := (w64 >> s) & 0xFFFFFFFF
+					if h&0xFFFF == 0 {
+						continue
+					}
+					twi := b0 + hw>>1
+					if hw&1 == 0 {
+						pk[twi] = h
+					} else {
+						pk[twi] |= h << 32
+					}
+					hw++
+				}
+			}
+			pk = pk[:b0+(hw+1)>>1]
+		default:
+			j := b0
+			for wi := b0; wi < len(pk); wi++ {
+				if uint32(pk[wi]) != 0 {
+					pk[j] = pk[wi]
+					j++
+				}
+			}
+			pk = pk[:j]
 		}
-		return nil
+		f.probeKey = pk
 	}
-	if err := enumerate(0, 0); err != nil {
-		return 0, err
+	v, ok := w.memo.get(pk, hashKey(pk))
+	if !ok {
+		return 0, 0, false
 	}
-	bf.memo[key] = best
-	return drops + best, nil
+	return v, dropsBase - fromDue, true
 }
 
-// multisetIntersection computes |a ∩ b| over two sorted color multisets.
-// Both slices produced by the enumerator are sorted; cfg is sorted on
-// entry to solve because enumerate emits nondecreasing sequences.
-func multisetIntersection(a, b []sched.Color) int {
-	as := append([]sched.Color(nil), a...)
-	bs := append([]sched.Color(nil), b...)
-	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
-	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
-	i, j, n := 0, 0, 0
-	for i < len(as) && j < len(bs) {
-		switch {
-		case as[i] == bs[j]:
-			// NoColor "matches" cost-free as well: keeping a location
-			// black is not a reconfiguration.
-			n++
-			i++
-			j++
-		case as[i] < bs[j]:
-			i++
-		default:
-			j++
+// scoreChildren fills f.childScore with an admissible lower bound on
+// the total of every child listed in f.order: reconfiguration cost plus
+// the larger of
+//
+//   - the residual color cost Σ min(Δ, remaining_c) over colors c the
+//     child leaves unconfigured, remaining_c = pending + future arrivals:
+//     each such color either sees a reconfiguration (≥ Δ, attributable
+//     to c alone) or drops all its remaining jobs (Corollary 3.3's
+//     argument);
+//   - the Par-EDF drop tail of the remaining arrivals (Lemma 3.7 on the
+//     suffix σ[r+1:]) plus the child's certain drops among jobs already
+//     pending: due-now jobs it leaves unexecuted, and deadline-≤-r+2
+//     jobs beyond what its executions now plus m executions next round
+//     can serve (EDF executes earliest deadlines first, so exactly
+//     min(k_c, pending_c within the window) of its color-c executions
+//     land in the window). Pending jobs arrived ≤ r, so the two terms
+//     never double-count a job and may be summed.
+func (w *exactWorker) scoreChildren(f *searchFrame, r int, totalDue int64) {
+	arr := w.pre.arrRow(r + 1)
+	if cap(f.contrib) < len(w.p.perColor) {
+		f.contrib = make([]int64, len(w.p.perColor))
+	}
+	contrib := f.contrib[:len(w.p.perColor)]
+	var fullResidual int64
+	for c := range contrib {
+		rem := int64(w.p.perColor[c]) + int64(arr[c])
+		if rem > w.delta {
+			rem = w.delta
+		}
+		contrib[c] = rem
+		fullResidual += rem
+	}
+	tailNext := w.pre.tails[r+1]
+
+	due := f.due[:len(w.p.q)]
+	pend2 := f.pend2[:len(w.p.q)]
+	var totalPend2 int64
+	for c := range w.p.q {
+		q := &w.p.q[c]
+		pend2[c] = 0
+		for i := q.head; i < len(q.buckets) && q.buckets[i].deadline <= r+2; i++ {
+			pend2[c] += int32(q.buckets[i].count)
+		}
+		totalPend2 += int64(pend2[c])
+	}
+
+	if cap(f.childScore) < len(f.childCost) {
+		f.childScore = make([]int64, len(f.childCost))
+	}
+	f.childScore = f.childScore[:len(f.childCost)]
+	for _, ci := range f.order {
+		child := f.childCfg[int(ci)*w.m : (int(ci)+1)*w.m]
+		residual := fullResidual
+		covered, covered2 := int64(0), int64(0)
+		for i := 0; i < len(child); {
+			c := child[i]
+			j := i + 1
+			for j < len(child) && child[j] == c {
+				j++
+			}
+			if c != sched.NoColor {
+				residual -= contrib[c]
+				k := int64(j - i)
+				if d := int64(due[c]); d > 0 {
+					if d > k {
+						d = k
+					}
+					covered += d
+				}
+				if d := int64(pend2[c]); d > 0 {
+					if d > k {
+						d = k
+					}
+					covered2 += d
+				}
+			}
+			i = j
+		}
+		certain := totalDue - covered
+		if t := totalPend2 - covered2 - int64(w.m); t > certain {
+			certain = t
+		}
+		bound := residual
+		if t := tailNext + certain; t > bound {
+			bound = t
+		}
+		f.childScore[ci] = f.childCost[ci] + bound
+	}
+}
+
+// search returns the exact minimal suffix cost from the start of round r
+// (before its drop phase) with configuration cfg entering the round —
+// the same recurrence the reference solver computes, so values are
+// bit-identical by construction.
+//
+// Branch and bound happens among siblings: children are scored with an
+// admissible lower bound on their total (reconfiguration cost + child
+// suffix bound, computable before executing the child) and explored in
+// ascending score order; as soon as the next score is ≥ the best child
+// solved exactly, the entire tail is skipped — each skipped child is
+// certified ≥ the minimum already in hand, so the node's value stays
+// exact and every memo entry is exact (no re-search, ever).
+func (w *exactWorker) search(r, depth int, cfg []sched.Color) (int64, error) {
+	inst := w.inst
+	mark := w.p.mark()
+	defer w.p.undoTo(mark)
+
+	// Fast-forward rounds with no work (no arrivals, nothing pending
+	// beyond its deadline): the optimum keeps the configuration and
+	// waits, paying only the forced drops. Iterative — no recursion, no
+	// extra journal segments per waited round beyond the expires.
+	var acc int64
+	for {
+		if (r >= inst.NumRounds() && w.p.total == 0) || r >= w.pre.horizon {
+			return acc, nil
+		}
+		if w.hasWorkAt(r) {
+			break
+		}
+		acc += int64(w.p.expire(r))
+		r++
+	}
+
+	// Drop phase, then arrival phase. The memo key is the post-arrival
+	// state: the drop phase is what makes converging paths identical, so
+	// keying after it maximizes state collapse.
+	drops := int64(w.p.expire(r))
+	if r < inst.NumRounds() {
+		for _, b := range inst.Requests[r] {
+			w.p.add(b.Color, r+inst.Delays[b.Color], b.Count)
 		}
 	}
-	return n
+	f := &w.frames[depth]
+	f.key = w.encodeKey(r, cfg, f.key[:0])
+	hash := hashKey(f.key)
+	if v, ok := w.memo.get(f.key, hash); ok {
+		w.stats.MemoHits++
+		return acc + drops + v, nil
+	}
+	if err := w.countState(); err != nil {
+		return 0, err
+	}
+
+	// due[c]: jobs round r+1's drop phase takes unless executed this
+	// round (post-arrival buckets all have deadline ≥ r+1, so they are
+	// exactly the head bucket when it matches). probeChild needs these
+	// to account the drops a child's executions avert.
+	nc := len(w.p.q)
+	if cap(f.due) < nc {
+		f.due = make([]int32, nc)
+		f.pend2 = make([]int32, nc)
+	}
+	due := f.due[:nc]
+	var totalDue int64
+	for c := range w.p.q {
+		q := &w.p.q[c]
+		due[c] = 0
+		if q.head < len(q.buckets) && q.buckets[q.head].deadline == r+1 {
+			due[c] = int32(q.buckets[q.head].count)
+			totalDue += int64(due[c])
+		}
+	}
+
+	// Materialize the candidate configurations (nondecreasing sequences
+	// over the sorted candidate colors — the same WLOG-complete space
+	// the reference solver enumerates) with their reconfiguration costs.
+	f.cands = w.candidates(cfg, f.cands[:0])
+	if cap(f.idx) < w.m {
+		f.idx = make([]int, w.m)
+	}
+	idx := f.idx[:w.m]
+	for i := range idx {
+		idx[i] = 0
+	}
+	f.childCfg = f.childCfg[:0]
+	f.childCost = f.childCost[:0]
+	for {
+		base := len(f.childCfg)
+		for _, ix := range idx {
+			f.childCfg = append(f.childCfg, f.cands[ix])
+		}
+		child := f.childCfg[base : base+w.m]
+		f.childCost = append(f.childCost, w.delta*int64(w.m-multisetIntersection(cfg, child)))
+		if !nextOdometer(idx, len(f.cands)) {
+			break
+		}
+	}
+	nChildren := len(f.childCost)
+
+	// When round r+1 has arrivals, every child's memo key can be derived
+	// from a shared base key without touching the pending state, so
+	// revisits of already-solved child states (the vast majority of
+	// edges in this heavily-converging DAG) cost one key fixup and one
+	// table probe instead of execute/drop/arrive mutations, a recursive
+	// call and their undo replay. All children are probed first: the
+	// exact values found seed the best-in-hand, and only the missing
+	// children (typically one per node) need bounds, ordering and
+	// recursion.
+	probeOK := r+1 < inst.NumRounds() && len(inst.Requests[r+1]) > 0
+	best := int64(-1)
+	f.order = f.order[:0]
+	if probeOK {
+		dropsBase := w.buildBaseKey(f, r)
+		for ci := 0; ci < nChildren; ci++ {
+			child := f.childCfg[ci*w.m : (ci+1)*w.m]
+			if v, cdrops, ok := w.probeChild(f, child, dropsBase); ok {
+				w.stats.MemoHits++
+				if t := f.childCost[ci] + cdrops + v; best < 0 || t < best {
+					best = t
+				}
+			} else {
+				f.order = append(f.order, int32(ci))
+			}
+		}
+	} else {
+		for ci := 0; ci < nChildren; ci++ {
+			f.order = append(f.order, int32(ci))
+		}
+	}
+
+	if len(f.order) > 0 {
+		w.scoreChildren(f, r, totalDue)
+		// Ascending certified score (stable: ties keep enumeration
+		// order), so the unsolved child most likely to be optimal is
+		// recursed into first and the skip below triggers as early as
+		// possible. Small insertion sort — miss counts are tiny.
+		for i := 1; i < len(f.order); i++ {
+			ci := f.order[i]
+			j := i
+			for j > 0 && f.childScore[f.order[j-1]] > f.childScore[ci] {
+				f.order[j] = f.order[j-1]
+				j--
+			}
+			f.order[j] = ci
+		}
+		for oi, ci := range f.order {
+			if best >= 0 && f.childScore[ci] >= best {
+				// Certified skip: this child's total is ≥ its score ≥
+				// the exact best in hand, and scores only grow from
+				// here.
+				w.stats.BoundPrunes += int64(len(f.order) - oi)
+				break
+			}
+			child := f.childCfg[int(ci)*w.m : (int(ci)+1)*w.m]
+			cmark := w.p.mark()
+			w.execConfig(child)
+			v, err := w.search(r+1, depth+1, child)
+			w.p.undoTo(cmark)
+			if err != nil {
+				return 0, err
+			}
+			if t := f.childCost[ci] + v; best < 0 || t < best {
+				best = t
+			}
+		}
+	}
+
+	// The frame key is still valid: every child restored the pending
+	// state before returning. The stored value is for the post-arrival
+	// state, so this round's (path-independent) drop cost stays outside.
+	w.memo.store(f.key, hash, best)
+	return acc + drops + best, nil
 }

@@ -1,0 +1,295 @@
+package offline
+
+import (
+	"strconv"
+
+	"repro/internal/sched"
+)
+
+// ReferenceBruteForce is the original exact solver: a plain memoized DFS
+// over (round, configuration, pending-jobs) states with string state keys
+// and copy-on-branch pending state. It is kept verbatim (modulo the two
+// historical bugs fixed below) as the executable specification of the
+// exact optimum: the branch-and-bound solver behind BruteForce/SolveExact
+// must return bit-identical optima on every instance both can solve, which
+// the differential corpus in bruteforce_test.go pins. It also serves as
+// the baseline for the solver benchmarks (states/sec old vs new).
+//
+// Differences from the pre-PR-4 BruteForce, both bug fixes:
+//   - the caller's instance is no longer mutated (an internal clone is
+//     normalized instead);
+//   - multisetIntersection no longer re-allocates and re-sorts its two
+//     already-sorted inputs at every leaf.
+//
+// It returns the optimal total cost and the number of memoized states
+// explored (the denominator of the states/sec benchmark metric).
+func ReferenceBruteForce(inst *sched.Instance, m int, maxStates int) (int64, int, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if m < 1 {
+		return 0, 0, errBadM(m)
+	}
+	if maxStates <= 0 {
+		maxStates = DefaultStateBudget
+	}
+	inst = inst.Clone().Normalize()
+	bf := &referenceForcer{
+		inst:      inst,
+		m:         m,
+		memo:      make(map[string]int64),
+		maxStates: maxStates,
+	}
+	cfg := make([]sched.Color, m)
+	for i := range cfg {
+		cfg[i] = sched.NoColor
+	}
+	opt, err := bf.solve(0, cfg, newPendingState(inst.NumColors()))
+	return opt, bf.states, err
+}
+
+type referenceForcer struct {
+	inst      *sched.Instance
+	m         int
+	memo      map[string]int64
+	states    int
+	maxStates int
+}
+
+// pendingState holds, per color, the pending (deadline, count) buckets in
+// ascending deadline order. It is copied on branching; instances are tiny.
+type pendingState struct {
+	buckets [][]bucket
+	total   int
+}
+
+type bucket struct {
+	deadline int
+	count    int
+}
+
+func newPendingState(numColors int) *pendingState {
+	return &pendingState{buckets: make([][]bucket, numColors)}
+}
+
+func (p *pendingState) clone() *pendingState {
+	c := &pendingState{buckets: make([][]bucket, len(p.buckets)), total: p.total}
+	for i, bs := range p.buckets {
+		if len(bs) > 0 {
+			c.buckets[i] = append([]bucket(nil), bs...)
+		}
+	}
+	return c
+}
+
+// expire drops all jobs with deadline ≤ round and returns how many.
+func (p *pendingState) expire(round int) int {
+	dropped := 0
+	for c, bs := range p.buckets {
+		i := 0
+		for i < len(bs) && bs[i].deadline <= round {
+			dropped += bs[i].count
+			i++
+		}
+		if i > 0 {
+			p.buckets[c] = bs[i:]
+		}
+	}
+	p.total -= dropped
+	return dropped
+}
+
+func (p *pendingState) add(c sched.Color, deadline, count int) {
+	bs := p.buckets[c]
+	if n := len(bs); n > 0 && bs[n-1].deadline == deadline {
+		bs[n-1].count += count
+	} else {
+		p.buckets[c] = append(bs, bucket{deadline: deadline, count: count})
+	}
+	p.total += count
+}
+
+// exec executes up to k earliest-deadline jobs of color c.
+func (p *pendingState) exec(c sched.Color, k int) {
+	bs := p.buckets[c]
+	i := 0
+	for k > 0 && i < len(bs) {
+		take := bs[i].count
+		if take > k {
+			take = k
+		}
+		bs[i].count -= take
+		k -= take
+		p.total -= take
+		if bs[i].count == 0 {
+			i++
+		}
+	}
+	if i > 0 {
+		p.buckets[c] = bs[i:]
+	}
+}
+
+func (p *pendingState) pendingColors(dst []sched.Color) []sched.Color {
+	for c, bs := range p.buckets {
+		if len(bs) > 0 {
+			dst = append(dst, sched.Color(c))
+		}
+	}
+	return dst
+}
+
+// encode builds a canonical state signature: round, sorted configuration,
+// and relative-deadline pending buckets per color.
+func (bf *referenceForcer) encode(r int, cfg []sched.Color, p *pendingState) string {
+	buf := make([]byte, 0, 64)
+	buf = strconv.AppendInt(buf, int64(r), 10)
+	buf = append(buf, '|')
+	for _, c := range cfg {
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	for c, bs := range p.buckets {
+		if len(bs) == 0 {
+			continue
+		}
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		buf = append(buf, ':')
+		for _, b := range bs {
+			buf = strconv.AppendInt(buf, int64(b.deadline-r), 10)
+			buf = append(buf, 'x')
+			buf = strconv.AppendInt(buf, int64(b.count), 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// solve returns the minimal cost from the start of round r (before its
+// drop phase) given the configuration at the end of round r−1.
+func (bf *referenceForcer) solve(r int, cfg []sched.Color, p *pendingState) (int64, error) {
+	inst := bf.inst
+	if r >= inst.NumRounds() && p.total == 0 {
+		return 0, nil
+	}
+	if r >= inst.Horizon() {
+		// All jobs have expired by the horizon; nothing left to decide.
+		return 0, nil
+	}
+
+	// Drop phase.
+	drops := int64(p.expire(r))
+	// Arrival phase.
+	if r < inst.NumRounds() {
+		for _, b := range inst.Requests[r] {
+			p.add(b.Color, r+inst.Delays[b.Color], b.Count)
+		}
+	}
+	if p.total == 0 {
+		// Nothing pending: the optimum keeps the configuration and waits.
+		rest, err := bf.solve(r+1, cfg, p)
+		return drops + rest, err
+	}
+
+	key := bf.encode(r, cfg, p)
+	if v, ok := bf.memo[key]; ok {
+		return drops + v, nil
+	}
+	bf.states++
+	if bf.states > bf.maxStates {
+		return 0, &BruteForceLimitError{States: bf.states}
+	}
+
+	// Candidate colors: pending now or already configured. Both sources
+	// emit colors in ascending order, so a sorted merge replaces the old
+	// map + sort.Slice construction.
+	var scratch []sched.Color
+	cands := mergeCandidates(cfg, p.pendingColors(scratch))
+
+	best := int64(-1)
+	next := make([]sched.Color, bf.m)
+	var enumerate func(pos, minIdx int) error
+	enumerate = func(pos, minIdx int) error {
+		if pos == bf.m {
+			recost := int64(inst.Delta) * int64(bf.m-multisetIntersection(cfg, next))
+			p2 := p.clone()
+			for _, c := range next {
+				if c != sched.NoColor {
+					p2.exec(c, 1)
+				}
+			}
+			cfg2 := append([]sched.Color(nil), next...)
+			rest, err := bf.solve(r+1, cfg2, p2)
+			if err != nil {
+				return err
+			}
+			if total := recost + rest; best < 0 || total < best {
+				best = total
+			}
+			return nil
+		}
+		for i := minIdx; i < len(cands); i++ {
+			next[pos] = cands[i]
+			if err := enumerate(pos+1, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0, 0); err != nil {
+		return 0, err
+	}
+	bf.memo[key] = best
+	return drops + best, nil
+}
+
+// mergeCandidates builds the sorted deduplicated candidate list
+// {NoColor} ∪ cfg ∪ pending. cfg is sorted (the enumerator emits
+// nondecreasing sequences and the root is all-NoColor) and pending is
+// emitted in ascending color order, so a linear merge suffices.
+func mergeCandidates(cfg, pending []sched.Color) []sched.Color {
+	cands := make([]sched.Color, 0, 1+len(cfg)+len(pending))
+	cands = append(cands, sched.NoColor)
+	i, j := 0, 0
+	for i < len(cfg) || j < len(pending) {
+		var c sched.Color
+		switch {
+		case j >= len(pending) || (i < len(cfg) && cfg[i] <= pending[j]):
+			c = cfg[i]
+			i++
+		default:
+			c = pending[j]
+			j++
+		}
+		if c != cands[len(cands)-1] {
+			cands = append(cands, c)
+		}
+	}
+	return cands
+}
+
+// multisetIntersection computes |a ∩ b| over two sorted color multisets by
+// a single linear merge. Both inputs really are sorted on entry — cfg
+// because the enumerator emits nondecreasing sequences (and the root
+// configuration is all-NoColor), next by construction — so no defensive
+// copying or re-sorting is needed on this leaf hot path.
+func multisetIntersection(a, b []sched.Color) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			// NoColor "matches" cost-free as well: keeping a location
+			// black is not a reconfiguration.
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

@@ -150,12 +150,17 @@ func TestBruteForceMonotoneInResources(t *testing.T) {
 }
 
 func TestMultisetIntersection(t *testing.T) {
-	a := []sched.Color{0, 0, 1, sched.NoColor}
-	b := []sched.Color{0, 1, 1, sched.NoColor}
+	// Inputs are sorted multisets (NoColor = -1 sorts first), as the
+	// solver guarantees on its hot path.
+	a := []sched.Color{sched.NoColor, 0, 0, 1}
+	b := []sched.Color{sched.NoColor, 0, 1, 1}
 	if got := multisetIntersection(a, b); got != 3 {
-		t.Fatalf("intersection = %d, want 3 (0, 1, NoColor)", got)
+		t.Fatalf("intersection = %d, want 3 (NoColor, 0, 1)", got)
 	}
 	if got := multisetIntersection(nil, b); got != 0 {
 		t.Fatalf("intersection with empty = %d", got)
+	}
+	if got := multisetIntersection([]sched.Color{0, 0, 2, 2}, []sched.Color{0, 0, 2, 3}); got != 3 {
+		t.Fatalf("intersection = %d, want 3 (0, 0, 2)", got)
 	}
 }

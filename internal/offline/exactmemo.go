@@ -1,0 +1,146 @@
+package offline
+
+import "math/bits"
+
+// exactMemo is the value memo of the branch-and-bound solver: a flat
+// open-addressing (linear probe) hash table from compact word-encoded
+// state keys to exact optimal suffix costs. Keys are variable-length
+// []uint64 slices stored back to back in an append-only arena, so the
+// table itself is two dense slices — no per-state string allocation, no
+// map overhead, and growth rehashes entry headers only (arena offsets
+// stay valid). Entries are 16 bytes (a 32-bit hash tag filters probes;
+// suffix values are range-guarded to int32 at SolveExact entry), four
+// per cache line.
+//
+// Every stored value is exact (the search never stores a node it cut
+// off), so a hit is always usable: revisits of converging DFS paths cost
+// one probe instead of a subtree, exactly like the legacy string-keyed
+// map but an order of magnitude cheaper per visit.
+type exactMemo struct {
+	entries []memoEntry // len is a power of two
+	arena   []uint64    // concatenated keys
+	used    int
+}
+
+type memoEntry struct {
+	hash  uint32 // low 32 bits of the key hash (probe filter)
+	n     uint32 // key length in words; 0 means empty
+	off   uint32 // key start in arena
+	value int32  // exact optimal suffix cost of the state
+}
+
+const memoInitSize = 1 << 12
+
+func (t *exactMemo) init() {
+	t.entries = make([]memoEntry, memoInitSize)
+	t.arena = t.arena[:0]
+	t.used = 0
+}
+
+// hashKey mixes the key words in four independent lanes (the serial
+// xor-multiply chain of a single-lane FNV costs ~3 cycles of latency per
+// word, which dominates probe cost on 30+-word keys) and finalizes with
+// a splitmix64-style avalanche. Hash quality only affects speed, never
+// correctness: get compares full keys.
+func hashKey(key []uint64) uint64 {
+	const (
+		c1 = 0x9E3779B97F4A7C15
+		c2 = 0xC2B2AE3D27D4EB4F
+		c3 = 0x165667B19E3779F9
+		c4 = 0x27D4EB2F165667C5
+	)
+	h1 := uint64(len(key)) + 1
+	h2 := uint64(2)
+	h3 := uint64(3)
+	h4 := uint64(4)
+	i := 0
+	for ; i+4 <= len(key); i += 4 {
+		h1 = (h1 ^ key[i]) * c1
+		h2 = (h2 ^ key[i+1]) * c2
+		h3 = (h3 ^ key[i+2]) * c3
+		h4 = (h4 ^ key[i+3]) * c4
+	}
+	for ; i < len(key); i++ {
+		h1 = (h1 ^ key[i]) * c1
+	}
+	h := h1 ^ bits.RotateLeft64(h2, 17) ^ bits.RotateLeft64(h3, 31) ^ bits.RotateLeft64(h4, 47)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+func (t *exactMemo) keyAt(e *memoEntry) []uint64 {
+	return t.arena[e.off : e.off+e.n]
+}
+
+func keyEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the exact suffix value stored for key, if any.
+func (t *exactMemo) get(key []uint64, hash uint64) (int64, bool) {
+	mask := uint64(len(t.entries) - 1)
+	tag := uint32(hash)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.n == 0 {
+			return 0, false
+		}
+		if e.hash == tag && keyEqual(t.keyAt(e), key) {
+			return int64(e.value), true
+		}
+	}
+}
+
+// store records the exact suffix value for key (first write wins; the
+// search only computes a state's value once per table).
+func (t *exactMemo) store(key []uint64, hash uint64, value int64) {
+	if t.used >= len(t.entries)-len(t.entries)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	tag := uint32(hash)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.n == 0 {
+			off := uint32(len(t.arena))
+			t.arena = append(t.arena, key...)
+			t.entries[i] = memoEntry{hash: tag, n: uint32(len(key)), off: off, value: int32(value)}
+			t.used++
+			return
+		}
+		if e.hash == tag && keyEqual(t.keyAt(e), key) {
+			return
+		}
+	}
+}
+
+func (t *exactMemo) grow() {
+	old := t.entries
+	t.entries = make([]memoEntry, 2*len(old))
+	mask := uint64(len(t.entries) - 1)
+	for _, e := range old {
+		if e.n == 0 {
+			continue
+		}
+		// Rehash from the stored key: only the low 32 hash bits are kept
+		// in the entry, but the full key is in the arena.
+		h := hashKey(t.arena[e.off : e.off+e.n])
+		i := h & mask
+		for t.entries[i].n != 0 {
+			i = (i + 1) & mask
+		}
+		t.entries[i] = e
+	}
+}

@@ -50,12 +50,16 @@ func LowerBound(inst *sched.Instance, m int) Bound {
 	return b
 }
 
-// LowerBoundExact augments LowerBound with the brute-force optimum when
-// the instance fits within maxStates search states; otherwise Exact stays
-// −1 and the cheap bounds are returned.
+// LowerBoundExact augments LowerBound with the exact optimum when the
+// branch-and-bound search fits within maxStates states; otherwise Exact
+// stays −1 and the cheap bounds are returned.
 func LowerBoundExact(inst *sched.Instance, m, maxStates int) Bound {
+	return lowerBoundExact(inst, m, ExactOptions{MaxStates: maxStates})
+}
+
+func lowerBoundExact(inst *sched.Instance, m int, opts ExactOptions) Bound {
 	b := LowerBound(inst, m)
-	if opt, err := BruteForce(inst, m, maxStates); err == nil {
+	if opt, err := SolveExact(inst, m, opts); err == nil {
 		b.Exact = opt
 	}
 	return b
@@ -79,14 +83,22 @@ func (b Bracket) Gap() float64 {
 	return float64(b.Upper) / float64(lo)
 }
 
+// BracketStateBudget is the state budget BracketOPT grants the exact
+// branch-and-bound search. The pre-B&B solver capped out at 200k string-
+// keyed map states; pruned flat-table states are cheap enough to allow
+// 2M, which resolves Exact on instance families that previously fell
+// back to the loose bounds.
+const BracketStateBudget = 2_000_000
+
 // BracketOPT brackets the optimal offline cost with m resources on any
 // instance: the lower side is the certified bound (plus the exact optimum
-// when the instance is tiny), the upper side is the best schedule found by
-// seeding local search with the best static configuration. The true
+// when the search fits its budget), the upper side is the best schedule
+// found by seeding local search with the best static configuration. The
+// upper bound is computed first and seeds the exact search's incumbent,
+// so branch-and-bound only has to certify or beat it. The true
 // competitive ratio of any online run lies between cost/Upper and
 // cost/Lower.
 func BracketOPT(inst *sched.Instance, m int, searchPasses int) (Bracket, error) {
-	lb := LowerBoundExact(inst.Clone(), m, 200_000)
 	start, err := StaticCost(inst.Clone(), BestStaticColors(inst, m), m)
 	if err != nil {
 		return Bracket{}, err
@@ -114,6 +126,13 @@ func BracketOPT(inst *sched.Instance, m int, searchPasses int) (Bracket, error) 
 	if static := start.Cost.Total(); static < upper {
 		upper = static
 	}
+	// Exact search last, with the local-search upper bound as its
+	// incumbent: the search only explores below a cost we already know
+	// is achievable.
+	lb := lowerBoundExact(inst.Clone(), m, ExactOptions{
+		MaxStates:  BracketStateBudget,
+		UpperBound: upper,
+	})
 	br := Bracket{Lower: lb.Value(), Upper: upper, UpperSchedule: improved}
 	if lb.Exact >= 0 {
 		br.Lower, br.Upper = lb.Exact, lb.Exact

@@ -252,10 +252,36 @@ func WithAdaptiveSplit() DLRUEDFOption { return core.WithAdaptiveSplit() }
 // ——— Offline optima and certified bounds (internal/offline) ———
 
 // OptimalCost computes the exact optimal offline total cost with m
-// resources by exhaustive memoized search; feasible for tiny instances
-// only. maxStates (0 = default) caps the search.
+// resources via the parallel branch-and-bound solver with certified
+// pruning. maxStates (0 = default) caps the search; see SolveExactOPT for
+// the full set of knobs.
 func OptimalCost(inst *Instance, m, maxStates int) (int64, error) {
 	return offline.BruteForce(inst, m, maxStates)
+}
+
+// ExactOptions tunes SolveExactOPT: state budget, worker count (the
+// optimum is bit-identical at every worker count) and an optional known
+// achievable upper bound that seeds the incumbent.
+type ExactOptions = offline.ExactOptions
+
+// SolveExactOPT computes the exact optimal offline total cost with m
+// resources by certified branch-and-bound (admissible Par-EDF-tail and
+// per-color-Δ suffix bounds, allocation-free undo-stack DFS over a flat
+// transposition table, parallel root splitting).
+func SolveExactOPT(inst *Instance, m int, opts ExactOptions) (int64, error) {
+	return offline.SolveExact(inst, m, opts)
+}
+
+// Bracket is a certified two-sided estimate of the offline optimum:
+// Lower ≤ OPT ≤ Upper.
+type Bracket = offline.Bracket
+
+// BracketOPT brackets the optimal offline cost with m resources on any
+// instance: certified lower bound, local-search upper bound, and — when
+// the branch-and-bound search fits its budget — the exact optimum
+// (Lower == Upper).
+func BracketOPT(inst *Instance, m int, searchPasses int) (Bracket, error) {
+	return offline.BracketOPT(inst, m, searchPasses)
 }
 
 // CertifiedLowerBound returns a proven lower bound on the optimal offline
