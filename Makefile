@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke check experiments fmt vet clean
 
 all: build test
 
@@ -18,7 +18,7 @@ race:
 # pre-commit subset. The offline package runs in -short mode: the full
 # differential corpus under the race detector belongs to `make race`.
 race-hot:
-	go test -race -count=1 ./internal/sched/ ./internal/exp/
+	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/
 	go test -race -count=1 -short ./internal/offline/
 
 cover:
@@ -53,6 +53,15 @@ faultsmoke:
 	go test -run 'TestFaultInjection' -count=1 .
 	go test -run 'TestCheckpoint' -count=1 ./internal/trace/
 
+# The multi-tenant server smoke (docs/SERVER.md): the full serve-layer
+# suite fresh — wire codec, admission control and overload shedding, the
+# 64-tenant load-generator run verified bit-identical against local
+# replays, and both restart harnesses (graceful SIGTERM-style drain and
+# crash-fault injection between round ticks, each resumed from
+# checkpoints). The fuzz seed corpus runs as part of the same package.
+servesmoke:
+	go test -count=1 ./internal/serve/
+
 # The exact-solver smoke: the branch-and-bound optimum pinned
 # bit-identical to the legacy DFS on the differential corpus, at several
 # worker counts, plus the wide-key fallback. Fresh runs, never cached.
@@ -60,9 +69,9 @@ optsmoke:
 	go test -run 'TestSolveExact|TestExactBetweenBounds' -short -count=1 ./internal/offline/
 
 # The pre-commit gate: static analysis, the race-detector subset on the
-# hot-path packages, the fault-injection and exact-solver harnesses, then
-# the full test suite under the race detector.
-check: vet race-hot faultsmoke optsmoke race
+# hot-path packages, the fault-injection, exact-solver and server
+# harnesses, then the full test suite under the race detector.
+check: vet race-hot faultsmoke optsmoke servesmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

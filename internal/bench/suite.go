@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/offline"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -29,6 +32,9 @@ func DefaultSuite() []Spec {
 		exactSpec("exact/bb/small", smallExactInstance, false),
 		exactSpec("exact/ref/small", smallExactInstance, true),
 		bracketSpec("exact/bracket/small", smallExactInstance),
+		serveSubmitSpec("serve/submit/1tenant", 1),
+		serveSubmitSpec("serve/submit/64tenants", 64),
+		serveStatsSpec("serve/stats/64tenants", 64),
 	}
 }
 
@@ -161,6 +167,96 @@ func stepSpec(name string, mk func() sched.Policy) Spec {
 			return err
 		}
 		return op, Rates{Rounds: 1, Jobs: jobs}
+	}}
+}
+
+// serveServer boots a loopback rrserved with tenants open tenants and a
+// connected client, for the serve/* specs. Spec.Make has no teardown
+// hook, so each sample leaks one in-process server for the remainder of
+// the rrbench run — a few listeners and shard goroutines, harmless for
+// a measurement process that exits right after.
+func serveServer(name string, tenants int) (*serve.Client, []string) {
+	srv, err := serve.NewServer(serve.Config{Addr: "127.0.0.1:0", DefaultQueueCap: 4096})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", name, err))
+	}
+	go srv.Serve()
+	cl, err := serve.Dial(srv.Addr().String())
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", name, err))
+	}
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+		_, _, err := cl.Open(ids[i], serve.TenantConfig{
+			Policy: "dlruedf", N: 16, Delta: 4,
+			Delays: []int{2, 8, 4, 16, 2, 8, 4, 16},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: opening %s: %v", name, ids[i], err))
+		}
+	}
+	return cl, ids
+}
+
+// serveSubmitSpec measures one steady-state Submit round-trip over
+// loopback TCP — frame encode, server decode, admission, eager round
+// application and the acknowledgement — rotating across tenants. This
+// is the served counterpart of step/*: the delta between them is the
+// wire and admission overhead per round.
+func serveSubmitSpec(name string, tenants int) Spec {
+	return Spec{Name: name, Make: func() (func() error, Rates) {
+		cl, ids := serveServer(name, tenants)
+		req := sched.Request{
+			{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
+			{Color: 1, Count: 1}, {Color: 7, Count: 2},
+		}
+		jobs := 0
+		for _, b := range req {
+			jobs += b.Count
+		}
+		seqs := make([]int, len(ids))
+		turn := 0
+		op := func() error {
+			i := turn
+			turn = (turn + 1) % len(ids)
+			for {
+				_, _, err := cl.Submit(ids[i], seqs[i], req)
+				if err == nil {
+					seqs[i]++
+					return nil
+				}
+				if !errors.Is(err, serve.ErrOverloaded) {
+					return err
+				}
+				// The round engine fell behind the submit loop; yield
+				// until the queue drains rather than failing the run.
+				runtime.Gosched()
+			}
+		}
+		return op, Rates{Rounds: 1, Jobs: jobs}
+	}}
+}
+
+// serveStatsSpec measures the stats command aggregating every tenant's
+// row — the monitoring-path cost at fleet width.
+func serveStatsSpec(name string, tenants int) Spec {
+	return Spec{Name: name, Make: func() (func() error, Rates) {
+		cl, ids := serveServer(name, tenants)
+		req := sched.Request{{Color: 2, Count: 1}}
+		for i, id := range ids {
+			if _, _, err := cl.Submit(id, 0, req); err != nil {
+				panic(fmt.Sprintf("bench: %s: seeding %s: %v", name, ids[i], err))
+			}
+		}
+		op := func() error {
+			rows, err := cl.Stats("")
+			if err == nil && len(rows) != len(ids) {
+				err = fmt.Errorf("stats returned %d rows, want %d", len(rows), len(ids))
+			}
+			return err
+		}
+		return op, Rates{}
 	}}
 }
 

@@ -1,0 +1,70 @@
+package sched
+
+import "fmt"
+
+// ArrivalError reports a structurally invalid arrival batch handed to
+// Stream.Step (or, through it, to any ingest path that feeds a stream,
+// such as the rrserved submit handler). It is a typed error so callers
+// multiplexing many tenants can distinguish "this request is malformed —
+// reject it and keep serving" from engine failures that poison the
+// stream; test with errors.As.
+type ArrivalError struct {
+	// Color and Count echo the offending batch.
+	Color Color
+	Count int
+	// NumColors is the size of the stream's color universe, so the
+	// message can say what would have been valid.
+	NumColors int
+}
+
+func (e *ArrivalError) Error() string {
+	if e.Color < 0 || int(e.Color) >= e.NumColors {
+		return fmt.Sprintf("sched: invalid arrival: color %d outside [0, %d)", e.Color, e.NumColors)
+	}
+	return fmt.Sprintf("sched: invalid arrival: color %d has non-positive count %d", e.Color, e.Count)
+}
+
+// ConfigError reports an invalid StreamConfig (or Env) field: a
+// non-positive resource count, speed, reconfiguration cost, or delay
+// bound. NewStream returns it so service front-ends can reject a bad
+// tenant-open request as a client error rather than a server fault;
+// test with errors.As.
+type ConfigError struct {
+	// Field names the offending StreamConfig field ("N", "Speed",
+	// "Delta", "Delays").
+	Field string
+	// Color is the offending color index when Field == "Delays", and -1
+	// otherwise.
+	Color Color
+	// Value is the rejected value.
+	Value int
+}
+
+func (e *ConfigError) Error() string {
+	if e.Field == "Delays" {
+		return fmt.Sprintf("sched: invalid config: color %d has delay bound %d < 1", e.Color, e.Value)
+	}
+	return fmt.Sprintf("sched: invalid config: %s must be ≥ 1, got %d", e.Field, e.Value)
+}
+
+// validateArrivals checks every batch against the color universe; it is
+// the single structural gate in front of the round engine, shared by
+// Stream.Step and anything that pre-validates requests before queueing
+// them (ValidateRequest).
+func validateArrivals(arrivals Request, numColors int) error {
+	for _, b := range arrivals {
+		if b.Color < 0 || int(b.Color) >= numColors || b.Count <= 0 {
+			return &ArrivalError{Color: b.Color, Count: b.Count, NumColors: numColors}
+		}
+	}
+	return nil
+}
+
+// ValidateRequest checks that every batch of r names a color in
+// [0, numColors) with a positive count, returning an *ArrivalError for
+// the first violation. Ingest paths that buffer requests before stepping
+// a stream (the rrserved submit queue) use it to reject malformed input
+// at admission time instead of poisoning a later round tick.
+func ValidateRequest(r Request, numColors int) error {
+	return validateArrivals(r, numColors)
+}

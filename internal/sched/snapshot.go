@@ -72,6 +72,37 @@ func (s *Stream) Snapshot() ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// PeekSnapshot decodes just the configuration header of a
+// Stream.Snapshot blob — the StreamConfig it was taken under and the
+// name of its policy — without rebuilding the stream. Servers restoring
+// many tenants use it to size observability sinks and validate metadata
+// before paying for the full RestoreStream. The same sanity bounds as
+// RestoreStream apply; corrupt input yields an error, never a panic.
+func PeekSnapshot(snapshot []byte) (cfg StreamConfig, policyName string, err error) {
+	d := snap.NewDecoder(snapshot)
+	if v := d.Int(); d.Err() == nil && v != SnapshotVersion {
+		return StreamConfig{}, "", fmt.Errorf("sched: snapshot version %d, this build reads %d", v, SnapshotVersion)
+	}
+	cfg.N = d.Int()
+	cfg.Speed = d.Int()
+	cfg.Delta = d.Int()
+	cfg.Delays = d.Ints()
+	policyName = d.String()
+	if err := d.Err(); err != nil {
+		return StreamConfig{}, "", err
+	}
+	if cfg.N < 1 || cfg.N > maxSnapshotN {
+		return StreamConfig{}, "", fmt.Errorf("sched: snapshot N=%d outside [1, %d]", cfg.N, maxSnapshotN)
+	}
+	if cfg.Speed < 1 || cfg.Speed > maxSnapshotSpeed {
+		return StreamConfig{}, "", fmt.Errorf("sched: snapshot Speed=%d outside [1, %d]", cfg.Speed, maxSnapshotSpeed)
+	}
+	if len(cfg.Delays) > maxSnapshotColors {
+		return StreamConfig{}, "", fmt.Errorf("sched: snapshot has %d colors, limit %d", len(cfg.Delays), maxSnapshotColors)
+	}
+	return cfg, policyName, nil
+}
+
 // RestoreStream rebuilds a live Stream from a Snapshot blob. pol must
 // be a fresh policy of the same type (matched by Name) that produced
 // the snapshot; probe, which is not serialized, is attached to the

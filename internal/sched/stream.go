@@ -1,7 +1,5 @@
 package sched
 
-import "fmt"
-
 // StreamConfig configures a Stream.
 type StreamConfig struct {
 	// N is the number of resources; Speed the mini-rounds per round
@@ -72,20 +70,20 @@ func (r StepResult) Clone() StepResult {
 // NewStream validates the configuration and prepares a stream.
 func NewStream(pol Policy, cfg StreamConfig) (*Stream, error) {
 	if cfg.N < 1 {
-		return nil, fmt.Errorf("sched: NewStream needs N ≥ 1, got %d", cfg.N)
+		return nil, &ConfigError{Field: "N", Color: -1, Value: cfg.N}
 	}
 	if cfg.Speed == 0 {
 		cfg.Speed = 1
 	}
 	if cfg.Speed < 1 {
-		return nil, fmt.Errorf("sched: NewStream needs Speed ≥ 1, got %d", cfg.Speed)
+		return nil, &ConfigError{Field: "Speed", Color: -1, Value: cfg.Speed}
 	}
 	if cfg.Delta < 1 {
-		return nil, fmt.Errorf("sched: NewStream needs Delta ≥ 1, got %d", cfg.Delta)
+		return nil, &ConfigError{Field: "Delta", Color: -1, Value: cfg.Delta}
 	}
 	for c, d := range cfg.Delays {
 		if d < 1 {
-			return nil, fmt.Errorf("sched: NewStream: color %d has delay bound %d < 1", c, d)
+			return nil, &ConfigError{Field: "Delays", Color: Color(c), Value: d}
 		}
 	}
 	env := Env{N: cfg.N, Speed: cfg.Speed, Delta: cfg.Delta, Delays: cfg.Delays}
@@ -110,20 +108,24 @@ func (s *Stream) Executed() int { return s.eng.res.Executed }
 // Dropped reports the cumulative dropped-job count.
 func (s *Stream) Dropped() int { return s.eng.res.Dropped }
 
+// Reconfigs reports the cumulative number of location recolorings.
+func (s *Stream) Reconfigs() int { return s.eng.res.Reconfigs }
+
+// NumColors reports the size of the stream's color universe.
+func (s *Stream) NumColors() int { return len(s.cfg.Delays) }
+
 // Step simulates one round with the given arrivals. Batches must name
 // declared colors with positive counts; they need not be sorted or
 // deduplicated — Step normalizes a scratch copy exactly the way Run's
 // Instance.Normalize would, so a policy sees identical arrivals under
-// both front-ends. The returned StepResult's slices are reused across
-// Steps; call StepResult.Clone to retain one (see the StepResult doc).
+// both front-ends. Structurally invalid arrivals (out-of-range colors,
+// non-positive counts) are rejected with an *ArrivalError before the
+// engine sees them; the stream is left untouched and may keep stepping.
+// The returned StepResult's slices are reused across Steps; call
+// StepResult.Clone to retain one (see the StepResult doc).
 func (s *Stream) Step(arrivals Request) (StepResult, error) {
-	for _, b := range arrivals {
-		if b.Color < 0 || int(b.Color) >= len(s.cfg.Delays) {
-			return StepResult{}, fmt.Errorf("sched: Stream.Step: unknown color %d", b.Color)
-		}
-		if b.Count <= 0 {
-			return StepResult{}, fmt.Errorf("sched: Stream.Step: non-positive count %d", b.Count)
-		}
+	if err := validateArrivals(arrivals, len(s.cfg.Delays)); err != nil {
+		return StepResult{}, err
 	}
 	s.scratch = append(s.scratch[:0], arrivals...)
 	s.scratch = normalizeRequest(s.scratch)

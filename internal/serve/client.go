@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// TenantConfig is the client-side shape of an open request: which
+// policy to run and the stream configuration the tenant simulates
+// under. QueueCap 0 accepts the server's default.
+type TenantConfig struct {
+	Policy string
+	N      int
+	Speed  int
+	Delta  int
+	Delays []int
+	// QueueCap bounds the tenant's admitted-but-unapplied round ticks;
+	// submits beyond it are shed with ErrOverloaded.
+	QueueCap int
+}
+
+// Client is one connection to an rrserved server. It is safe for
+// concurrent use; requests serialize on the connection (the protocol is
+// strict request/response). Server-side rejections come back as the
+// typed errors in errors.go; a transport or protocol failure poisons
+// the client — every later call returns the same error, and the caller
+// should Dial a fresh one.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	enc  *snap.Encoder
+	buf  []byte
+	err  error // sticky transport/protocol error
+}
+
+// Dial connects to an rrserved server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (Dial is the common path).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		enc:  snap.NewEncoder(),
+	}
+}
+
+// Close closes the connection. The client is unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = net.ErrClosed
+	}
+	return c.conn.Close()
+}
+
+// roundtrip sends the frame staged in c.enc and reads one response,
+// returning a decoder positioned after the message type. Callers hold
+// c.mu. wantType is the echoed type of a success response; a msgErr
+// response is mapped to its typed error, any other type is a protocol
+// violation that poisons the client.
+func (c *Client) roundtrip(wantType uint64) (*snap.Decoder, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	fail := func(err error) (*snap.Decoder, error) {
+		c.err = err
+		c.conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(c.bw, c.enc.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	buf, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return fail(err)
+	}
+	c.buf = buf
+	d := snap.NewDecoder(buf)
+	switch typ := d.Uint64(); {
+	case d.Err() != nil:
+		return fail(fmt.Errorf("serve: response missing message type: %w", d.Err()))
+	case typ == msgErr:
+		var e errResp
+		e.decode(d)
+		if err := d.Done(); err != nil {
+			return fail(fmt.Errorf("serve: malformed error response: %w", err))
+		}
+		return nil, errFromResp(&e)
+	case typ != wantType:
+		return fail(fmt.Errorf("serve: response type %d, expected %d", typ, wantType))
+	}
+	return d, nil
+}
+
+// done validates that a success response was fully consumed; a trailing
+// or truncated body is a protocol violation that poisons the client.
+func (c *Client) done(d *snap.Decoder) error {
+	if err := d.Done(); err != nil {
+		c.err = fmt.Errorf("serve: malformed response: %w", err)
+		c.conn.Close()
+		return c.err
+	}
+	return nil
+}
+
+// Open creates tenant on the server, or re-attaches to a live tenant of
+// the same ID and configuration. nextSeq is the sequence number the
+// next Submit must carry — 0 for a fresh tenant, the resume point for a
+// recovered or re-attached one (resumed true).
+func (c *Client) Open(tenant string, tc TenantConfig) (nextSeq int, resumed bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&openMsg{
+		Version: ProtocolVersion, Tenant: tenant, Policy: tc.Policy,
+		N: tc.N, Speed: tc.Speed, Delta: tc.Delta,
+		QueueCap: tc.QueueCap, Delays: tc.Delays,
+	}).encode(c.enc)
+	d, err := c.roundtrip(msgOpen)
+	if err != nil {
+		return 0, false, err
+	}
+	var r openResp
+	r.decode(d)
+	if err := c.done(d); err != nil {
+		return 0, false, err
+	}
+	return r.NextSeq, r.Resumed, nil
+}
+
+// Submit sends one round tick of arrivals for tenant. seq must equal
+// the tenant's next expected round sequence (from Open, or the previous
+// Submit + 1); a mismatch returns *BadSeqError with the resume point.
+// round is the number of rounds the server has applied so far and depth
+// the tenant's queue depth after admission.
+func (c *Client) Submit(tenant string, seq int, arrivals sched.Request) (round, depth int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&submitMsg{Tenant: tenant, Seq: seq, Arrivals: arrivals}).encode(c.enc)
+	d, err := c.roundtrip(msgSubmit)
+	if err != nil {
+		return 0, 0, err
+	}
+	var r submitResp
+	r.decode(d)
+	if err := c.done(d); err != nil {
+		return 0, 0, err
+	}
+	return r.Round, r.QueueDepth, nil
+}
+
+// Stats fetches one tenant's stats row, or every tenant's (sorted by
+// ID) when tenant is "".
+func (c *Client) Stats(tenant string) ([]TenantStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&tenantMsg{Type: msgStats, Tenant: tenant}).encode(c.enc)
+	d, err := c.roundtrip(msgStats)
+	if err != nil {
+		return nil, err
+	}
+	rows := decodeStatsResp(d)
+	if err := c.done(d); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Result fetches the tenant's cumulative scheduling totals so far,
+// without disturbing the stream.
+func (c *Client) Result(tenant string) (*sched.Result, error) {
+	return c.resultCommand(msgResult, tenant)
+}
+
+// DrainTenant applies everything the tenant has queued, runs empty
+// rounds until no job is pending, checkpoints, and returns the final
+// Result. The tenant stays open; draining an already-drained tenant is
+// a no-op returning the same Result, so the call is safe to retry.
+func (c *Client) DrainTenant(tenant string) (*sched.Result, error) {
+	return c.resultCommand(msgDrain, tenant)
+}
+
+// CloseTenant drains the tenant, removes it from the server (deleting
+// its durable state), and returns the final Result.
+func (c *Client) CloseTenant(tenant string) (*sched.Result, error) {
+	return c.resultCommand(msgCloseTenant, tenant)
+}
+
+func (c *Client) resultCommand(typ uint64, tenant string) (*sched.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&tenantMsg{Type: typ, Tenant: tenant}).encode(c.enc)
+	d, err := c.roundtrip(typ)
+	if err != nil {
+		return nil, err
+	}
+	res := decodeResult(d)
+	if err := c.done(d); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		c.err = fmt.Errorf("serve: malformed result response")
+		c.conn.Close()
+		return nil, c.err
+	}
+	return res, nil
+}
+
+// Snapshot fetches the tenant's current state blob — the payload
+// sched.RestoreStream accepts — for mirroring server state.
+func (c *Client) Snapshot(tenant string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&tenantMsg{Type: msgSnapshot, Tenant: tenant}).encode(c.enc)
+	d, err := c.roundtrip(msgSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	blob := d.Blob()
+	if err := c.done(d); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// Ping checks liveness, reporting whether the server is draining and
+// how many tenants it hosts.
+func (c *Client) Ping() (draining bool, tenants int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	c.enc.Uint64(msgPing)
+	d, err := c.roundtrip(msgPing)
+	if err != nil {
+		return false, 0, err
+	}
+	draining = d.Bool()
+	tenants = d.Int()
+	if err := c.done(d); err != nil {
+		return false, 0, err
+	}
+	return draining, tenants, nil
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire error codes. The client maps them back to the exported error
+// values below, so embedders never see raw codes.
+const (
+	codeInternal = iota
+	codeOverloaded
+	codeBadSeq
+	codeUnknownTenant
+	codeTenantExists
+	codeDraining
+	codeInvalidArrival
+	codeBadRequest
+	codeBadPolicy
+	codeBadVersion
+)
+
+// Sentinel errors a Client surfaces for the server's admission-control
+// and lifecycle rejections. Test with errors.Is.
+var (
+	// ErrOverloaded reports that the tenant's pending-queue cap was hit:
+	// the round tick was shed, not buffered. Back off and resubmit the
+	// same sequence number.
+	ErrOverloaded = errors.New("serve: tenant queue full, round tick shed")
+	// ErrDraining reports that the server is shutting down gracefully and
+	// no longer admits work. Reconnect and resume once it is back.
+	ErrDraining = errors.New("serve: server is draining, not admitting work")
+	// ErrUnknownTenant reports a command for a tenant the server does not
+	// host (never opened, or closed).
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrTenantExists reports an open whose configuration conflicts with
+	// the live tenant of the same ID.
+	ErrTenantExists = errors.New("serve: tenant exists with a different configuration")
+)
+
+// BadSeqError reports a Submit whose sequence number does not equal the
+// tenant's next expected round sequence. Expected is the resume point:
+// sequences below it were already admitted (a duplicate after a lost
+// acknowledgement); submitting Expected continues the stream. Test with
+// errors.As.
+type BadSeqError struct {
+	Got      int
+	Expected int
+}
+
+func (e *BadSeqError) Error() string {
+	return fmt.Sprintf("serve: bad round sequence %d, expected %d", e.Got, e.Expected)
+}
+
+// RemoteError is any other server-reported failure (invalid arrivals,
+// malformed request, unknown policy, internal fault), carrying the wire
+// code and the server's message.
+type RemoteError struct {
+	Code int
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return "serve: " + e.Msg }
+
+// errFromResp converts a decoded error response into the typed error
+// the Client returns.
+func errFromResp(m *errResp) error {
+	switch m.Code {
+	case codeOverloaded:
+		return ErrOverloaded
+	case codeDraining:
+		return ErrDraining
+	case codeUnknownTenant:
+		return ErrUnknownTenant
+	case codeTenantExists:
+		return ErrTenantExists
+	case codeBadSeq:
+		return &BadSeqError{Expected: m.Expected}
+	default:
+		return &RemoteError{Code: m.Code, Msg: m.Msg}
+	}
+}

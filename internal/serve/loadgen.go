@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LoadConfig parameterizes RunLoad, the load generator behind
+// cmd/rrload. Each tenant replays an independent per-tenant variant
+// (workload.Tenant) of the named workload family, so any party that
+// knows the configuration can reconstruct every trace bit-identically —
+// which is how Verify checks the server lost and duplicated nothing.
+type LoadConfig struct {
+	// Addr is the server to drive.
+	Addr string
+	// Tenants is the number of concurrent tenants (default 64), each on
+	// its own connection.
+	Tenants int
+	// Workload names the workload family (workload.Names; default
+	// "router") and Params its parameters; Params.Rounds is the trace
+	// length per tenant.
+	Workload string
+	Params   workload.Params
+	// Policy is the tenant policy spec (PolicySpecs; default "dlruedf").
+	Policy string
+	// N and Speed configure each tenant's stream (default N 8).
+	N     int
+	Speed int
+	// QueueCap is the per-tenant queue cap (0 = server default).
+	QueueCap int
+	// Rate is the target submit rate per tenant in rounds/sec; 0 runs
+	// unpaced. Overload shedding (ErrOverloaded) backs off and retries,
+	// so jobs are delayed, never lost.
+	Rate float64
+	// Verify replays every trace locally after the run and requires the
+	// server's final Results to be bit-identical (LoadReport.Mismatches).
+	Verify bool
+	// RetryTimeout bounds how long one tenant keeps retrying through a
+	// server outage (reconnect/backoff) before giving up (default 30s).
+	RetryTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *LoadConfig) fill() {
+	if c.Tenants <= 0 {
+		c.Tenants = 64
+	}
+	if c.Workload == "" {
+		c.Workload = "router"
+	}
+	if c.Policy == "" {
+		c.Policy = "dlruedf"
+	}
+	if c.N <= 0 {
+		c.N = 8
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 30 * time.Second
+	}
+}
+
+// LoadReport summarizes a RunLoad: achieved throughput, admission
+// behavior, per-submit latency quantiles, and the aggregated scheduling
+// totals from every tenant's final (drained) Result.
+type LoadReport struct {
+	Tenants         int `json:"tenants"`
+	RoundsPerTenant int `json:"rounds_per_tenant"`
+
+	RoundsSent int64 `json:"rounds_sent"`
+	JobsSent   int64 `json:"jobs_sent"`
+	// Overloads counts ErrOverloaded rejections (each retried until
+	// admitted); Resumes counts sequence rewinds after a reconnect or
+	// restart; Reconnects counts re-dial attempts.
+	Overloads  int64 `json:"overloads"`
+	Resumes    int64 `json:"resumes"`
+	Reconnects int64 `json:"reconnects"`
+
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// TargetRate is the configured per-tenant rate (0 = unpaced);
+	// AchievedRate is the aggregate admitted rounds/sec across tenants.
+	TargetRate   float64 `json:"target_rounds_per_sec"`
+	AchievedRate float64 `json:"achieved_rounds_per_sec"`
+	// Latency summarizes per-Submit round-trip times in milliseconds.
+	Latency stats.Summary `json:"submit_latency_ms"`
+
+	// Aggregated finals across tenants.
+	Executed     int   `json:"executed"`
+	Dropped      int   `json:"dropped"`
+	Reconfigs    int   `json:"reconfigs"`
+	CostReconfig int64 `json:"cost_reconfig"`
+	CostDrop     int64 `json:"cost_drop"`
+
+	// Mismatches lists tenants whose server Result differed from the
+	// local replay (only populated with Verify; empty = bit-identical).
+	Mismatches []string `json:"mismatches,omitempty"`
+
+	// Results holds each tenant's final Result, indexed by tenant.
+	Results []*sched.Result `json:"-"`
+}
+
+// loadTenantID names tenant i of a load run.
+func loadTenantID(i int) string { return fmt.Sprintf("load-%03d", i) }
+
+// tenantOutcome is one driver goroutine's take-home.
+type tenantOutcome struct {
+	res  *sched.Result
+	lats []time.Duration
+	err  error
+}
+
+// RunLoad drives cfg.Tenants concurrent tenants against an rrserved
+// server, each submitting its full trace round by round (paced by Rate)
+// and draining at the end. Drivers ride out overload shedding, graceful
+// drain and server restarts: ErrOverloaded backs off and resubmits the
+// same sequence, a reconnect re-opens the tenant and resumes from the
+// server's sequence, so every trace round is applied exactly once.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill()
+	insts := make([]*sched.Instance, cfg.Tenants)
+	for i := range insts {
+		inst, err := workload.Tenant(cfg.Workload, cfg.Params, i)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = inst
+	}
+	rep := &LoadReport{
+		Tenants:         cfg.Tenants,
+		RoundsPerTenant: insts[0].NumRounds(),
+		TargetRate:      cfg.Rate,
+		Results:         make([]*sched.Result, cfg.Tenants),
+	}
+
+	var roundsSent, jobsSent, overloads, resumes, reconnects atomic.Int64
+	ld := &loadDriver{cfg: &cfg, roundsSent: &roundsSent, jobsSent: &jobsSent,
+		overloads: &overloads, resumes: &resumes, reconnects: &reconnects}
+
+	outs := make([]tenantOutcome, cfg.Tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = ld.drive(i, insts[i], start)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	for i, o := range outs {
+		if o.err != nil {
+			return rep, fmt.Errorf("serve: load tenant %s: %w", loadTenantID(i), o.err)
+		}
+		rep.Results[i] = o.res
+		rep.Executed += o.res.Executed
+		rep.Dropped += o.res.Dropped
+		rep.Reconfigs += o.res.Reconfigs
+		rep.CostReconfig += o.res.Cost.Reconfig
+		rep.CostDrop += o.res.Cost.Drop
+		lats = append(lats, o.lats...)
+	}
+	rep.RoundsSent = roundsSent.Load()
+	rep.JobsSent = jobsSent.Load()
+	rep.Overloads = overloads.Load()
+	rep.Resumes = resumes.Load()
+	rep.Reconnects = reconnects.Load()
+	rep.ElapsedSec = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.AchievedRate = float64(rep.RoundsSent) / elapsed.Seconds()
+	}
+	rep.Latency = stats.SummarizeDurations(lats)
+
+	if cfg.Verify {
+		for i, inst := range insts {
+			ref, err := LocalReference(inst, cfg.Policy, cfg.N, cfg.Speed)
+			if err != nil {
+				return rep, err
+			}
+			if !resultsEqual(ref, rep.Results[i]) {
+				rep.Mismatches = append(rep.Mismatches, loadTenantID(i))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// loadDriver shares the run-wide counters across tenant goroutines.
+type loadDriver struct {
+	cfg *LoadConfig
+
+	roundsSent, jobsSent           *atomic.Int64
+	overloads, resumes, reconnects *atomic.Int64
+}
+
+func (ld *loadDriver) logf(format string, args ...any) {
+	if ld.cfg.Logf != nil {
+		ld.cfg.Logf(format, args...)
+	}
+}
+
+// retryable reports whether an open/dial failure is worth waiting out:
+// transport errors and graceful drain resolve when the server returns;
+// a config conflict or unknown policy never will.
+func retryable(err error) bool {
+	if errors.Is(err, ErrDraining) {
+		return true
+	}
+	var re *RemoteError
+	var bs *BadSeqError
+	if errors.As(err, &re) || errors.As(err, &bs) ||
+		errors.Is(err, ErrTenantExists) || errors.Is(err, ErrUnknownTenant) || errors.Is(err, ErrOverloaded) {
+		return false
+	}
+	return true // dial/transport failure
+}
+
+// drive runs one tenant: open, submit every trace round exactly once,
+// drain, riding out shed ticks and server restarts.
+func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o tenantOutcome) {
+	cfg := ld.cfg
+	id := loadTenantID(i)
+	tc := TenantConfig{
+		Policy: cfg.Policy, N: cfg.N, Speed: cfg.Speed,
+		Delta: inst.Delta, Delays: inst.Delays, QueueCap: cfg.QueueCap,
+	}
+	trace := inst.Requests
+	var cl *Client
+
+	// connect (re)dials and re-opens the tenant, returning the server's
+	// resume sequence. It retries transport failures and graceful drain
+	// until RetryTimeout.
+	connect := func() (int, error) {
+		if cl != nil {
+			cl.Close()
+			cl = nil
+		}
+		deadline := time.Now().Add(cfg.RetryTimeout)
+		for {
+			c, err := Dial(cfg.Addr)
+			if err == nil {
+				next, _, oerr := c.Open(id, tc)
+				if oerr == nil {
+					cl = c
+					return next, nil
+				}
+				c.Close()
+				err = oerr
+			}
+			if !retryable(err) {
+				return 0, err
+			}
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("retry budget exhausted: %w", err)
+			}
+			ld.reconnects.Add(1)
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	next, err := connect()
+	if err != nil {
+		o.err = err
+		return o
+	}
+	cursor := min(next, len(trace))
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	for cursor < len(trace) {
+		if interval > 0 {
+			if d := time.Until(start.Add(time.Duration(cursor+1) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		t0 := time.Now()
+		_, _, err := cl.Submit(id, cursor, trace[cursor])
+		var bs *BadSeqError
+		switch {
+		case err == nil:
+			o.lats = append(o.lats, time.Since(t0))
+			ld.roundsSent.Add(1)
+			ld.jobsSent.Add(int64(trace[cursor].Jobs()))
+			cursor++
+		case errors.Is(err, ErrOverloaded):
+			// The tick was shed, not lost: back off and resubmit the same
+			// sequence once the round engine has caught up.
+			ld.overloads.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		case errors.As(err, &bs):
+			// A duplicate after a lost acknowledgement (Expected > cursor)
+			// or a rewind after a crash restore (Expected < cursor): the
+			// server names the resume point either way.
+			ld.resumes.Add(1)
+			cursor = min(bs.Expected, len(trace))
+		default:
+			// Transport failure or graceful drain: reconnect and resume
+			// from the sequence the (possibly restarted) server reports.
+			ld.logf("load %s: %v; reconnecting", id, err)
+			next, cerr := connect()
+			if cerr != nil {
+				o.err = cerr
+				return o
+			}
+			ld.resumes.Add(1)
+			cursor = min(next, len(trace))
+		}
+	}
+
+	// Drain with the same resilience. If the server restarted from a
+	// checkpoint behind the trace end, the resume loop above re-runs
+	// first, so the drain only ever sees a fully-fed stream.
+	deadline := time.Now().Add(cfg.RetryTimeout)
+	for {
+		res, err := cl.DrainTenant(id)
+		if err == nil {
+			o.res = res
+			break
+		}
+		if time.Now().After(deadline) {
+			o.err = fmt.Errorf("draining: %w", err)
+			return o
+		}
+		next, cerr := connect()
+		if cerr != nil {
+			o.err = cerr
+			return o
+		}
+		if cursor = min(next, len(trace)); cursor < len(trace) {
+			// The restart lost rounds past the last checkpoint; re-feed
+			// them before draining again.
+			for cursor < len(trace) {
+				if _, _, serr := cl.Submit(id, cursor, trace[cursor]); serr == nil {
+					cursor++
+				} else if errors.Is(serr, ErrOverloaded) {
+					ld.overloads.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				} else {
+					break // fall through to the outer retry
+				}
+			}
+		}
+	}
+	cl.Close()
+	return o
+}
+
+// LocalReference replays an instance through a local Stream under the
+// same policy spec and resources a server tenant would use, returning
+// the drained Result — the ground truth RunLoad's Verify and the
+// integration tests compare server results against.
+func LocalReference(inst *sched.Instance, policySpec string, n, speed int) (*sched.Result, error) {
+	pol, err := NewPolicy(policySpec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sched.NewStream(pol, sched.StreamConfig{
+		N: n, Speed: speed, Delta: inst.Delta, Delays: inst.Delays,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, req := range inst.Requests {
+		if _, err := st.Step(req); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := st.Drain(); err != nil {
+		return nil, err
+	}
+	return st.Result(), nil
+}
+
+// resultsEqual compares two Results field by field, excluding the
+// Schedule (which the wire never carries).
+func resultsEqual(a, b *sched.Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Policy == b.Policy && a.Cost == b.Cost &&
+		a.Executed == b.Executed && a.Dropped == b.Dropped &&
+		a.Reconfigs == b.Reconfigs && a.Rounds == b.Rounds &&
+		slices.Equal(a.DropsByColor, b.DropsByColor) &&
+		slices.Equal(a.ExecByColor, b.ExecByColor)
+}

@@ -1,0 +1,741 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+	"repro/internal/trace"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// CheckpointDir enables durability: every tenant gets a metadata
+	// file at open and a periodic checkpoint of its stream state, and
+	// NewServer recovers all tenants found there. "" disables both.
+	CheckpointDir string
+	// CheckpointEvery is the number of applied rounds between periodic
+	// per-tenant checkpoints (default 64). Graceful shutdown always
+	// writes a final checkpoint regardless.
+	CheckpointEvery int
+	// RoundInterval, when positive, paces round application: each shard
+	// worker applies at most one queued tick per tenant per interval, so
+	// arrivals batch into timed round ticks and a client outrunning the
+	// rate is shed at its queue cap. Zero applies ticks eagerly.
+	RoundInterval time.Duration
+	// Shards is the worker-pool size tenants are hashed across
+	// (default GOMAXPROCS, capped at 16).
+	Shards int
+	// MaxTenants bounds the number of live tenants (default 4096).
+	MaxTenants int
+	// DefaultQueueCap is the per-tenant pending-queue cap applied when
+	// an open request leaves QueueCap 0 (default 64).
+	DefaultQueueCap int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 16)
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 4096
+	}
+	if c.DefaultQueueCap <= 0 {
+		c.DefaultQueueCap = 64
+	}
+}
+
+// Server hosts many tenants — each an independent sched.Stream with its
+// own policy — behind the wire protocol (see the package comment).
+// Round ticks admitted by Submit are applied asynchronously by a
+// sharded worker pool; per-tenant checkpoints make every tenant
+// recoverable across restarts.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	conns   map[net.Conn]struct{}
+
+	draining atomic.Bool
+
+	shards    []*shard
+	stopShard chan struct{}
+	shardWG   sync.WaitGroup
+	connWG    sync.WaitGroup
+
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// shard is one worker's set of tenants. wake is a coalesced
+// notification: the worker drains it before scanning, so a poke
+// arriving mid-scan is never lost.
+type shard struct {
+	mu      sync.Mutex
+	tenants []*tenant
+	wake    chan struct{}
+}
+
+func (sh *shard) add(t *tenant) {
+	sh.mu.Lock()
+	sh.tenants = append(sh.tenants, t)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) remove(t *tenant) {
+	sh.mu.Lock()
+	if i := slices.Index(sh.tenants, t); i >= 0 {
+		sh.tenants = slices.Delete(sh.tenants, i, i+1)
+	}
+	sh.mu.Unlock()
+}
+
+func (sh *shard) snapshot(dst []*tenant) []*tenant {
+	sh.mu.Lock()
+	dst = append(dst, sh.tenants...)
+	sh.mu.Unlock()
+	return dst
+}
+
+func (sh *shard) poke() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// NewServer prepares a server: it recovers every tenant found in
+// CheckpointDir, binds the listener (so Addr is valid before Serve),
+// and starts the shard workers. Call Serve to accept connections.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:       cfg,
+		tenants:   make(map[string]*tenant),
+		conns:     make(map[net.Conn]struct{}),
+		stopShard: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{wake: make(chan struct{}, 1)})
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating checkpoint dir: %w", err)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listening on %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	for _, sh := range s.shards {
+		s.shardWG.Add(1)
+		go s.shardWorker(sh)
+	}
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// NumTenants reports the number of live tenants.
+func (s *Server) NumTenants() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tenants)
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Shutdown or Close, and the accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains gracefully: stop admitting work (in-flight submits
+// get ErrDraining), stop the shard workers, flush every tenant's queued
+// round ticks, write a final checkpoint per tenant, then close all
+// connections. It is the SIGTERM path of cmd/rrserved.
+func (s *Server) Shutdown() error { return s.stop(true) }
+
+// Close stops abruptly — no flush, no final checkpoints — leaving only
+// the periodic checkpoints on disk. It approximates a crash (the
+// fault-injection tests use it); production code wants Shutdown.
+func (s *Server) Close() error { return s.stop(false) }
+
+func (s *Server) stop(flush bool) error {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		s.ln.Close()
+		close(s.stopShard)
+		s.shardWG.Wait()
+		if flush {
+			for _, t := range s.tenantList() {
+				blob, round := t.flush()
+				if blob == nil {
+					continue
+				}
+				if err := t.writeCheckpoint(blob, round); err != nil {
+					s.logf("%v", err)
+					if s.stopErr == nil {
+						s.stopErr = err
+					}
+				}
+			}
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+	})
+	return s.stopErr
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) tenant(id string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[id]
+}
+
+func (s *Server) tenantList() []*tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	return ts
+}
+
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// shardWorker applies admitted round ticks for the shard's tenants: on
+// every poke in eager mode, or one tick per tenant per RoundInterval in
+// paced mode. Checkpoint blobs captured under the tenant lock are
+// written here, outside it.
+func (s *Server) shardWorker(sh *shard) {
+	defer s.shardWG.Done()
+	var tick <-chan time.Time
+	if s.cfg.RoundInterval > 0 {
+		tk := time.NewTicker(s.cfg.RoundInterval)
+		defer tk.Stop()
+		tick = tk.C
+	}
+	perPass := 0 // eager: apply everything queued
+	if tick != nil {
+		perPass = 1 // paced: one round tick per tenant per interval
+	}
+	var scratch []*tenant
+	for {
+		if tick != nil {
+			select {
+			case <-s.stopShard:
+				return
+			case <-tick:
+			}
+		} else {
+			select {
+			case <-s.stopShard:
+				return
+			case <-sh.wake:
+			}
+		}
+		scratch = sh.snapshot(scratch[:0])
+		for _, t := range scratch {
+			_, blob, round := t.applyQueued(perPass, s.cfg.CheckpointEvery)
+			if blob != nil {
+				if err := t.writeCheckpoint(blob, round); err != nil {
+					s.logf("%v", err)
+				}
+			}
+		}
+	}
+}
+
+// ——— Tenant lifecycle ———
+
+// validTenantID restricts IDs to filename-safe tokens, since durable
+// tenants name their metadata and checkpoint files after the ID.
+func validTenantID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newSink sizes a tenant's MetricsSink from its configuration: the wait
+// histogram spans the delay-bound range, the depth one a generous
+// multiple of what a full queue can hold.
+func newSink(cfg sched.StreamConfig) *sched.MetricsSink {
+	maxDelay := 1
+	for _, d := range cfg.Delays {
+		if d > maxDelay {
+			maxDelay = d
+		}
+	}
+	return sched.NewMetricsSink(maxDelay, 1024)
+}
+
+// matches reports whether an open request names the same configuration
+// this tenant runs under, so a client can re-attach idempotently.
+func (t *tenant) matches(m *openMsg, defaultCap int) bool {
+	qcap := m.QueueCap
+	if qcap <= 0 {
+		qcap = defaultCap
+	}
+	speed := m.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	return t.spec == m.Policy && t.qcap == qcap &&
+		t.cfg.N == m.N && t.cfg.Speed == speed && t.cfg.Delta == m.Delta &&
+		slices.Equal(t.cfg.Delays, m.Delays)
+}
+
+// open creates a tenant, or re-attaches to a live one with a matching
+// configuration.
+func (s *Server) open(m *openMsg) (*openResp, *errResp) {
+	if m.Version != ProtocolVersion {
+		return nil, &errResp{Code: codeBadVersion,
+			Msg: fmt.Sprintf("protocol version %d, server speaks %d", m.Version, ProtocolVersion)}
+	}
+	if !validTenantID(m.Tenant) {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("invalid tenant ID %q (want 1-64 chars of [A-Za-z0-9_-])", m.Tenant)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[m.Tenant]; t != nil {
+		if !t.matches(m, s.cfg.DefaultQueueCap) {
+			return nil, &errResp{Code: codeTenantExists,
+				Msg: "tenant " + m.Tenant + " exists with a different configuration"}
+		}
+		return &openResp{NextSeq: t.nextSeq(), Resumed: true}, nil
+	}
+	if s.draining.Load() {
+		return nil, &errResp{Code: codeDraining, Msg: "server is draining"}
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, &errResp{Code: codeOverloaded,
+			Msg: fmt.Sprintf("tenant limit %d reached", s.cfg.MaxTenants)}
+	}
+	pol, err := NewPolicy(m.Policy)
+	if err != nil {
+		return nil, &errResp{Code: codeBadPolicy, Msg: err.Error()}
+	}
+	qcap := m.QueueCap
+	if qcap <= 0 {
+		qcap = s.cfg.DefaultQueueCap
+	}
+	cfg := sched.StreamConfig{N: m.N, Speed: m.Speed, Delta: m.Delta, Delays: slices.Clone(m.Delays)}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
+	sink := newSink(cfg)
+	scfg := cfg
+	scfg.Probe = sink
+	st, err := sched.NewStream(pol, scfg)
+	if err != nil {
+		return nil, &errResp{Code: codeBadRequest, Msg: err.Error()}
+	}
+	t := &tenant{
+		id: m.Tenant, spec: m.Policy, polName: pol.Name(),
+		cfg: cfg, qcap: qcap, st: st, sink: sink,
+	}
+	if s.cfg.CheckpointDir != "" {
+		t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
+		t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
+		if err := writeMeta(t.metaPath, t.spec, t.qcap, cfg); err != nil {
+			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
+		}
+	}
+	s.tenants[t.id] = t
+	s.shardFor(t.id).add(t)
+	return &openResp{NextSeq: 0, Resumed: false}, nil
+}
+
+// closeTenant drains a tenant fully, removes it and deletes its durable
+// files, returning the final Result.
+func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
+	t := s.tenant(id)
+	if t == nil {
+		return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
+	}
+	res, _, _, err := t.drainStream()
+	if err != nil {
+		return nil, &errResp{Code: codeInternal, Msg: err.Error()}
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	s.mu.Lock()
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	s.shardFor(id).remove(t)
+	if t.ckptPath != "" {
+		os.Remove(t.ckptPath)
+		os.Remove(t.metaPath)
+	}
+	return res, nil
+}
+
+// ——— Durable tenant metadata and recovery ———
+
+const metaVersion = 1
+
+// writeMeta persists the open-time facts a checkpoint blob does not
+// carry — the policy spec string and queue cap — plus the stream
+// configuration, so a restart can rebuild a tenant that crashed before
+// its first checkpoint. The payload rides in the same CRC-checked
+// container as checkpoints, written atomically.
+func writeMeta(path, spec string, qcap int, cfg sched.StreamConfig) error {
+	e := snap.NewEncoder()
+	e.Int(metaVersion)
+	e.String(spec)
+	e.Int(qcap)
+	e.Int(cfg.N)
+	e.Int(cfg.Speed)
+	e.Int(cfg.Delta)
+	e.Ints(cfg.Delays)
+	if err := trace.SaveCheckpointState(path, e.Bytes()); err != nil {
+		return fmt.Errorf("serve: writing tenant metadata: %w", err)
+	}
+	return nil
+}
+
+func readMeta(path string) (spec string, qcap int, cfg sched.StreamConfig, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, cfg, err
+	}
+	defer f.Close()
+	payload, err := trace.ReadCheckpoint(f)
+	if err != nil {
+		return "", 0, cfg, fmt.Errorf("serve: reading tenant metadata %s: %w", path, err)
+	}
+	d := snap.NewDecoder(payload)
+	if v := d.Int(); d.Err() == nil && v != metaVersion {
+		return "", 0, cfg, fmt.Errorf("serve: tenant metadata %s: version %d, this build reads %d", path, v, metaVersion)
+	}
+	spec = d.String()
+	qcap = d.Int()
+	cfg.N = d.Int()
+	cfg.Speed = d.Int()
+	cfg.Delta = d.Int()
+	cfg.Delays = d.Ints()
+	if err := d.Done(); err != nil {
+		return "", 0, cfg, fmt.Errorf("serve: tenant metadata %s: %w", path, err)
+	}
+	return spec, qcap, cfg, nil
+}
+
+// recover rebuilds every tenant whose metadata file survives in the
+// checkpoint directory: from its checkpoint when one exists, or fresh
+// at round 0 when the process died before the first checkpoint. A
+// corrupt file fails recovery loudly — silently dropping a tenant would
+// lose its stream.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		return fmt.Errorf("serve: scanning checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".meta") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".meta")
+		t, err := s.recoverTenant(id)
+		if err != nil {
+			return err
+		}
+		s.tenants[id] = t
+		s.shardFor(id).add(t)
+		s.logf("serve: recovered tenant %s at round %d", id, t.st.Round())
+	}
+	return nil
+}
+
+func (s *Server) recoverTenant(id string) (*tenant, error) {
+	metaPath := filepath.Join(s.cfg.CheckpointDir, id+".meta")
+	ckptPath := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
+	spec, qcap, cfg, err := readMeta(metaPath)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: recovering tenant %s: %w", id, err)
+	}
+	sink := newSink(cfg)
+	t := &tenant{
+		id: id, spec: spec, polName: pol.Name(),
+		cfg: cfg, qcap: qcap, sink: sink,
+		ckptPath: ckptPath, metaPath: metaPath,
+	}
+	f, err := os.Open(ckptPath)
+	switch {
+	case err == nil:
+		blob, rerr := trace.ReadCheckpoint(f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", id, rerr)
+		}
+		// Cheap cross-check before the full restore: the checkpoint must
+		// have been taken under the configuration the metadata records.
+		pcfg, _, perr := sched.PeekSnapshot(blob)
+		if perr != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", id, perr)
+		}
+		if pcfg.N != cfg.N || pcfg.Speed != cfg.Speed || pcfg.Delta != cfg.Delta || !slices.Equal(pcfg.Delays, cfg.Delays) {
+			return nil, fmt.Errorf("serve: tenant %s: checkpoint configuration does not match metadata", id)
+		}
+		t.st, err = sched.RestoreStream(pol, blob, sink)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", id, err)
+		}
+		t.lastCkpt = t.st.Round()
+		t.writtenRound = t.st.Round()
+	case os.IsNotExist(err):
+		scfg := cfg
+		scfg.Probe = sink
+		t.st, err = sched.NewStream(pol, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", id, err)
+		}
+	default:
+		return nil, fmt.Errorf("serve: tenant %s: opening checkpoint: %w", id, err)
+	}
+	return t, nil
+}
+
+// ——— Request processing ———
+
+// connState is the per-connection scratch reused across frames so a
+// steady-state submit loop does not allocate per request.
+type connState struct {
+	sub submitMsg
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	enc := snap.NewEncoder()
+	var cs connState
+	var buf []byte
+	for {
+		var err error
+		buf, err = readFrame(br, buf)
+		if err != nil {
+			return // clean EOF or framing error; either way the conn is done
+		}
+		enc.Reset()
+		closeAfter := s.process(buf, &cs, enc)
+		if err := writeFrame(bw, enc.Bytes()); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if closeAfter {
+			return
+		}
+	}
+}
+
+// process handles one request frame, encoding the response into enc. It
+// reports whether the connection must close (a protocol violation, as
+// opposed to a well-formed request the server rejects). It never
+// panics, whatever the bytes — pinned by FuzzFrameDecode.
+func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeConn bool) {
+	bad := func(msg string) bool {
+		enc.Reset()
+		(&errResp{Code: codeBadRequest, Msg: msg}).encode(enc)
+		return true
+	}
+	d := snap.NewDecoder(body)
+	typ := d.Uint64()
+	if d.Err() != nil {
+		return bad("truncated message type")
+	}
+	switch typ {
+	case msgOpen:
+		var m openMsg
+		m.decode(d)
+		if d.Done() != nil {
+			return bad("malformed open")
+		}
+		resp, er := s.open(&m)
+		if er != nil {
+			er.encode(enc)
+		} else {
+			resp.encode(enc)
+		}
+	case msgSubmit:
+		cs.sub.decode(d)
+		if d.Done() != nil {
+			return bad("malformed submit")
+		}
+		t := s.tenant(cs.sub.Tenant)
+		if t == nil {
+			(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + cs.sub.Tenant}).encode(enc)
+			return false
+		}
+		round, depth, er := t.submit(cs.sub.Seq, cs.sub.Arrivals, s.draining.Load())
+		if er != nil {
+			er.encode(enc)
+			return false
+		}
+		s.shardFor(cs.sub.Tenant).poke()
+		(&submitResp{Round: round, QueueDepth: depth}).encode(enc)
+	case msgStats:
+		var m tenantMsg
+		m.decode(d)
+		if d.Done() != nil {
+			return bad("malformed stats request")
+		}
+		var rows []TenantStats
+		if m.Tenant != "" {
+			t := s.tenant(m.Tenant)
+			if t == nil {
+				(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + m.Tenant}).encode(enc)
+				return false
+			}
+			rows = []TenantStats{t.stats()}
+		} else {
+			for _, t := range s.tenantList() {
+				rows = append(rows, t.stats())
+			}
+		}
+		encodeStatsResp(enc, rows)
+	case msgResult, msgDrain, msgCloseTenant, msgSnapshot:
+		var m tenantMsg
+		m.decode(d)
+		if d.Done() != nil {
+			return bad("malformed tenant command")
+		}
+		s.tenantCommand(typ, m.Tenant, enc)
+	case msgPing:
+		if d.Done() != nil {
+			return bad("malformed ping")
+		}
+		enc.Uint64(msgPing)
+		enc.Bool(s.draining.Load())
+		enc.Int(s.NumTenants())
+	default:
+		return bad(fmt.Sprintf("unknown message type %d", typ))
+	}
+	return false
+}
+
+// tenantCommand executes the single-tenant commands that share the
+// tenantMsg request shape.
+func (s *Server) tenantCommand(typ uint64, id string, enc *snap.Encoder) {
+	if typ == msgCloseTenant {
+		res, er := s.closeTenant(id)
+		if er != nil {
+			er.encode(enc)
+		} else {
+			encodeResult(enc, msgCloseTenant, res)
+		}
+		return
+	}
+	t := s.tenant(id)
+	if t == nil {
+		(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}).encode(enc)
+		return
+	}
+	switch typ {
+	case msgResult:
+		res, err := t.result()
+		if err != nil {
+			(&errResp{Code: codeInternal, Msg: err.Error()}).encode(enc)
+			return
+		}
+		encodeResult(enc, msgResult, res)
+	case msgDrain:
+		res, blob, round, err := t.drainStream()
+		if err != nil {
+			(&errResp{Code: codeInternal, Msg: err.Error()}).encode(enc)
+			return
+		}
+		if blob != nil {
+			if werr := t.writeCheckpoint(blob, round); werr != nil {
+				s.logf("%v", werr)
+			}
+		}
+		encodeResult(enc, msgDrain, res)
+	case msgSnapshot:
+		blob, err := t.snapshot()
+		if err != nil {
+			(&errResp{Code: codeInternal, Msg: err.Error()}).encode(enc)
+			return
+		}
+		enc.Uint64(msgSnapshot)
+		enc.Blob(blob)
+	}
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// tenant is one hosted stream: the live sched.Stream, its bounded
+// ingest queue of admitted-but-unapplied round ticks, and the
+// admission-control counters. All mutable state is guarded by mu; the
+// checkpoint file is additionally serialized by ckptMu so the write and
+// fsync happen outside the stream lock.
+type tenant struct {
+	id      string
+	spec    string             // policy spec the tenant was opened with
+	polName string             // the policy's display Name, for stats
+	cfg     sched.StreamConfig // normalized (Speed ≥ 1); Probe is sink
+	qcap    int
+
+	mu     sync.Mutex
+	st     *sched.Stream
+	sink   *sched.MetricsSink
+	queue  []sched.Request // admitted round ticks; live entries are queue[head:]
+	head   int
+	closed bool
+	failed error // a poisoned stream rejects all further commands
+
+	overloads   int64
+	badSeqs     int64
+	checkpoints int64
+	lastCkpt    int // round of the last snapshot taken
+
+	ckptPath, metaPath string // "" = durability off
+
+	ckptMu       sync.Mutex
+	writtenRound int // round of the newest checkpoint on disk
+}
+
+// queuedLocked reports the number of admitted-but-unapplied round ticks.
+// Callers hold mu.
+func (t *tenant) queuedLocked() int { return len(t.queue) - t.head }
+
+// nextSeqLocked is the sequence number the next Submit must carry:
+// rounds applied plus rounds queued. Callers hold mu.
+func (t *tenant) nextSeqLocked() int { return t.st.Round() + t.queuedLocked() }
+
+// nextSeq is nextSeqLocked for callers not holding mu.
+func (t *tenant) nextSeq() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextSeqLocked()
+}
+
+// submit admits one round tick. It returns the rounds applied so far
+// and the queue depth after admission, or an *errResp describing the
+// rejection; the queue never grows past the tenant's cap, so a client
+// outrunning the round rate is shed (ErrOverloaded), not buffered.
+func (t *tenant) submit(seq int, arrivals sched.Request, draining bool) (round, depth int, er *errResp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, 0, &errResp{Code: codeUnknownTenant, Msg: "tenant " + t.id + " is closed"}
+	}
+	if t.failed != nil {
+		return 0, 0, &errResp{Code: codeInternal, Msg: t.failed.Error()}
+	}
+	if draining {
+		return 0, 0, &errResp{Code: codeDraining, Msg: "server is draining"}
+	}
+	if err := sched.ValidateRequest(arrivals, t.st.NumColors()); err != nil {
+		return 0, 0, &errResp{Code: codeInvalidArrival, Msg: err.Error()}
+	}
+	if expect := t.nextSeqLocked(); seq != expect {
+		t.badSeqs++
+		return 0, 0, &errResp{Code: codeBadSeq, Expected: expect, Msg: fmt.Sprintf("bad round sequence %d, expected %d", seq, expect)}
+	}
+	if t.queuedLocked() >= t.qcap {
+		t.overloads++
+		return 0, 0, &errResp{Code: codeOverloaded, Msg: "tenant queue full"}
+	}
+	// The decoder reuses the arrivals' backing array across frames, so
+	// the queue keeps its own copy. Compact the ring before it can grow
+	// past twice the cap: live entries are bounded by cap, so memory
+	// stays bounded no matter how long the tenant lives.
+	if t.head > 0 && len(t.queue) >= 2*t.qcap {
+		n := copy(t.queue, t.queue[t.head:])
+		for i := n; i < len(t.queue); i++ {
+			t.queue[i] = nil
+		}
+		t.queue = t.queue[:n]
+		t.head = 0
+	}
+	var tick sched.Request
+	if len(arrivals) > 0 {
+		tick = append(make(sched.Request, 0, len(arrivals)), arrivals...)
+	}
+	t.queue = append(t.queue, tick)
+	return t.st.Round(), t.queuedLocked(), nil
+}
+
+// applyQueuedLocked applies up to max queued round ticks (max <= 0 =
+// all) and returns how many it applied. Callers hold mu.
+func (t *tenant) applyQueuedLocked(max int) (applied int) {
+	for t.queuedLocked() > 0 && t.failed == nil && (max <= 0 || applied < max) {
+		tick := t.queue[t.head]
+		t.queue[t.head] = nil
+		t.head++
+		if t.head == len(t.queue) {
+			t.queue = t.queue[:0]
+			t.head = 0
+		}
+		if _, err := t.st.Step(tick); err != nil {
+			// Arrivals were validated at admission, so a step failure is
+			// an engine-level fault; poison the tenant rather than guess.
+			t.failed = fmt.Errorf("serve: tenant %s: applying round %d: %w", t.id, t.st.Round(), err)
+			break
+		}
+		applied++
+	}
+	return applied
+}
+
+// applyQueued applies up to max queued round ticks and decides whether
+// a periodic checkpoint is due. When one is, it returns the snapshot
+// blob and its round — taking the (in-memory) snapshot under the lock
+// and leaving the file write to the caller via writeCheckpoint.
+func (t *tenant) applyQueued(max, every int) (applied int, blob []byte, round int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	applied = t.applyQueuedLocked(max)
+	blob, round = t.maybeSnapshotLocked(every, false)
+	return applied, blob, round
+}
+
+// maybeSnapshotLocked snapshots the stream when a checkpoint is due
+// (or, with force, whenever durability is on and the stream has moved
+// since the last snapshot). Callers hold mu.
+func (t *tenant) maybeSnapshotLocked(every int, force bool) (blob []byte, round int) {
+	if t.ckptPath == "" || t.failed != nil {
+		return nil, 0
+	}
+	r := t.st.Round()
+	if force {
+		if r == t.lastCkpt {
+			return nil, 0
+		}
+	} else if every <= 0 || r-t.lastCkpt < every {
+		return nil, 0
+	}
+	b, err := t.st.Snapshot()
+	if err != nil {
+		t.failed = fmt.Errorf("serve: tenant %s: snapshot at round %d: %w", t.id, r, err)
+		return nil, 0
+	}
+	t.lastCkpt = r
+	t.checkpoints++
+	return b, r
+}
+
+// writeCheckpoint persists a snapshot blob taken by applyQueued, flush
+// or drainStream. It runs outside the stream lock; ckptMu orders
+// concurrent writers (shard worker vs. drain handler) and the round
+// check drops a stale blob that lost the race.
+func (t *tenant) writeCheckpoint(blob []byte, round int) error {
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	if round <= t.writtenRound {
+		return nil
+	}
+	if err := trace.SaveCheckpointState(t.ckptPath, blob); err != nil {
+		return fmt.Errorf("serve: tenant %s: writing checkpoint: %w", t.id, err)
+	}
+	t.writtenRound = round
+	return nil
+}
+
+// flush applies every queued round tick and takes a final snapshot —
+// the graceful-drain path (server shutdown). The returned blob (nil
+// when durability is off or the stream has not moved) must be handed to
+// writeCheckpoint.
+func (t *tenant) flush() (blob []byte, round int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.applyQueuedLocked(0)
+	return t.maybeSnapshotLocked(0, true)
+}
+
+// drainStream applies the whole queue, then runs empty rounds until no
+// job is pending, all under one lock acquisition so no submit can
+// interleave, and returns the final Result plus a fresh final snapshot.
+// Draining an already-drained tenant is a no-op that returns the same
+// Result, so a client retrying a drain whose acknowledgement was lost
+// observes identical results.
+func (t *tenant) drainStream() (*sched.Result, []byte, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed != nil {
+		return nil, nil, 0, t.failed
+	}
+	t.applyQueuedLocked(0)
+	if t.failed != nil {
+		return nil, nil, 0, t.failed
+	}
+	if _, err := t.st.Drain(); err != nil {
+		t.failed = fmt.Errorf("serve: tenant %s: draining: %w", t.id, err)
+		return nil, nil, 0, t.failed
+	}
+	blob, round := t.maybeSnapshotLocked(0, true)
+	return t.st.Result(), blob, round, nil
+}
+
+// result returns a retained copy of the scheduling totals so far.
+func (t *tenant) result() (*sched.Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed != nil {
+		return nil, t.failed
+	}
+	return t.st.Result(), nil
+}
+
+// snapshot returns the current state blob (the payload RestoreStream
+// accepts), for clients mirroring server state.
+func (t *tenant) snapshot() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed != nil {
+		return nil, t.failed
+	}
+	return t.st.Snapshot()
+}
+
+// stats fills one TenantStats row.
+func (t *tenant) stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cost := t.st.Cost()
+	return TenantStats{
+		ID:           t.id,
+		Policy:       t.polName,
+		Round:        t.st.Round(),
+		NextSeq:      t.nextSeqLocked(),
+		Pending:      t.st.TotalPending(),
+		QueueDepth:   t.queuedLocked(),
+		QueueCap:     t.qcap,
+		Executed:     t.st.Executed(),
+		Dropped:      t.st.Dropped(),
+		Reconfigs:    t.st.Reconfigs(),
+		CostReconfig: cost.Reconfig,
+		CostDrop:     cost.Drop,
+		MaxPending:   t.sink.MaxPending,
+		Overloads:    t.overloads,
+		BadSeqs:      t.badSeqs,
+		Checkpoints:  t.checkpoints,
+	}
+}

@@ -1,0 +1,379 @@
+// Package serve is the network layer of the repository: a TCP server
+// (cmd/rrserved) hosting many independent tenants — each a live
+// sched.Stream with its own policy — behind a small length-prefixed
+// binary protocol, plus the matching Client used by the load generator
+// (cmd/rrload) and by embedders.
+//
+// # Wire format
+//
+// Every message travels in a frame: a 4-byte little-endian length
+// prefix followed by that many body bytes (at most MaxFrame). The body
+// is encoded with internal/snap's deterministic varint codec and starts
+// with a varint message type; the remaining fields depend on the type.
+// Responses reuse the same framing. A malformed, truncated or oversized
+// frame is a protocol error: the reader reports it and the connection
+// is closed — never a panic, pinned by FuzzFrameDecode.
+//
+// # Rounds, sequence numbers, and exactly-once ingest
+//
+// One Submit carries the arrivals of exactly one round tick for one
+// tenant and names its position in the tenant's round sequence. The
+// server accepts a submit only when its sequence number equals the
+// tenant's next expected round (rounds applied + rounds queued), so a
+// client that resubmits after a lost acknowledgement, a reconnect or a
+// server restart can never duplicate or reorder a round: stale submits
+// are rejected with a BadSeqError carrying the expected sequence, and
+// the client simply resumes from there. Together with per-tenant
+// checkpointing this gives exactly-once round application end to end —
+// the property the bit-identical integration tests pin.
+//
+// See docs/SERVER.md for the full protocol and lifecycle description.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+// ProtocolVersion is carried in every open request; the server rejects
+// clients speaking another version.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a frame body. It must hold the largest legitimate
+// message (a stats response for every tenant, a snapshot blob); a
+// length prefix beyond it proves a corrupt or hostile peer and closes
+// the connection before any allocation is attempted.
+const MaxFrame = 1 << 22
+
+// Message types (requests). Responses echo the request's type, except
+// for errors which use msgErr.
+const (
+	msgErr = iota // response-only
+	msgOpen
+	msgSubmit
+	msgStats
+	msgResult
+	msgDrain
+	msgCloseTenant
+	msgPing
+	msgSnapshot
+)
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("serve: frame body %d bytes exceeds MaxFrame %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame body, reusing buf when it is large enough.
+// It returns io.EOF only on a clean end of stream (no bytes read).
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("serve: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("serve: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serve: frame body truncated: %w", err)
+	}
+	return buf, nil
+}
+
+// openMsg asks the server to create a tenant, or to re-attach to an
+// existing one with a matching configuration.
+type openMsg struct {
+	Version  int
+	Tenant   string
+	Policy   string
+	N        int
+	Speed    int
+	Delta    int
+	QueueCap int
+	Delays   []int
+}
+
+func (m *openMsg) encode(e *snap.Encoder) {
+	e.Uint64(msgOpen)
+	e.Int(m.Version)
+	e.String(m.Tenant)
+	e.String(m.Policy)
+	e.Int(m.N)
+	e.Int(m.Speed)
+	e.Int(m.Delta)
+	e.Int(m.QueueCap)
+	e.Ints(m.Delays)
+}
+
+func (m *openMsg) decode(d *snap.Decoder) {
+	m.Version = d.Int()
+	m.Tenant = d.String()
+	m.Policy = d.String()
+	m.N = d.Int()
+	m.Speed = d.Int()
+	m.Delta = d.Int()
+	m.QueueCap = d.Int()
+	m.Delays = d.Ints()
+}
+
+// openResp acknowledges an open: NextSeq is the sequence number the
+// next Submit must carry (0 for a fresh tenant; the resume point for a
+// recovered or re-attached one).
+type openResp struct {
+	NextSeq int
+	Resumed bool
+}
+
+func (m *openResp) encode(e *snap.Encoder) {
+	e.Uint64(msgOpen)
+	e.Int(m.NextSeq)
+	e.Bool(m.Resumed)
+}
+
+func (m *openResp) decode(d *snap.Decoder) {
+	m.NextSeq = d.Int()
+	m.Resumed = d.Bool()
+}
+
+// submitMsg carries one round tick of arrivals for one tenant. Seq must
+// equal the tenant's next expected round sequence.
+type submitMsg struct {
+	Tenant   string
+	Seq      int
+	Arrivals sched.Request
+}
+
+func (m *submitMsg) encode(e *snap.Encoder) {
+	e.Uint64(msgSubmit)
+	e.String(m.Tenant)
+	e.Int(m.Seq)
+	e.Int(len(m.Arrivals))
+	for _, b := range m.Arrivals {
+		e.Int(int(b.Color))
+		e.Int(b.Count)
+	}
+}
+
+// decode reuses m.Arrivals' backing array, so a long-lived handler
+// reaches a steady state without per-frame batch allocations.
+func (m *submitMsg) decode(d *snap.Decoder) {
+	m.Tenant = d.StringCached(m.Tenant)
+	m.Seq = d.Int()
+	n := d.Len() // each batch takes ≥ 2 bytes, so Len's bound is safe
+	m.Arrivals = m.Arrivals[:0]
+	for i := 0; i < n; i++ {
+		c, cnt := d.Int(), d.Int()
+		if d.Err() != nil {
+			return
+		}
+		m.Arrivals = append(m.Arrivals, sched.Batch{Color: sched.Color(c), Count: cnt})
+	}
+}
+
+// submitResp acknowledges admission of one round tick: the submit is
+// queued (QueueDepth deep) and will be applied by the tenant's shard
+// worker; Round is the number of rounds applied so far.
+type submitResp struct {
+	Round      int
+	QueueDepth int
+}
+
+func (m *submitResp) encode(e *snap.Encoder) {
+	e.Uint64(msgSubmit)
+	e.Int(m.Round)
+	e.Int(m.QueueDepth)
+}
+
+func (m *submitResp) decode(d *snap.Decoder) {
+	m.Round = d.Int()
+	m.QueueDepth = d.Int()
+}
+
+// tenantMsg is the shape shared by the single-tenant commands (stats,
+// result, drain, close, snapshot): a type plus the tenant ID ("" asks
+// stats for every tenant).
+type tenantMsg struct {
+	Type   uint64
+	Tenant string
+}
+
+func (m *tenantMsg) encode(e *snap.Encoder) {
+	e.Uint64(m.Type)
+	e.String(m.Tenant)
+}
+
+func (m *tenantMsg) decode(d *snap.Decoder) {
+	m.Tenant = d.String()
+}
+
+// TenantStats is one tenant's row of the stats command: scheduling
+// totals from the live stream, admission-control counters, and the
+// MetricsSink's backlog high-water mark.
+type TenantStats struct {
+	// ID and Policy identify the tenant and its policy (Policy is the
+	// policy's Name, not the spec it was opened with).
+	ID     string `json:"id"`
+	Policy string `json:"policy"`
+	// Round counts rounds applied; NextSeq = Round + QueueDepth is the
+	// sequence the next Submit must carry.
+	Round   int `json:"round"`
+	NextSeq int `json:"next_seq"`
+	// Pending counts jobs pending inside the stream; QueueDepth counts
+	// admitted round ticks not yet applied (bounded by QueueCap).
+	Pending    int `json:"pending"`
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Scheduling totals (cumulative since the stream started, surviving
+	// checkpoint/restart).
+	Executed     int   `json:"executed"`
+	Dropped      int   `json:"dropped"`
+	Reconfigs    int   `json:"reconfigs"`
+	CostReconfig int64 `json:"cost_reconfig"`
+	CostDrop     int64 `json:"cost_drop"`
+	// MaxPending is the deepest end-of-round backlog the MetricsSink saw
+	// (since this process started — sinks are not checkpointed).
+	MaxPending int `json:"max_pending"`
+	// Admission-control counters (since this process started).
+	Overloads   int64 `json:"overloads"`
+	BadSeqs     int64 `json:"bad_seqs"`
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+func (s *TenantStats) encode(e *snap.Encoder) {
+	e.String(s.ID)
+	e.String(s.Policy)
+	e.Int(s.Round)
+	e.Int(s.NextSeq)
+	e.Int(s.Pending)
+	e.Int(s.QueueDepth)
+	e.Int(s.QueueCap)
+	e.Int(s.Executed)
+	e.Int(s.Dropped)
+	e.Int(s.Reconfigs)
+	e.Int64(s.CostReconfig)
+	e.Int64(s.CostDrop)
+	e.Int(s.MaxPending)
+	e.Int64(s.Overloads)
+	e.Int64(s.BadSeqs)
+	e.Int64(s.Checkpoints)
+}
+
+func (s *TenantStats) decode(d *snap.Decoder) {
+	s.ID = d.String()
+	s.Policy = d.String()
+	s.Round = d.Int()
+	s.NextSeq = d.Int()
+	s.Pending = d.Int()
+	s.QueueDepth = d.Int()
+	s.QueueCap = d.Int()
+	s.Executed = d.Int()
+	s.Dropped = d.Int()
+	s.Reconfigs = d.Int()
+	s.CostReconfig = d.Int64()
+	s.CostDrop = d.Int64()
+	s.MaxPending = d.Int()
+	s.Overloads = d.Int64()
+	s.BadSeqs = d.Int64()
+	s.Checkpoints = d.Int64()
+}
+
+func encodeStatsResp(e *snap.Encoder, rows []TenantStats) {
+	e.Uint64(msgStats)
+	e.Int(len(rows))
+	for i := range rows {
+		rows[i].encode(e)
+	}
+}
+
+func decodeStatsResp(d *snap.Decoder) []TenantStats {
+	n := d.Len()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	rows := make([]TenantStats, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var s TenantStats
+		s.decode(d)
+		if d.Err() != nil {
+			return nil
+		}
+		rows = append(rows, s)
+	}
+	return rows
+}
+
+// encodeResult writes a sched.Result (minus the never-recorded
+// Schedule) under the given response type (msgResult, msgDrain or
+// msgCloseTenant, which all answer with a Result).
+func encodeResult(e *snap.Encoder, typ uint64, r *sched.Result) {
+	e.Uint64(typ)
+	e.String(r.Policy)
+	e.Int64(r.Cost.Reconfig)
+	e.Int64(r.Cost.Drop)
+	e.Int(r.Executed)
+	e.Int(r.Dropped)
+	e.Int(r.Reconfigs)
+	e.Int(r.Rounds)
+	e.Ints(r.DropsByColor)
+	e.Ints(r.ExecByColor)
+}
+
+func decodeResult(d *snap.Decoder) *sched.Result {
+	r := &sched.Result{}
+	r.Policy = d.String()
+	r.Cost.Reconfig = d.Int64()
+	r.Cost.Drop = d.Int64()
+	r.Executed = d.Int()
+	r.Dropped = d.Int()
+	r.Reconfigs = d.Int()
+	r.Rounds = d.Int()
+	r.DropsByColor = d.Ints()
+	r.ExecByColor = d.Ints()
+	if d.Err() != nil {
+		return nil
+	}
+	return r
+}
+
+// errResp is the error response: a machine-readable code (see
+// errors.go), the expected sequence for errBadSeq, and a human-readable
+// message.
+type errResp struct {
+	Code     int
+	Expected int
+	Msg      string
+}
+
+func (m *errResp) encode(e *snap.Encoder) {
+	e.Uint64(msgErr)
+	e.Int(m.Code)
+	e.Int(m.Expected)
+	e.String(m.Msg)
+}
+
+func (m *errResp) decode(d *snap.Decoder) {
+	m.Code = d.Int()
+	m.Expected = d.Int()
+	m.Msg = d.String()
+}

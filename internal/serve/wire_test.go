@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/snap"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{7}, 1000)}
+	for _, b := range bodies {
+		if err := writeFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range bodies {
+		got, err := readFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %q, want %q", got, want)
+		}
+		scratch = got
+	}
+	if _, err := readFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if err := writeFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized body")
+	}
+	hdr := []byte{0xff, 0xff, 0xff, 0xff} // length 2^32-1
+	if _, err := readFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("readFrame accepted an oversized length prefix")
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := readFrame(bytes.NewReader(full[:cut]), nil); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSubmitMsgRoundTrip(t *testing.T) {
+	e := snap.NewEncoder()
+	in := submitMsg{
+		Tenant: "t1", Seq: 42,
+		Arrivals: sched.Request{{Color: 3, Count: 7}, {Color: 0, Count: 1}},
+	}
+	in.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgSubmit {
+		t.Fatalf("type = %d", typ)
+	}
+	var out submitMsg
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != in.Tenant || out.Seq != in.Seq || len(out.Arrivals) != 2 ||
+		out.Arrivals[0] != in.Arrivals[0] || out.Arrivals[1] != in.Arrivals[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestStatsRespRoundTrip(t *testing.T) {
+	rows := []TenantStats{
+		{ID: "a", Policy: "ΔLRU-EDF", Round: 9, NextSeq: 11, Pending: 3, QueueDepth: 2,
+			QueueCap: 64, Executed: 100, Dropped: 4, Reconfigs: 7, CostReconfig: 28,
+			CostDrop: 4, MaxPending: 12, Overloads: 1, BadSeqs: 2, Checkpoints: 3},
+		{ID: "b"},
+	}
+	e := snap.NewEncoder()
+	encodeStatsResp(e, rows)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgStats {
+		t.Fatalf("type = %d", typ)
+	}
+	got := decodeStatsResp(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != rows[0] || got[1] != rows[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := &sched.Result{
+		Policy: "EDF", Cost: sched.Cost{Reconfig: 12, Drop: 5},
+		Executed: 40, Dropped: 5, Reconfigs: 3, Rounds: 17,
+		DropsByColor: []int{1, 4}, ExecByColor: []int{20, 20},
+	}
+	e := snap.NewEncoder()
+	encodeResult(e, msgDrain, in)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgDrain {
+		t.Fatalf("type = %d", typ)
+	}
+	out := decodeResult(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(in, out) {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+// The steady-state ingest path must not allocate per frame: encoding a
+// submit into a reused encoder and decoding it into a reused submitMsg
+// both reach zero allocations, which is what keeps a tenant's submit
+// loop allocation-free on the server.
+func TestSubmitCodecSteadyStateAllocs(t *testing.T) {
+	e := snap.NewEncoder()
+	req := sched.Request{{Color: 3, Count: 7}, {Color: 0, Count: 1}, {Color: 5, Count: 2}}
+	msg := submitMsg{Tenant: "tenant-0", Seq: 0, Arrivals: req}
+	var dec submitMsg
+	// Warm: the decoder grows its arrivals buffer once.
+	e.Reset()
+	msg.encode(e)
+	dec.decode(snap.NewDecoder(e.Bytes()))
+
+	allocs := testing.AllocsPerRun(200, func() {
+		msg.Seq++
+		e.Reset()
+		msg.encode(e)
+		d := snap.NewDecoder(e.Bytes())
+		d.Uint64()
+		dec.decode(d)
+		if d.Err() != nil {
+			t.Fatal(d.Err())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("submit encode+decode allocates %.1f per frame", allocs)
+	}
+}

@@ -44,6 +44,12 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len reports the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset truncates the encoder to empty while keeping its backing
+// storage, so a long-lived encoder (a connection handler encoding one
+// frame per request) reaches a steady state with no per-frame
+// allocation. Any slice previously obtained from Bytes is invalidated.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Uint64 appends v as an unsigned varint.
 func (e *Encoder) Uint64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
 
@@ -80,6 +86,13 @@ func (e *Encoder) Ints(vs []int) {
 	for _, v := range vs {
 		e.Int(v)
 	}
+}
+
+// Blob appends b length-prefixed, for nested opaque payloads (a
+// checkpoint blob carried inside a wire frame).
+func (e *Encoder) Blob(b []byte) {
+	e.Int(len(b))
+	e.buf = append(e.buf, b...)
 }
 
 // Decoder consumes a byte buffer produced by an Encoder. Errors are
@@ -197,6 +210,23 @@ func (d *Decoder) String() string {
 	return s
 }
 
+// StringCached reads a length-prefixed string, returning prev — without
+// allocating — when the encoded bytes equal it. A decoder reused across
+// frames (a connection decoding the same tenant ID on every submit)
+// reaches a zero-allocation steady state this way.
+func (d *Decoder) StringCached(prev string) string {
+	n := d.Len()
+	if d.err != nil {
+		return ""
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	if string(b) == prev { // comparison, not conversion: no allocation
+		return prev
+	}
+	return string(b)
+}
+
 // Len reads a collection length and validates it against the remaining
 // input: lengths are non-negative and every element of every collection
 // this codec writes occupies at least one byte, so a length exceeding
@@ -216,6 +246,26 @@ func (d *Decoder) Len() int {
 		return 0
 	}
 	return n
+}
+
+// Blob reads a length-prefixed byte slice into a fresh copy. A nil
+// slice is returned for length zero, matching the encoder's treatment
+// of nil.
+func (d *Decoder) Blob() []byte {
+	return d.AppendBlob(nil)
+}
+
+// AppendBlob reads a length-prefixed byte slice appending onto dst
+// (which may be nil), so steady-state decoders can reuse one buffer
+// across frames. A zero-length blob returns dst unchanged.
+func (d *Decoder) AppendBlob(dst []byte) []byte {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return dst
+	}
+	dst = append(dst, d.data[d.off:d.off+n]...)
+	d.off += n
+	return dst
 }
 
 // Ints reads a length-prefixed []int. A nil slice is returned for

@@ -162,3 +162,101 @@ func TestDeterministicEncoding(t *testing.T) {
 		t.Fatal("encoding is not deterministic")
 	}
 }
+
+func TestBlobRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Blob([]byte("hello"))
+	e.Blob(nil)
+	e.Blob([]byte{0, 255, 7})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Blob(); string(got) != "hello" {
+		t.Fatalf("Blob = %q, want %q", got, "hello")
+	}
+	if got := d.Blob(); got != nil {
+		t.Fatalf("empty Blob = %v, want nil", got)
+	}
+	scratch := make([]byte, 0, 8)
+	scratch = d.AppendBlob(scratch)
+	if string(scratch) != string([]byte{0, 255, 7}) {
+		t.Fatalf("AppendBlob = %v", scratch)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobTruncated(t *testing.T) {
+	e := NewEncoder()
+	e.Blob([]byte("payload"))
+	for cut := 0; cut < e.Len(); cut++ {
+		d := NewDecoder(e.Bytes()[:cut])
+		d.Blob()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.Int(12345)
+	e.String("abc")
+	first := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.Int(12345)
+	e.String("abc")
+	if string(e.Bytes()) != string(first) {
+		t.Fatal("re-encoding after Reset differs")
+	}
+	// Steady state: Reset + re-encode must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		e.Int(12345)
+		e.String("abc")
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+encode allocates %.1f per run", allocs)
+	}
+}
+
+func TestStringCached(t *testing.T) {
+	e := NewEncoder()
+	e.String("tenant-42")
+	e.String("other")
+	e.String("tenant-42")
+	d := NewDecoder(e.Bytes())
+	prev := "tenant-42"
+	if got := d.StringCached(prev); got != "tenant-42" {
+		t.Fatalf("StringCached = %q", got)
+	}
+	if got := d.StringCached(prev); got != "other" {
+		t.Fatalf("StringCached on mismatch = %q", got)
+	}
+	if got := d.StringCached(prev); got != "tenant-42" {
+		t.Fatalf("StringCached = %q", got)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated input surfaces through the sticky error, like String.
+	d = NewDecoder(e.Bytes()[:3])
+	if d.StringCached("x"); d.Err() == nil {
+		t.Fatal("truncated StringCached not detected")
+	}
+	// The hit path is allocation-free.
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		e.String(prev)
+		d := Decoder{data: e.Bytes()}
+		if d.StringCached(prev) != prev {
+			t.Fatal("cache miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("StringCached hit allocates %.1f per run", allocs)
+	}
+}

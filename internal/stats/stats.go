@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Summary aggregates a sample of float64 observations. The JSON tags
@@ -59,6 +60,20 @@ func Summarize(xs []float64) Summary {
 	s.P90 = Percentile(sorted, 0.90)
 	s.P99 = Percentile(sorted, 0.99)
 	return s
+}
+
+// SummarizeDurations computes a Summary of ds expressed in milliseconds
+// — the unit the load-generator reports request latencies in. An empty
+// sample yields a zero Summary.
+func SummarizeDurations(ds []time.Duration) Summary {
+	if len(ds) == 0 {
+		return Summary{}
+	}
+	ms := make([]float64, len(ds))
+	for i, d := range ds {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	return Summarize(ms)
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample using

@@ -53,6 +53,29 @@ func Names() []string {
 	return names
 }
 
+// Tenant builds the per-tenant variant of a named workload: the same
+// family and parameters, but a seed derived deterministically from
+// (p.Seed, tenant) by a splitmix64 step, so every tenant of a
+// multi-tenant run gets an independent trace while any two parties that
+// agree on (name, params, tenant index) — a load generator and the
+// verification harness checking the server's results, say — reconstruct
+// bit-identical instances.
+func Tenant(name string, p Params, tenant int) (*sched.Instance, error) {
+	x := p.Seed + 0x9E3779B97F4A7C15*uint64(tenant+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	p.Seed = x
+	inst, err := ByName(name, p)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = fmt.Sprintf("%s/tenant%d", inst.Name, tenant)
+	return inst, nil
+}
+
 // ByName builds one of the repository's standard workloads by name. See
 // Names for the accepted set.
 func ByName(name string, p Params) (*sched.Instance, error) {

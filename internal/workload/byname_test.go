@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestByNameCoversAllNames(t *testing.T) {
 	for _, name := range Names() {
@@ -49,5 +52,30 @@ func TestByNameDeterministic(t *testing.T) {
 	b, _ := ByName("zipf", Params{Seed: 9, Rounds: 64})
 	if a.TotalJobs() != b.TotalJobs() {
 		t.Fatal("same params, different instances")
+	}
+}
+
+func TestTenantDeterministicAndIndependent(t *testing.T) {
+	p := Params{Seed: 7, Delta: 4, Rounds: 64, Load: 3}
+	a1, err := Tenant("router", p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Tenant("router", p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("Tenant is not deterministic for the same (name, params, index)")
+	}
+	b, err := Tenant("router", p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a1.Requests, b.Requests) {
+		t.Fatal("adjacent tenants got identical traces")
+	}
+	if _, err := Tenant("no-such-workload", p, 0); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }

@@ -57,6 +57,7 @@ import (
 	"repro/internal/offline"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -389,3 +390,57 @@ type UnknownExperimentError struct{ ID string }
 func (e *UnknownExperimentError) Error() string {
 	return "rrs: unknown experiment " + e.ID + " (see ExperimentIDs)"
 }
+
+// ——— Serving: the multi-tenant scheduler server (docs/SERVER.md) ———
+
+// Serving types: rrserved hosts many tenants — each an independent
+// Stream with its own policy — behind a length-prefixed binary
+// protocol, with per-tenant admission control, periodic checkpointing
+// and crash recovery. See internal/serve for full documentation.
+type (
+	// ServeConfig configures a Server (address, checkpoint directory,
+	// round pacing, queue caps).
+	ServeConfig = serve.Config
+	// Server is the multi-tenant scheduler server behind cmd/rrserved.
+	Server = serve.Server
+	// ServeClient is one connection to a Server.
+	ServeClient = serve.Client
+	// TenantConfig names the policy and stream configuration a tenant
+	// runs under.
+	TenantConfig = serve.TenantConfig
+	// TenantStats is one tenant's monitoring row.
+	TenantStats = serve.TenantStats
+	// LoadConfig parameterizes RunLoad, the load generator behind
+	// cmd/rrload.
+	LoadConfig = serve.LoadConfig
+	// LoadReport summarizes a RunLoad: throughput, shed/resume counts,
+	// latency quantiles, aggregated results.
+	LoadReport = serve.LoadReport
+	// BadSeqError reports an out-of-sequence Submit, carrying the
+	// tenant's resume point.
+	BadSeqError = serve.BadSeqError
+)
+
+// Admission-control and lifecycle errors a ServeClient surfaces; test
+// with errors.Is.
+var (
+	ErrOverloaded = serve.ErrOverloaded
+	ErrDraining   = serve.ErrDraining
+)
+
+// NewServer prepares a server: recovers every tenant found in the
+// checkpoint directory, binds the listener, starts the round workers.
+// Call Serve to accept connections; Shutdown drains gracefully.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// DialServer connects to an rrserved server.
+func DialServer(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// RunLoad drives many concurrent tenants against a server, riding out
+// overload shedding and restarts, and optionally verifies the results
+// bit-identical against local replays.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return serve.RunLoad(cfg) }
+
+// ServePolicySpecs lists the policy spec strings a tenant may be opened
+// with ("dlruedf", "edf", "adaptive", …).
+func ServePolicySpecs() []string { return serve.PolicySpecs() }
