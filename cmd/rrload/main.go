@@ -11,6 +11,7 @@
 //	rrload -addr 127.0.0.1:7145                  # 64 tenants, router workload
 //	rrload -tenants 128 -rounds 2048 -rate 500   # paced at 500 rounds/s/tenant
 //	rrload -policy edf -workload bursty -verify  # verify bit-identical results
+//	rrload -pipeline 64 -batch 16                # pipelined + batched submits (protocol v2)
 //	rrload -json                                 # machine-readable report
 package main
 
@@ -38,6 +39,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed basis")
 		queueCap = flag.Int("queue-cap", 0, "per-tenant queue cap (0 = server default)")
 		rate     = flag.Float64("rate", 0, "target rounds/sec per tenant (0 = unpaced)")
+		pipeline = flag.Int("pipeline", 0, "submit frames in flight per tenant (0/1 = strict request/response)")
+		batch    = flag.Int("batch", 1, "consecutive rounds per submit frame")
 		verify   = flag.Bool("verify", false, "verify results bit-identical against local replays")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
@@ -57,6 +60,8 @@ func main() {
 		N:        *n,
 		QueueCap: *queueCap,
 		Rate:     *rate,
+		Pipeline: *pipeline,
+		Batch:    *batch,
 		Verify:   *verify,
 		Logf:     logf,
 	})
@@ -75,6 +80,9 @@ func main() {
 	} else {
 		fmt.Printf("tenants %d  rounds/tenant %d  elapsed %.2fs\n",
 			rep.Tenants, rep.RoundsPerTenant, rep.ElapsedSec)
+		if rep.Pipeline > 1 || rep.Batch > 1 {
+			fmt.Printf("pipeline window %d  batch %d\n", rep.Pipeline, rep.Batch)
+		}
 		fmt.Printf("rounds sent %d (%.0f/s aggregate, target %.0f/s/tenant)  jobs %d\n",
 			rep.RoundsSent, rep.AchievedRate, rep.TargetRate, rep.JobsSent)
 		fmt.Printf("sheds %d  resumes %d  reconnects %d\n",

@@ -35,6 +35,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "round-engine worker shards (0 = GOMAXPROCS, capped at 16)")
 		maxTen    = flag.Int("max-tenants", 0, "live tenant limit (0 = default 4096)")
 		queueCap  = flag.Int("queue-cap", 0, "default per-tenant queue cap (0 = default 64)")
+		connWin   = flag.Int("conn-window", 0, "staged responses per connection before the reader blocks (0 = default 256)")
 		quiet     = flag.Bool("quiet", false, "suppress operational log lines")
 	)
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		Shards:          *shards,
 		MaxTenants:      *maxTen,
 		DefaultQueueCap: *queueCap,
+		ConnWindow:      *connWin,
 		Logf:            logf,
 	})
 	if err != nil {

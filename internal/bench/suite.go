@@ -34,6 +34,8 @@ func DefaultSuite() []Spec {
 		bracketSpec("exact/bracket/small", smallExactInstance),
 		serveSubmitSpec("serve/submit/1tenant", 1),
 		serveSubmitSpec("serve/submit/64tenants", 64),
+		servePipelinedSpec("serve/submit/pipelined/1tenant", 1, 64, 32),
+		servePipelinedSpec("serve/submit/pipelined/64tenants", 64, 64, 32),
 		serveStatsSpec("serve/stats/64tenants", 64),
 	}
 }
@@ -235,6 +237,83 @@ func serveSubmitSpec(name string, tenants int) Spec {
 			}
 		}
 		return op, Rates{Rounds: 1, Jobs: jobs}
+	}}
+}
+
+// servePipelinedSpec measures the protocol-v2 wire path: each op stages
+// batch consecutive rounds for one tenant (rotating across tenants)
+// into a pipelined window of tagged frames, so the round trip is
+// amortized over the window and the framing over the batch. The ratio
+// of its rounds_per_sec to serve/submit/*'s is the wire-path tax the
+// pipelining recovers; the floor is step/*, the bare engine cost.
+func servePipelinedSpec(name string, tenants, window, batch int) Spec {
+	return Spec{Name: name, Make: func() (func() error, Rates) {
+		cl, ids := serveServer(name, tenants)
+		req := sched.Request{
+			{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
+			{Color: 1, Count: 1}, {Color: 7, Count: 2},
+		}
+		jobs := 0
+		for _, b := range req {
+			jobs += b.Count
+		}
+		ticks := make([]sched.Request, batch)
+		for i := range ticks {
+			ticks[i] = req
+		}
+		idx := make(map[string]int, len(ids))
+		for i, id := range ids {
+			idx[id] = i
+		}
+		// cursors tracks the next sequence to stage per tenant. A frame can
+		// be rejected after later ones were staged (the window runs ahead of
+		// acknowledgements), so rejections rewind the cursor — every round
+		// carries the same tick, making re-staging trivially idempotent.
+		cursors := make([]int, len(ids))
+		var fail error
+		behind := false
+		pl := cl.NewPipeline(window, func(r serve.SubmitResult) {
+			if r.Err == nil {
+				return
+			}
+			var bs *serve.BadSeqError
+			switch i := idx[r.Tenant]; {
+			case errors.As(r.Err, &bs):
+				cursors[i] = bs.Expected
+			case errors.Is(r.Err, serve.ErrOverloaded):
+				// The round engine fell behind the submit window; resume at
+				// the shed round and yield so the queue can drain.
+				cursors[i] = r.Seq + r.Admitted
+				behind = true
+			default:
+				fail = r.Err
+			}
+		})
+		turn := 0
+		op := func() error {
+			if fail != nil {
+				return fail
+			}
+			i := turn
+			turn = (turn + 1) % len(ids)
+			// Advance the cursor before staging: the pipeline call reaps
+			// acknowledgements first, and a rewind reaped there must not be
+			// stomped afterwards or the cursor never recovers.
+			seq := cursors[i]
+			cursors[i] = seq + batch
+			var err error
+			if batch == 1 {
+				err = pl.Submit(ids[i], seq, req)
+			} else {
+				err = pl.SubmitBatch(ids[i], seq, ticks)
+			}
+			if behind {
+				behind = false
+				runtime.Gosched()
+			}
+			return err
+		}
+		return op, Rates{Rounds: batch, Jobs: jobs * batch}
 	}}
 }
 

@@ -25,8 +25,10 @@ type TenantConfig struct {
 }
 
 // Client is one connection to an rrserved server. It is safe for
-// concurrent use; requests serialize on the connection (the protocol is
-// strict request/response). Server-side rejections come back as the
+// concurrent use; synchronous requests serialize on the connection in
+// strict request/response order, and NewPipeline layers a bounded
+// in-flight window on top via tagged frames when round-trip latency is
+// the bottleneck. Server-side rejections come back as the
 // typed errors in errors.go; a transport or protocol failure poisons
 // the client — every later call returns the same error, and the caller
 // should Dial a fresh one.
@@ -69,6 +71,14 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// poison records a transport/protocol failure as the client's sticky
+// error and closes the connection. Callers hold c.mu.
+func (c *Client) poison(err error) error {
+	c.err = err
+	c.conn.Close()
+	return err
+}
+
 // roundtrip sends the frame staged in c.enc and reads one response,
 // returning a decoder positioned after the message type. Callers hold
 // c.mu. wantType is the echoed type of a success response; a msgErr
@@ -79,9 +89,7 @@ func (c *Client) roundtrip(wantType uint64) (*snap.Decoder, error) {
 		return nil, c.err
 	}
 	fail := func(err error) (*snap.Decoder, error) {
-		c.err = err
-		c.conn.Close()
-		return nil, err
+		return nil, c.poison(err)
 	}
 	if err := writeFrame(c.bw, c.enc.Bytes()); err != nil {
 		return fail(err)
@@ -167,6 +175,38 @@ func (c *Client) Submit(tenant string, seq int, arrivals sched.Request) (round, 
 		return 0, 0, err
 	}
 	return r.Round, r.QueueDepth, nil
+}
+
+// SubmitBatch sends ticks[i] as the round tick at sequence seq+i — up
+// to MaxBatch consecutive rounds for one tenant in one frame, amortizing
+// the length prefix and the syscall over the batch. Admission is per
+// round and sequential: admitted reports the prefix length the server
+// queued, and when admitted < len(ticks), err is the rejection of round
+// seq+admitted, typed exactly as Submit would have typed it (so
+// *BadSeqError still carries the resume point and ErrOverloaded still
+// means back off and resubmit). round and depth describe the tenant
+// after the admitted prefix.
+func (c *Client) SubmitBatch(tenant string, seq int, ticks []sched.Request) (admitted, round, depth int, err error) {
+	if len(ticks) > MaxBatch {
+		return 0, 0, 0, fmt.Errorf("serve: batch of %d rounds exceeds MaxBatch %d", len(ticks), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&batchMsg{Tenant: tenant, Seq: seq, Ticks: ticks}).encode(c.enc)
+	d, err := c.roundtrip(msgSubmitBatch)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var r batchResp
+	r.decode(d)
+	if err := c.done(d); err != nil {
+		return 0, 0, 0, err
+	}
+	if r.Err != nil {
+		err = errFromResp(r.Err)
+	}
+	return r.Admitted, r.Round, r.QueueDepth, err
 }
 
 // Stats fetches one tenant's stats row, or every tenant's (sorted by

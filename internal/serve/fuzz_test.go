@@ -67,6 +67,44 @@ func FuzzFrameDecode(f *testing.F) {
 	seed(func(e *snap.Encoder) { (&tenantMsg{Type: msgCloseTenant, Tenant: "nope"}).encode(e) })
 	seed(func(e *snap.Encoder) { e.Uint64(msgPing) })
 	seed(func(e *snap.Encoder) { (&errResp{Code: codeBadSeq, Expected: 3, Msg: "x"}).encode(e) })
+	// Protocol v2: tagged envelopes and batched submits.
+	seed(func(e *snap.Encoder) {
+		e.Uint64(msgTagged)
+		e.Uint64(7)
+		(&submitMsg{Tenant: "fuzz", Seq: 0,
+			Arrivals: sched.Request{{Color: 0, Count: 2}}}).encode(e)
+	})
+	seed(func(e *snap.Encoder) {
+		e.Uint64(msgTagged)
+		e.Uint64(9)
+		e.Uint64(msgPing)
+	})
+	seed(func(e *snap.Encoder) {
+		(&batchMsg{Tenant: "fuzz", Seq: 0, Ticks: []sched.Request{
+			{{Color: 0, Count: 1}}, nil, {{Color: 1, Count: 2}, {Color: 0, Count: 1}},
+		}}).encode(e)
+	})
+	seed(func(e *snap.Encoder) {
+		e.Uint64(msgTagged)
+		e.Uint64(1)
+		(&batchMsg{Tenant: "fuzz", Seq: 3, Ticks: []sched.Request{{{Color: 1, Count: 1}}}}).encode(e)
+	})
+	// Nested tagged envelope — must be rejected, not recursed into.
+	seed(func(e *snap.Encoder) {
+		e.Uint64(msgTagged)
+		e.Uint64(2)
+		e.Uint64(msgTagged)
+		e.Uint64(3)
+		e.Uint64(msgPing)
+	})
+	// A batch claiming far more rounds than it carries — the decoder must
+	// bound allocation by MaxBatch and reject, never trust the count.
+	seed(func(e *snap.Encoder) {
+		e.Uint64(msgSubmitBatch)
+		e.String("fuzz")
+		e.Int(0)
+		e.Int(1 << 40)
+	})
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 
@@ -87,7 +125,11 @@ func processBody(t *testing.T, s *Server, body []byte) {
 	t.Helper()
 	var cs connState
 	enc := snap.NewEncoder()
-	s.process(body, &cs, enc)
+	before, hadTenant := 0, false
+	if ft := s.tenant("fuzz"); ft != nil {
+		before, hadTenant = ft.nextSeq(), true
+	}
+	closeConn := s.process(body, &cs, enc)
 	// Whatever happened, the server must have staged a response frame
 	// that fits the protocol (process always encodes either a success
 	// or an error response).
@@ -97,5 +139,21 @@ func processBody(t *testing.T, s *Server, body []byte) {
 	d := snap.NewDecoder(enc.Bytes())
 	if d.Uint64(); d.Err() != nil {
 		t.Fatalf("response has no message type for body %x", body)
+	}
+	// Malformed frames (the ones that close the connection) are rejected
+	// atomically: in particular a submit batch with a mangled tail must
+	// not leave a partial sequence advance behind.
+	if closeConn && hadTenant {
+		if ft := s.tenant("fuzz"); ft != nil && ft.nextSeq() != before {
+			t.Fatalf("malformed frame advanced the tenant sequence %d -> %d (body %x)",
+				before, ft.nextSeq(), body)
+		}
+	}
+	// A mutated close frame can legitimately remove the fuzz tenant;
+	// restore it so later inputs still reach the tenant-addressed
+	// handlers.
+	if s.tenant("fuzz") == nil {
+		s.open(&openMsg{Version: ProtocolVersion, Tenant: "fuzz", Policy: "edf",
+			N: 4, Delta: 4, Delays: []int{2, 6}})
 	}
 }

@@ -40,6 +40,14 @@ type LoadConfig struct {
 	// unpaced. Overload shedding (ErrOverloaded) backs off and retries,
 	// so jobs are delayed, never lost.
 	Rate float64
+	// Pipeline keeps up to this many submit frames in flight per tenant
+	// connection using protocol-v2 tagged frames; 0 or 1 keeps the
+	// strict request/response path. Batch packs this many consecutive
+	// rounds into each frame (0 or 1 = one round per frame). Setting
+	// either above 1 selects the pipelined driver; exactly-once ingest
+	// and Verify hold in every mode.
+	Pipeline int
+	Batch    int
 	// Verify replays every trace locally after the run and requires the
 	// server's final Results to be bit-identical (LoadReport.Mismatches).
 	Verify bool
@@ -66,7 +74,19 @@ func (c *LoadConfig) fill() {
 	if c.RetryTimeout <= 0 {
 		c.RetryTimeout = 30 * time.Second
 	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.Batch > MaxBatch {
+		c.Batch = MaxBatch
+	}
+	if c.Pipeline > MaxPipeline {
+		c.Pipeline = MaxPipeline
+	}
 }
+
+// pipelined reports whether the config selects the pipelined driver.
+func (c *LoadConfig) pipelined() bool { return c.Pipeline > 1 || c.Batch > 1 }
 
 // LoadReport summarizes a RunLoad: achieved throughput, admission
 // behavior, per-submit latency quantiles, and the aggregated scheduling
@@ -74,6 +94,9 @@ func (c *LoadConfig) fill() {
 type LoadReport struct {
 	Tenants         int `json:"tenants"`
 	RoundsPerTenant int `json:"rounds_per_tenant"`
+	// Pipeline and Batch echo the driver mode (see LoadConfig).
+	Pipeline int `json:"pipeline,omitempty"`
+	Batch    int `json:"batch,omitempty"`
 
 	RoundsSent int64 `json:"rounds_sent"`
 	JobsSent   int64 `json:"jobs_sent"`
@@ -136,6 +159,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{
 		Tenants:         cfg.Tenants,
 		RoundsPerTenant: insts[0].NumRounds(),
+		Pipeline:        cfg.Pipeline,
+		Batch:           cfg.Batch,
 		TargetRate:      cfg.Rate,
 		Results:         make([]*sched.Result, cfg.Tenants),
 	}
@@ -151,7 +176,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i] = ld.drive(i, insts[i], start)
+			if cfg.pipelined() {
+				outs[i] = ld.drivePipelined(i, insts[i], start)
+			} else {
+				outs[i] = ld.drive(i, insts[i], start)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -225,50 +254,106 @@ func retryable(err error) bool {
 	return true // dial/transport failure
 }
 
+// tenantConn owns one driver goroutine's connection — (re)dialing and
+// re-opening its tenant with retry — so the strict and pipelined
+// drivers share the resilience logic.
+type tenantConn struct {
+	ld *loadDriver
+	id string
+	tc TenantConfig
+	cl *Client
+}
+
+// connect (re)dials and re-opens the tenant, returning the server's
+// resume sequence. It retries transport failures and graceful drain
+// until RetryTimeout.
+func (tcn *tenantConn) connect() (int, error) {
+	ld := tcn.ld
+	cfg := ld.cfg
+	if tcn.cl != nil {
+		tcn.cl.Close()
+		tcn.cl = nil
+	}
+	deadline := time.Now().Add(cfg.RetryTimeout)
+	for {
+		c, err := Dial(cfg.Addr)
+		if err == nil {
+			next, _, oerr := c.Open(tcn.id, tcn.tc)
+			if oerr == nil {
+				tcn.cl = c
+				return next, nil
+			}
+			c.Close()
+			err = oerr
+		}
+		if !retryable(err) {
+			return 0, err
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("retry budget exhausted: %w", err)
+		}
+		ld.reconnects.Add(1)
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// newTenantConn builds the connection state for load tenant i.
+func (ld *loadDriver) newTenantConn(i int, inst *sched.Instance) *tenantConn {
+	cfg := ld.cfg
+	return &tenantConn{ld: ld, id: loadTenantID(i), tc: TenantConfig{
+		Policy: cfg.Policy, N: cfg.N, Speed: cfg.Speed,
+		Delta: inst.Delta, Delays: inst.Delays, QueueCap: cfg.QueueCap,
+	}}
+}
+
+// drainWithRefeed finishes a run: drain the tenant with the same
+// resilience as the submit loop. If the server restarted from a
+// checkpoint behind the trace end, it re-feeds the lost tail (strict
+// submits — this path is rare) before retrying the drain. It fills
+// o.res, or o.err on giving up, and reports success.
+func (ld *loadDriver) drainWithRefeed(conn *tenantConn, trace []sched.Request, o *tenantOutcome) bool {
+	deadline := time.Now().Add(ld.cfg.RetryTimeout)
+	for {
+		res, err := conn.cl.DrainTenant(conn.id)
+		if err == nil {
+			o.res = res
+			return true
+		}
+		if time.Now().After(deadline) {
+			o.err = fmt.Errorf("draining: %w", err)
+			return false
+		}
+		next, cerr := conn.connect()
+		if cerr != nil {
+			o.err = cerr
+			return false
+		}
+		if cursor := min(next, len(trace)); cursor < len(trace) {
+			// The restart lost rounds past the last checkpoint; re-feed
+			// them before draining again.
+			for cursor < len(trace) {
+				if _, _, serr := conn.cl.Submit(conn.id, cursor, trace[cursor]); serr == nil {
+					cursor++
+				} else if errors.Is(serr, ErrOverloaded) {
+					ld.overloads.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				} else {
+					break // fall through to the outer retry
+				}
+			}
+		}
+	}
+}
+
 // drive runs one tenant: open, submit every trace round exactly once,
 // drain, riding out shed ticks and server restarts.
 func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o tenantOutcome) {
 	cfg := ld.cfg
-	id := loadTenantID(i)
-	tc := TenantConfig{
-		Policy: cfg.Policy, N: cfg.N, Speed: cfg.Speed,
-		Delta: inst.Delta, Delays: inst.Delays, QueueCap: cfg.QueueCap,
-	}
+	conn := ld.newTenantConn(i, inst)
+	id := conn.id
 	trace := inst.Requests
-	var cl *Client
 
-	// connect (re)dials and re-opens the tenant, returning the server's
-	// resume sequence. It retries transport failures and graceful drain
-	// until RetryTimeout.
-	connect := func() (int, error) {
-		if cl != nil {
-			cl.Close()
-			cl = nil
-		}
-		deadline := time.Now().Add(cfg.RetryTimeout)
-		for {
-			c, err := Dial(cfg.Addr)
-			if err == nil {
-				next, _, oerr := c.Open(id, tc)
-				if oerr == nil {
-					cl = c
-					return next, nil
-				}
-				c.Close()
-				err = oerr
-			}
-			if !retryable(err) {
-				return 0, err
-			}
-			if time.Now().After(deadline) {
-				return 0, fmt.Errorf("retry budget exhausted: %w", err)
-			}
-			ld.reconnects.Add(1)
-			time.Sleep(25 * time.Millisecond)
-		}
-	}
-
-	next, err := connect()
+	next, err := conn.connect()
 	if err != nil {
 		o.err = err
 		return o
@@ -285,7 +370,7 @@ func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o ten
 			}
 		}
 		t0 := time.Now()
-		_, _, err := cl.Submit(id, cursor, trace[cursor])
+		_, _, err := conn.cl.Submit(id, cursor, trace[cursor])
 		var bs *BadSeqError
 		switch {
 		case err == nil:
@@ -308,7 +393,7 @@ func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o ten
 			// Transport failure or graceful drain: reconnect and resume
 			// from the sequence the (possibly restarted) server reports.
 			ld.logf("load %s: %v; reconnecting", id, err)
-			next, cerr := connect()
+			next, cerr := conn.connect()
 			if cerr != nil {
 				o.err = cerr
 				return o
@@ -318,41 +403,136 @@ func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o ten
 		}
 	}
 
-	// Drain with the same resilience. If the server restarted from a
-	// checkpoint behind the trace end, the resume loop above re-runs
-	// first, so the drain only ever sees a fully-fed stream.
-	deadline := time.Now().Add(cfg.RetryTimeout)
-	for {
-		res, err := cl.DrainTenant(id)
-		if err == nil {
-			o.res = res
-			break
+	if !ld.drainWithRefeed(conn, trace, &o) {
+		return o
+	}
+	conn.cl.Close()
+	return o
+}
+
+// drivePipelined is drive with a bounded in-flight window and optional
+// batched frames. Staging runs ahead of acknowledgements; the onAck
+// callback records admissions, and the first rejecting acknowledgement
+// stops staging so the driver can resync exactly as the strict path
+// does — back off and resubmit on ErrOverloaded, jump to the server's
+// resume point on *BadSeqError, reconnect on anything else. Because
+// admission is sequential and every round's acknowledgement is
+// eventually reaped, exactly-once ingest holds just as in drive.
+func (ld *loadDriver) drivePipelined(i int, inst *sched.Instance, start time.Time) (o tenantOutcome) {
+	cfg := ld.cfg
+	conn := ld.newTenantConn(i, inst)
+	id := conn.id
+	trace := inst.Requests
+	window := max(cfg.Pipeline, 1)
+
+	var (
+		resync   bool         // a reaped ack carried a rejection
+		rejected SubmitResult // the first such ack since the last resync
+	)
+	onAck := func(r SubmitResult) {
+		for k := 0; k < r.Admitted; k++ {
+			ld.roundsSent.Add(1)
+			ld.jobsSent.Add(int64(trace[r.Seq+k].Jobs()))
 		}
-		if time.Now().After(deadline) {
-			o.err = fmt.Errorf("draining: %w", err)
-			return o
+		if r.Admitted > 0 {
+			o.lats = append(o.lats, r.RTT)
 		}
-		next, cerr := connect()
-		if cerr != nil {
-			o.err = cerr
-			return o
-		}
-		if cursor = min(next, len(trace)); cursor < len(trace) {
-			// The restart lost rounds past the last checkpoint; re-feed
-			// them before draining again.
-			for cursor < len(trace) {
-				if _, _, serr := cl.Submit(id, cursor, trace[cursor]); serr == nil {
-					cursor++
-				} else if errors.Is(serr, ErrOverloaded) {
-					ld.overloads.Add(1)
-					time.Sleep(2 * time.Millisecond)
-				} else {
-					break // fall through to the outer retry
-				}
-			}
+		if r.Err != nil && !resync {
+			resync = true
+			rejected = r
 		}
 	}
-	cl.Close()
+
+	next, err := conn.connect()
+	if err != nil {
+		o.err = err
+		return o
+	}
+	cursor := min(next, len(trace))
+	pl := conn.cl.NewPipeline(window, onAck)
+
+	// reconnect re-dials, resumes the cursor from the server's sequence
+	// (in-flight frames whose acknowledgements were lost are accounted
+	// for there), and starts a fresh pipeline on the new connection.
+	reconnect := func() bool {
+		next, cerr := conn.connect()
+		if cerr != nil {
+			o.err = cerr
+			return false
+		}
+		ld.resumes.Add(1)
+		cursor = min(next, len(trace))
+		pl = conn.cl.NewPipeline(window, onAck)
+		resync = false
+		return true
+	}
+
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	for {
+		for cursor < len(trace) && !resync {
+			if interval > 0 {
+				if d := time.Until(start.Add(time.Duration(cursor+1) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			k := min(cfg.Batch, len(trace)-cursor)
+			var serr error
+			if k == 1 {
+				serr = pl.Submit(id, cursor, trace[cursor])
+			} else {
+				serr = pl.SubmitBatch(id, cursor, trace[cursor:cursor+k])
+			}
+			if serr != nil {
+				ld.logf("load %s: %v; reconnecting", id, serr)
+				if !reconnect() {
+					return o
+				}
+				continue
+			}
+			cursor += k
+		}
+		// Drain the window; acknowledgements reaped here can still flip
+		// resync, so the rejection check below runs after the flush.
+		if ferr := pl.Flush(); ferr != nil {
+			ld.logf("load %s: %v; reconnecting", id, ferr)
+			if !reconnect() {
+				return o
+			}
+			continue
+		}
+		if resync {
+			r, bs := rejected, (*BadSeqError)(nil)
+			resync = false
+			switch {
+			case errors.As(r.Err, &bs):
+				// Later in-flight frames rejected behind this one changed
+				// nothing, so the first rejection's resume point stands.
+				ld.resumes.Add(1)
+				cursor = min(bs.Expected, len(trace))
+			case errors.Is(r.Err, ErrOverloaded):
+				ld.overloads.Add(1)
+				cursor = min(r.Seq+r.Admitted, len(trace))
+				time.Sleep(2 * time.Millisecond)
+			default:
+				ld.logf("load %s: %v; reconnecting", id, r.Err)
+				if !reconnect() {
+					return o
+				}
+			}
+			continue
+		}
+		if cursor >= len(trace) {
+			break
+		}
+	}
+
+	if !ld.drainWithRefeed(conn, trace, &o) {
+		return o
+	}
+	conn.cl.Close()
 	return o
 }
 

@@ -46,6 +46,11 @@ type Config struct {
 	// DefaultQueueCap is the per-tenant pending-queue cap applied when
 	// an open request leaves QueueCap 0 (default 64).
 	DefaultQueueCap int
+	// ConnWindow bounds the per-connection table of staged-but-unwritten
+	// responses (default 256). A pipelining client may keep up to this
+	// many requests in flight before the reader stops pulling frames and
+	// TCP backpressure takes over.
+	ConnWindow int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -62,6 +67,9 @@ func (c *Config) fill() {
 	}
 	if c.DefaultQueueCap <= 0 {
 		c.DefaultQueueCap = 64
+	}
+	if c.ConnWindow <= 0 {
+		c.ConnWindow = 256
 	}
 }
 
@@ -181,10 +189,22 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("serve: accept: %w", err)
 		}
+		// Register and reserve the handler under one lock acquisition,
+		// re-checking draining inside it. A connection accepted in the
+		// race with stop() is either registered before stop's close
+		// sweep runs (the sweep holds the same lock, so it sees and
+		// closes it, and connWG.Wait covers its handler) or lands after
+		// draining is set and is refused here — never an unclosed
+		// connection whose handler outlives Shutdown.
 		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
 		s.conns[c] = struct{}{}
-		s.mu.Unlock()
 		s.connWG.Add(1)
+		s.mu.Unlock()
 		go s.handleConn(c)
 	}
 }
@@ -352,9 +372,9 @@ func (t *tenant) matches(m *openMsg, defaultCap int) bool {
 // open creates a tenant, or re-attaches to a live one with a matching
 // configuration.
 func (s *Server) open(m *openMsg) (*openResp, *errResp) {
-	if m.Version != ProtocolVersion {
+	if m.Version < MinProtocolVersion || m.Version > ProtocolVersion {
 		return nil, &errResp{Code: codeBadVersion,
-			Msg: fmt.Sprintf("protocol version %d, server speaks %d", m.Version, ProtocolVersion)}
+			Msg: fmt.Sprintf("protocol version %d, server speaks %d-%d", m.Version, MinProtocolVersion, ProtocolVersion)}
 	}
 	if !validTenantID(m.Tenant) {
 		return nil, &errResp{Code: codeBadRequest,
@@ -412,27 +432,27 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 }
 
 // closeTenant drains a tenant fully, removes it and deletes its durable
-// files, returning the final Result.
+// files, returning the final Result. The drain and the close happen in
+// one tenant-lock critical section (drainAndClose), so a concurrent
+// Submit can never be admitted — and acknowledged — after the final
+// Result was computed and then silently dropped with the tenant; it is
+// either included in the Result or rejected as closed. File removal is
+// tombstoned (removeFiles) so a shard worker holding a pre-close
+// snapshot blob cannot resurrect durable files a restart would recover.
 func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 	t := s.tenant(id)
 	if t == nil {
 		return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
 	}
-	res, _, _, err := t.drainStream()
+	res, err := t.drainAndClose()
 	if err != nil {
 		return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 	}
-	t.mu.Lock()
-	t.closed = true
-	t.mu.Unlock()
 	s.mu.Lock()
 	delete(s.tenants, id)
 	s.mu.Unlock()
 	s.shardFor(id).remove(t)
-	if t.ckptPath != "" {
-		os.Remove(t.ckptPath)
-		os.Remove(t.metaPath)
-	}
+	t.removeFiles()
 	return res, nil
 }
 
@@ -571,19 +591,65 @@ func (s *Server) recoverTenant(id string) (*tenant, error) {
 // connState is the per-connection scratch reused across frames so a
 // steady-state submit loop does not allocate per request.
 type connState struct {
-	sub submitMsg
+	sub   submitMsg
+	batch batchMsg
 }
 
+// connWriter drains a connection's staged responses onto the wire,
+// flushing only when the queue runs dry — so a pipelining client's K
+// responses coalesce into one Flush (and often one syscall) instead of
+// K. Written buffers are recycled through free back to the reader.
+// Exits on the first write error or when resp closes (reader gone).
+func connWriter(bw *bufio.Writer, resp <-chan []byte, free chan<- []byte) {
+	for body := range resp {
+		err := writeFrame(bw, body)
+		select {
+		case free <- body:
+		default:
+		}
+		if err != nil {
+			return
+		}
+		if len(resp) == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// handleConn runs one connection: a reader loop (this goroutine)
+// decoding and processing frames in arrival order, and a writer
+// goroutine flushing staged responses with coalescing. Processing stays
+// in the reader, so requests on one connection are still applied in the
+// order they were sent — which is what lets a pipelined submit window
+// carry strictly increasing sequence numbers — while the bounded
+// response queue lets up to ConnWindow requests be in flight before
+// backpressure stops the reader.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	resp := make(chan []byte, s.cfg.ConnWindow)
+	free := make(chan []byte, s.cfg.ConnWindow)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		connWriter(bw, resp, free)
+	}()
 	defer func() {
+		// Let the writer drain what is staged (a poisoned request's
+		// error response must still reach the peer), but bound how long
+		// a wedged peer can hold the handler, then tear down.
+		close(resp)
+		c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		<-writerDone
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
 		c.Close()
 	}()
-	br := bufio.NewReader(c)
-	bw := bufio.NewWriter(c)
 	enc := snap.NewEncoder()
 	var cs connState
 	var buf []byte
@@ -595,10 +661,15 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		enc.Reset()
 		closeAfter := s.process(buf, &cs, enc)
-		if err := writeFrame(bw, enc.Bytes()); err != nil {
-			return
+		var out []byte
+		select {
+		case out = <-free:
+		default:
 		}
-		if err := bw.Flush(); err != nil {
+		out = append(out[:0], enc.Bytes()...)
+		select {
+		case resp <- out:
+		case <-writerDone: // writer hit a write error; conn is dead
 			return
 		}
 		if closeAfter {
@@ -609,18 +680,42 @@ func (s *Server) handleConn(c net.Conn) {
 
 // process handles one request frame, encoding the response into enc. It
 // reports whether the connection must close (a protocol violation, as
-// opposed to a well-formed request the server rejects). It never
-// panics, whatever the bytes — pinned by FuzzFrameDecode.
+// opposed to a well-formed request the server rejects). A msgTagged
+// envelope is unwrapped here and its tag echoed onto the response, so
+// every handler below is tag-agnostic. It never panics, whatever the
+// bytes — pinned by FuzzFrameDecode.
 func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeConn bool) {
+	d := snap.NewDecoder(body)
+	var tag uint64
+	tagged := false
 	bad := func(msg string) bool {
 		enc.Reset()
+		if tagged {
+			enc.Uint64(msgTagged)
+			enc.Uint64(tag)
+		}
 		(&errResp{Code: codeBadRequest, Msg: msg}).encode(enc)
 		return true
 	}
-	d := snap.NewDecoder(body)
 	typ := d.Uint64()
 	if d.Err() != nil {
 		return bad("truncated message type")
+	}
+	if typ == msgTagged {
+		tag = d.Uint64()
+		if d.Err() != nil {
+			return bad("truncated request tag")
+		}
+		tagged = true
+		enc.Uint64(msgTagged)
+		enc.Uint64(tag)
+		typ = d.Uint64()
+		if d.Err() != nil {
+			return bad("truncated message type")
+		}
+		if typ == msgTagged {
+			return bad("nested tagged envelope")
+		}
 	}
 	switch typ {
 	case msgOpen:
@@ -652,6 +747,24 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 		}
 		s.shardFor(cs.sub.Tenant).poke()
 		(&submitResp{Round: round, QueueDepth: depth}).encode(enc)
+	case msgSubmitBatch:
+		cs.batch.decode(d)
+		if d.Done() != nil {
+			// Atomic rejection: the batch was not admitted round by round
+			// as it decoded, so a malformed tail cannot leave a partial
+			// sequence advance behind.
+			return bad("malformed submit batch")
+		}
+		t := s.tenant(cs.batch.Tenant)
+		if t == nil {
+			(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + cs.batch.Tenant}).encode(enc)
+			return false
+		}
+		admitted, round, depth, er := t.submitBatch(cs.batch.Seq, cs.batch.Ticks, s.draining.Load())
+		if admitted > 0 {
+			s.shardFor(cs.batch.Tenant).poke()
+		}
+		(&batchResp{Admitted: admitted, Round: round, QueueDepth: depth, Err: er}).encode(enc)
 	case msgStats:
 		var m tenantMsg
 		m.decode(d)

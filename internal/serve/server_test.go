@@ -2,8 +2,10 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -314,7 +316,7 @@ func TestServeLoad(t *testing.T) {
 // boots a replacement on the same address and checkpoint directory, and
 // requires every tenant's final result to be bit-identical to a local
 // replay — no round lost, none duplicated.
-func restartLoad(t *testing.T, cfg Config, stop func(*Server) error) *LoadReport {
+func restartLoad(t *testing.T, cfg Config, stop func(*Server) error, mut ...func(*LoadConfig)) *LoadReport {
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
 	s1, err := NewServer(cfg)
@@ -332,6 +334,9 @@ func restartLoad(t *testing.T, cfg Config, stop func(*Server) error) *LoadReport
 		Rate:         120, // ~670ms of paced submits per tenant
 		Verify:       true,
 		RetryTimeout: 20 * time.Second,
+	}
+	for _, m := range mut {
+		m(&lcfg)
 	}
 	var rep *LoadReport
 	var lerr error
@@ -412,6 +417,202 @@ func TestServeCrashRestart(t *testing.T) {
 	// acknowledgement per tenant for the submit in flight at the crash.
 	if want := int64(64*80) - 64; rep.RoundsSent < want {
 		t.Fatalf("RoundsSent = %d, want ≥ %d", rep.RoundsSent, want)
+	}
+}
+
+// TestServeGracefulRestartPipelined is the graceful restart harness
+// through the pipelined driver: a window of in-flight frames can lose
+// its acknowledgements when the drain closes the connection, so the
+// accounting bound widens by window×batch per tenant — but results must
+// still verify bit-identical, which is the exactly-once claim.
+func TestServeGracefulRestartPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart integration test")
+	}
+	const window, batch = 8, 4
+	rep := restartLoad(t, Config{
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 1 << 30,
+	}, (*Server).Shutdown, func(lc *LoadConfig) {
+		lc.Pipeline = window
+		lc.Batch = batch
+	})
+	want := int64(64 * 80)
+	if slack := int64(64 * window * batch); rep.RoundsSent > want || rep.RoundsSent < want-slack {
+		t.Fatalf("RoundsSent = %d, want within [%d, %d]", rep.RoundsSent, want-slack, want)
+	}
+}
+
+// TestServeCrashRestartPipelined: fault injection under the pipelined
+// driver. The crash can drop both checkpoint-uncovered rounds (re-fed,
+// so counted twice) and a window of unacknowledged admissions per
+// tenant (never counted), so only the widened lower bound holds — and
+// the bit-identical verification inside restartLoad.
+func TestServeCrashRestartPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart integration test")
+	}
+	const window, batch = 8, 4
+	rep := restartLoad(t, Config{
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 8,
+	}, (*Server).Close, func(lc *LoadConfig) {
+		lc.Pipeline = window
+		lc.Batch = batch
+	})
+	if want := int64(64*80) - int64(64*window*batch); rep.RoundsSent < want {
+		t.Fatalf("RoundsSent = %d, want ≥ %d", rep.RoundsSent, want)
+	}
+}
+
+// TestCloseTenantSubmitRace pins the exactly-once contract of
+// CloseTenant against concurrent submits: every round tick acknowledged
+// with success is included in the final drained stream. The old
+// two-acquisition close (drain, unlock, re-lock, mark closed) had a
+// window where a submit could be admitted — and acknowledged — after
+// the drain computed the final Result, then be dropped with the tenant.
+// Each acknowledged tick here carries one job and the stream is fully
+// drained at close, so conservation is exact: Executed+Dropped must
+// equal the acknowledged count.
+func TestCloseTenantSubmitRace(t *testing.T) {
+	s := startServer(t, Config{DefaultQueueCap: 1024})
+	closer := dialTest(t, s)
+	submitter := dialTest(t, s)
+	tc := TenantConfig{Policy: "edf", N: 2, Delta: 2, Delays: []int{64, 64}}
+	tick := sched.Request{{Color: 0, Count: 1}}
+
+	for iter := 0; iter < 40; iter++ {
+		id := fmt.Sprintf("race-%02d", iter)
+		if _, _, err := closer.Open(id, tc); err != nil {
+			t.Fatal(err)
+		}
+		acked := make(chan int, 1)
+		go func() {
+			n := 0
+			for seq := 0; ; {
+				_, _, err := submitter.Submit(id, seq, tick)
+				switch {
+				case err == nil:
+					n++
+					seq++
+				case errors.Is(err, ErrOverloaded):
+					time.Sleep(50 * time.Microsecond)
+				case errors.Is(err, ErrUnknownTenant):
+					acked <- n
+					return
+				default:
+					t.Errorf("submit %s seq %d: %v", id, seq, err)
+					acked <- n
+					return
+				}
+			}
+		}()
+		// Let the submitter build momentum, then close mid-stream.
+		time.Sleep(time.Duration(iter%5) * 100 * time.Microsecond)
+		res, err := closer.CloseTenant(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := <-acked
+		if got := res.Executed + res.Dropped; got != n {
+			t.Fatalf("iteration %d: %d jobs acknowledged but final result accounts for %d (executed %d, dropped %d)",
+				iter, n, got, res.Executed, res.Dropped)
+		}
+	}
+}
+
+// TestCloseTenantCheckpointRace pins the durable-file contract of
+// CloseTenant against the shard worker's checkpoint writes: once
+// CloseTenant returns, the tenant's files are gone and stay gone. The
+// old removal ran outside ckptMu, so a worker holding a snapshot blob
+// taken just before the close could recreate the files afterwards — and
+// a restart would then resurrect a closed tenant.
+func TestCloseTenantCheckpointRace(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, Config{CheckpointDir: dir, CheckpointEvery: 1})
+	c := dialTest(t, s)
+	tc := TenantConfig{Policy: "edf", N: 2, Delta: 2, Delays: []int{8, 8}}
+	tick := sched.Request{{Color: 0, Count: 1}}
+
+	ids := make([]string, 40)
+	for iter := range ids {
+		id := fmt.Sprintf("ck-%02d", iter)
+		ids[iter] = id
+		if _, _, err := c.Open(id, tc); err != nil {
+			t.Fatal(err)
+		}
+		// Every applied round is checkpoint-due (CheckpointEvery 1), so
+		// the shard worker is writing while we close.
+		for seq := 0; seq < 8; {
+			_, _, err := c.Submit(id, seq, tick)
+			switch {
+			case err == nil:
+				seq++
+			case errors.Is(err, ErrOverloaded):
+				time.Sleep(50 * time.Microsecond)
+			default:
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.CloseTenant(id); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []string{id + ".ckpt", id + ".meta"} {
+			if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+				t.Fatalf("%s survives CloseTenant (stat err %v)", f, err)
+			}
+		}
+	}
+	// Give any straggling checkpoint writer time to lose the race, then
+	// require the files to have stayed gone — the tombstone's job.
+	time.Sleep(50 * time.Millisecond)
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		names := make([]string, len(left))
+		for i, e := range left {
+			names[i] = e.Name()
+		}
+		t.Fatalf("closed tenants resurrected durable files: %v", names)
+	}
+}
+
+// TestShutdownAcceptStorm pins the accept/stop race: connections
+// accepted while Shutdown runs are either swept (and their handlers
+// awaited) or refused — never registered after the close sweep so their
+// handler outlives Shutdown. Failure modes of the old ordering include
+// a leaked registered connection and connWG.Add racing connWG.Wait.
+func TestShutdownAcceptStorm(t *testing.T) {
+	s := startServer(t, Config{})
+	addr := s.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := Dial(addr)
+				if err != nil {
+					return // listener closed; storm over
+				}
+				c.Ping() // errors once draining; keep dialing regardless
+				c.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the storm land on the accept loop
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// connWG.Wait has returned, so every handler deregistered itself.
+	s.mu.Lock()
+	n := len(s.conns)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d connections still registered after Shutdown", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/sched"
@@ -36,7 +37,8 @@ type tenant struct {
 	ckptPath, metaPath string // "" = durability off
 
 	ckptMu       sync.Mutex
-	writtenRound int // round of the newest checkpoint on disk
+	writtenRound int  // round of the newest checkpoint on disk
+	removed      bool // durable files deleted; never write them again
 }
 
 // queuedLocked reports the number of admitted-but-unapplied round ticks.
@@ -61,25 +63,34 @@ func (t *tenant) nextSeq() int {
 func (t *tenant) submit(seq int, arrivals sched.Request, draining bool) (round, depth int, er *errResp) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if er := t.submitLocked(seq, arrivals, draining); er != nil {
+		return 0, 0, er
+	}
+	return t.st.Round(), t.queuedLocked(), nil
+}
+
+// submitLocked is one round's admission check and enqueue. Callers hold
+// mu.
+func (t *tenant) submitLocked(seq int, arrivals sched.Request, draining bool) *errResp {
 	if t.closed {
-		return 0, 0, &errResp{Code: codeUnknownTenant, Msg: "tenant " + t.id + " is closed"}
+		return &errResp{Code: codeUnknownTenant, Msg: "tenant " + t.id + " is closed"}
 	}
 	if t.failed != nil {
-		return 0, 0, &errResp{Code: codeInternal, Msg: t.failed.Error()}
+		return &errResp{Code: codeInternal, Msg: t.failed.Error()}
 	}
 	if draining {
-		return 0, 0, &errResp{Code: codeDraining, Msg: "server is draining"}
+		return &errResp{Code: codeDraining, Msg: "server is draining"}
 	}
 	if err := sched.ValidateRequest(arrivals, t.st.NumColors()); err != nil {
-		return 0, 0, &errResp{Code: codeInvalidArrival, Msg: err.Error()}
+		return &errResp{Code: codeInvalidArrival, Msg: err.Error()}
 	}
 	if expect := t.nextSeqLocked(); seq != expect {
 		t.badSeqs++
-		return 0, 0, &errResp{Code: codeBadSeq, Expected: expect, Msg: fmt.Sprintf("bad round sequence %d, expected %d", seq, expect)}
+		return &errResp{Code: codeBadSeq, Expected: expect, Msg: fmt.Sprintf("bad round sequence %d, expected %d", seq, expect)}
 	}
 	if t.queuedLocked() >= t.qcap {
 		t.overloads++
-		return 0, 0, &errResp{Code: codeOverloaded, Msg: "tenant queue full"}
+		return &errResp{Code: codeOverloaded, Msg: "tenant queue full"}
 	}
 	// The decoder reuses the arrivals' backing array across frames, so
 	// the queue keeps its own copy. Compact the ring before it can grow
@@ -98,7 +109,26 @@ func (t *tenant) submit(seq int, arrivals sched.Request, draining bool) (round, 
 		tick = append(make(sched.Request, 0, len(arrivals)), arrivals...)
 	}
 	t.queue = append(t.queue, tick)
-	return t.st.Round(), t.queuedLocked(), nil
+	return nil
+}
+
+// submitBatch admits ticks[i] as the round tick at sequence seq+i,
+// stopping at the first rejection, under one lock acquisition. The
+// admitted count is always a prefix length: the per-round sequence
+// check runs for every round exactly as it does for single submits, so
+// exactly-once ingest is preserved inside a batch. The returned errResp
+// (nil when the whole batch was admitted) describes the rejection of
+// round seq+admitted.
+func (t *tenant) submitBatch(seq int, ticks []sched.Request, draining bool) (admitted, round, depth int, er *errResp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, tick := range ticks {
+		if er = t.submitLocked(seq+i, tick, draining); er != nil {
+			break
+		}
+		admitted++
+	}
+	return admitted, t.st.Round(), t.queuedLocked(), er
 }
 
 // applyQueuedLocked applies up to max queued round ticks (max <= 0 =
@@ -167,7 +197,10 @@ func (t *tenant) maybeSnapshotLocked(every int, force bool) (blob []byte, round 
 func (t *tenant) writeCheckpoint(blob []byte, round int) error {
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
-	if round <= t.writtenRound {
+	// A closed tenant's files are tombstoned: a shard worker that took a
+	// snapshot just before the tenant was removed must not resurrect
+	// durable files a restart would then recover.
+	if t.removed || round <= t.writtenRound {
 		return nil
 	}
 	if err := trace.SaveCheckpointState(t.ckptPath, blob); err != nil {
@@ -175,6 +208,21 @@ func (t *tenant) writeCheckpoint(blob []byte, round int) error {
 	}
 	t.writtenRound = round
 	return nil
+}
+
+// removeFiles deletes the tenant's durable files and tombstones the
+// checkpoint path so no in-flight writeCheckpoint can recreate them.
+// Holding ckptMu across the removal orders it against a concurrent
+// writer: whichever side wins the lock, the files end (and stay) gone.
+func (t *tenant) removeFiles() {
+	if t.ckptPath == "" {
+		return
+	}
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	t.removed = true
+	os.Remove(t.ckptPath)
+	os.Remove(t.metaPath)
 }
 
 // flush applies every queued round tick and takes a final snapshot —
@@ -197,6 +245,10 @@ func (t *tenant) flush() (blob []byte, round int) {
 func (t *tenant) drainStream() (*sched.Result, []byte, int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.drainStreamLocked()
+}
+
+func (t *tenant) drainStreamLocked() (*sched.Result, []byte, int, error) {
 	if t.failed != nil {
 		return nil, nil, 0, t.failed
 	}
@@ -210,6 +262,25 @@ func (t *tenant) drainStream() (*sched.Result, []byte, int, error) {
 	}
 	blob, round := t.maybeSnapshotLocked(0, true)
 	return t.st.Result(), blob, round, nil
+}
+
+// drainAndClose drains the stream and marks the tenant closed in one
+// critical section, returning the final Result. Because no submit can
+// interleave between the drain and the close, every round ever
+// acknowledged is included in the Result — the exactly-once contract
+// CloseTenant relies on. (The old two-acquisition sequence had a window
+// where a submit could be admitted and acknowledged after the drain,
+// then silently dropped with the tenant.) A drain failure leaves the
+// tenant open (and poisoned) so the caller can surface the fault.
+func (t *tenant) drainAndClose() (*sched.Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res, _, _, err := t.drainStreamLocked()
+	if err != nil {
+		return nil, err
+	}
+	t.closed = true
+	return res, nil
 }
 
 // result returns a retained copy of the scheduling totals so far.

@@ -14,6 +14,14 @@
 // frame is a protocol error: the reader reports it and the connection
 // is closed — never a panic, pinned by FuzzFrameDecode.
 //
+// Protocol version 2 adds two optional shapes on the same framing: a
+// request may be wrapped in a msgTagged envelope (a varint tag echoed
+// on its response, so many requests can be pipelined per connection and
+// acknowledged out of order or coalesced into one flush), and
+// msgSubmitBatch vectors K consecutive round ticks for one tenant into
+// one frame with a per-round admitted-prefix acknowledgement. Version-1
+// peers never send either and keep working unchanged.
+//
 // # Rounds, sequence numbers, and exactly-once ingest
 //
 // One Submit carries the arrivals of exactly one round tick for one
@@ -39,9 +47,27 @@ import (
 	"repro/internal/snap"
 )
 
-// ProtocolVersion is carried in every open request; the server rejects
-// clients speaking another version.
-const ProtocolVersion = 1
+// ProtocolVersion is carried in every open request. Version 2 added
+// tagged frames (pipelining) and vectored submit batches; the server
+// still accepts version-1 peers, which simply never send either.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest version the server still speaks.
+// Version-1 clients use strict request/response with untagged frames;
+// everything they send decodes identically under version 2.
+const MinProtocolVersion = 1
+
+// MaxBatch bounds the round ticks one submit-batch frame may carry. It
+// keeps a hostile length prefix from forcing a large allocation before
+// the batch body is validated, and bounds how long one frame can hold a
+// tenant's lock.
+const MaxBatch = 1024
+
+// MaxPipeline bounds a client Pipeline's in-flight window. Staying well
+// under the server's per-connection response queue plus the kernel
+// socket buffers guarantees the reap-when-full client loop can never
+// deadlock against a server blocked on writing acknowledgements.
+const MaxPipeline = 1024
 
 // MaxFrame bounds a frame body. It must hold the largest legitimate
 // message (a stats response for every tenant, a snapshot blob); a
@@ -61,6 +87,17 @@ const (
 	msgCloseTenant
 	msgPing
 	msgSnapshot
+	// msgTagged is the protocol-v2 pipelining envelope: a varint request
+	// tag followed by a complete inner message. The response to a tagged
+	// request is wrapped the same way with the same tag, so a client may
+	// keep many requests in flight and match acknowledgements by tag even
+	// if they return out of order or coalesced into one flush.
+	msgTagged
+	// msgSubmitBatch carries K consecutive round ticks for one tenant in
+	// one frame — one length prefix and one syscall amortized over K
+	// rounds. Admission is per round and strictly sequential, so the
+	// response names the admitted prefix plus the first rejection.
+	msgSubmitBatch
 )
 
 // writeFrame sends one length-prefixed frame.
@@ -208,6 +245,96 @@ func (m *submitResp) encode(e *snap.Encoder) {
 func (m *submitResp) decode(d *snap.Decoder) {
 	m.Round = d.Int()
 	m.QueueDepth = d.Int()
+}
+
+// batchMsg carries Ticks[i] as the round tick at sequence Seq+i — K
+// consecutive rounds for one tenant in one frame.
+type batchMsg struct {
+	Tenant string
+	Seq    int
+	Ticks  []sched.Request
+}
+
+func (m *batchMsg) encode(e *snap.Encoder) {
+	e.Uint64(msgSubmitBatch)
+	e.String(m.Tenant)
+	e.Int(m.Seq)
+	e.Int(len(m.Ticks))
+	for _, tick := range m.Ticks {
+		e.Int(len(tick))
+		for _, b := range tick {
+			e.Int(int(b.Color))
+			e.Int(b.Count)
+		}
+	}
+}
+
+// decode reuses m.Ticks and each tick's backing array across frames, so
+// a long-lived handler decodes batches without steady-state allocations.
+// A malformed body leaves the decoder in its error state and the caller
+// must not admit anything — batch rejection is atomic.
+func (m *batchMsg) decode(d *snap.Decoder) {
+	m.Tenant = d.StringCached(m.Tenant)
+	m.Seq = d.Int()
+	k := d.Len() // each round tick takes ≥ 1 byte, so Len's bound holds
+	if d.Err() != nil {
+		return
+	}
+	if k > MaxBatch {
+		d.Failf("serve: batch of %d rounds exceeds MaxBatch %d", k, MaxBatch)
+		return
+	}
+	if k > cap(m.Ticks) {
+		m.Ticks = append(m.Ticks[:cap(m.Ticks)], make([]sched.Request, k-cap(m.Ticks))...)
+	}
+	m.Ticks = m.Ticks[:k]
+	for i := range m.Ticks {
+		n := d.Len() // each batch takes ≥ 2 bytes
+		tick := m.Ticks[i][:0]
+		for j := 0; j < n; j++ {
+			c, cnt := d.Int(), d.Int()
+			if d.Err() != nil {
+				return
+			}
+			tick = append(tick, sched.Batch{Color: sched.Color(c), Count: cnt})
+		}
+		m.Ticks[i] = tick
+	}
+}
+
+// batchResp acknowledges a submit batch: Admitted rounds (always a
+// prefix — admission is sequential) were queued, Round/QueueDepth
+// describe the tenant afterwards, and when Admitted < the batch size,
+// Err carries the rejection of round Seq+Admitted exactly as a
+// standalone submit of that round would have reported it.
+type batchResp struct {
+	Admitted   int
+	Round      int
+	QueueDepth int
+	Err        *errResp // nil when the whole batch was admitted
+}
+
+func (m *batchResp) encode(e *snap.Encoder) {
+	e.Uint64(msgSubmitBatch)
+	e.Int(m.Admitted)
+	e.Int(m.Round)
+	e.Int(m.QueueDepth)
+	e.Bool(m.Err != nil)
+	if m.Err != nil {
+		e.Int(m.Err.Code)
+		e.Int(m.Err.Expected)
+		e.String(m.Err.Msg)
+	}
+}
+
+func (m *batchResp) decode(d *snap.Decoder) {
+	m.Admitted = d.Int()
+	m.Round = d.Int()
+	m.QueueDepth = d.Int()
+	m.Err = nil
+	if d.Bool() {
+		m.Err = &errResp{Code: d.Int(), Expected: d.Int(), Msg: d.String()}
+	}
 }
 
 // tenantMsg is the shape shared by the single-tenant commands (stats,

@@ -78,6 +78,97 @@ func TestSubmitMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBatchMsgRoundTrip(t *testing.T) {
+	e := snap.NewEncoder()
+	in := batchMsg{
+		Tenant: "t1", Seq: 42,
+		Ticks: []sched.Request{
+			{{Color: 3, Count: 7}, {Color: 0, Count: 1}},
+			nil, // an empty round tick is a legal batch entry
+			{{Color: 5, Count: 2}},
+		},
+	}
+	in.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgSubmitBatch {
+		t.Fatalf("type = %d", typ)
+	}
+	var out batchMsg
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != in.Tenant || out.Seq != in.Seq || len(out.Ticks) != 3 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	for i := range in.Ticks {
+		if len(out.Ticks[i]) != len(in.Ticks[i]) {
+			t.Fatalf("tick %d = %+v, want %+v", i, out.Ticks[i], in.Ticks[i])
+		}
+		for j := range in.Ticks[i] {
+			if out.Ticks[i][j] != in.Ticks[i][j] {
+				t.Fatalf("tick %d = %+v, want %+v", i, out.Ticks[i], in.Ticks[i])
+			}
+		}
+	}
+	// A decoded batch reuses its backing arrays across frames; a second
+	// decode with fewer ticks must not leak the first frame's tail.
+	e.Reset()
+	(&batchMsg{Tenant: "t1", Seq: 45, Ticks: []sched.Request{{{Color: 1, Count: 1}}}}).encode(e)
+	d = snap.NewDecoder(e.Bytes())
+	d.Uint64()
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ticks) != 1 || len(out.Ticks[0]) != 1 || out.Ticks[0][0] != (sched.Batch{Color: 1, Count: 1}) {
+		t.Fatalf("reused decode: %+v", out.Ticks)
+	}
+}
+
+func TestBatchMsgRejectsHostileCount(t *testing.T) {
+	e := snap.NewEncoder()
+	e.Uint64(msgSubmitBatch)
+	e.String("t1")
+	e.Int(0)
+	e.Int(MaxBatch + 1) // claims more rounds than any frame may carry
+	d := snap.NewDecoder(e.Bytes())
+	d.Uint64()
+	var out batchMsg
+	out.decode(d)
+	if d.Err() == nil {
+		t.Fatal("decode accepted a batch count past MaxBatch")
+	}
+}
+
+func TestBatchRespRoundTrip(t *testing.T) {
+	for _, in := range []batchResp{
+		{Admitted: 16, Round: 99, QueueDepth: 3},
+		{Admitted: 4, Round: 7, QueueDepth: 4, Err: &errResp{Code: codeBadSeq, Expected: 11, Msg: "bad round sequence"}},
+	} {
+		e := snap.NewEncoder()
+		in.encode(e)
+		d := snap.NewDecoder(e.Bytes())
+		if typ := d.Uint64(); typ != msgSubmitBatch {
+			t.Fatalf("type = %d", typ)
+		}
+		var out batchResp
+		out.decode(d)
+		if err := d.Done(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Admitted != in.Admitted || out.Round != in.Round || out.QueueDepth != in.QueueDepth {
+			t.Fatalf("round trip: %+v, want %+v", out, in)
+		}
+		if (out.Err == nil) != (in.Err == nil) {
+			t.Fatalf("round trip err: %+v, want %+v", out.Err, in.Err)
+		}
+		if in.Err != nil && *out.Err != *in.Err {
+			t.Fatalf("round trip err: %+v, want %+v", *out.Err, *in.Err)
+		}
+	}
+}
+
 func TestStatsRespRoundTrip(t *testing.T) {
 	rows := []TenantStats{
 		{ID: "a", Policy: "ΔLRU-EDF", Round: 9, NextSeq: 11, Pending: 3, QueueDepth: 2,

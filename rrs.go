@@ -419,6 +419,13 @@ type (
 	// BadSeqError reports an out-of-sequence Submit, carrying the
 	// tenant's resume point.
 	BadSeqError = serve.BadSeqError
+	// Pipeline keeps a bounded window of tagged submits in flight on
+	// one ServeClient connection (protocol v2); see
+	// ServeClient.NewPipeline.
+	Pipeline = serve.Pipeline
+	// SubmitResult is one acknowledgement delivered to a Pipeline's
+	// callback: what was admitted, where to resume, round-trip time.
+	SubmitResult = serve.SubmitResult
 )
 
 // Admission-control and lifecycle errors a ServeClient surfaces; test
