@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke docscheck check experiments fmt vet clean
 
 all: build test
 
@@ -68,10 +68,17 @@ servesmoke:
 optsmoke:
 	go test -run 'TestSolveExact|TestExactBetweenBounds' -short -count=1 ./internal/offline/
 
-# The pre-commit gate: static analysis, the race-detector subset on the
-# hot-path packages, the fault-injection, exact-solver and server
-# harnesses, then the full test suite under the race detector.
-check: vet race-hot faultsmoke optsmoke servesmoke race
+# Documentation drift gate: every relative link in README.md and
+# docs/*.md must resolve, and every exported declaration of
+# internal/serve must carry a doc comment.
+docscheck:
+	go run ./cmd/docscheck
+
+# The pre-commit gate: static analysis, the docs drift gate, the
+# race-detector subset on the hot-path packages, the fault-injection,
+# exact-solver and server harnesses, then the full test suite under the
+# race detector.
+check: vet docscheck race-hot faultsmoke optsmoke servesmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -91,6 +91,10 @@ func main() {
 			rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
 		fmt.Printf("executed %d  dropped %d  reconfigs %d  cost %d+%d\n",
 			rep.Executed, rep.Dropped, rep.Reconfigs, rep.CostReconfig, rep.CostDrop)
+		if rep.WorstDelayTenant != "" {
+			fmt.Printf("worst delay factor %.3f (%s)  service share min %.4f  max %.4f\n",
+				rep.WorstDelayFactor, rep.WorstDelayTenant, rep.ServiceShareMin, rep.ServiceShareMax)
+		}
 	}
 	if *verify {
 		if len(rep.Mismatches) > 0 {

@@ -8,6 +8,12 @@
 //	rrserved -addr :7145 -ckpt state  # durable: per-tenant checkpoints in state/,
 //	                                  # recovered automatically on restart
 //	rrserved -round-interval 10ms     # pace rounds instead of applying eagerly
+//	rrserved -allocator fifo          # legacy drain-in-scan-order cross-tenant order
+//	rrserved -stats-every 10s         # periodic scheduling summary log line
+//
+// Which backlogged tenant a worker serves next is the cross-tenant
+// allocator's decision (-allocator, -alloc-quantum, -alloc-escalation);
+// see docs/SCHEDULING.md for the model and tuning guidance.
 //
 // SIGTERM or SIGINT drains gracefully: the server stops admitting work,
 // applies every queued round tick, writes a final checkpoint per tenant
@@ -36,6 +42,10 @@ func main() {
 		maxTen    = flag.Int("max-tenants", 0, "live tenant limit (0 = default 4096)")
 		queueCap  = flag.Int("queue-cap", 0, "default per-tenant queue cap (0 = default 64)")
 		connWin   = flag.Int("conn-window", 0, "staged responses per connection before the reader blocks (0 = default 256)")
+		alloc     = flag.String("allocator", "", "cross-tenant allocator: wdrr or fifo (empty = wdrr)")
+		allocQ    = flag.Int("alloc-quantum", 0, "wdrr rounds per pick per unit weight (0 = default 8)")
+		allocEsc  = flag.Float64("alloc-escalation", 0, "delay factor that escalates a tenant (0 = default 0.5, negative disables)")
+		statsInt  = flag.Duration("stats-every", 0, "log a scheduling summary at this interval (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress operational log lines")
 	)
 	flag.Parse()
@@ -53,6 +63,9 @@ func main() {
 		MaxTenants:      *maxTen,
 		DefaultQueueCap: *queueCap,
 		ConnWindow:      *connWin,
+		Allocator:       *alloc,
+		AllocQuantum:    *allocQ,
+		AllocEscalation: *allocEsc,
 		Logf:            logf,
 	})
 	if err != nil {
@@ -60,6 +73,16 @@ func main() {
 		os.Exit(1)
 	}
 	logf("rrserved: listening on %s (%d tenants recovered)", srv.Addr(), srv.NumTenants())
+
+	if *statsInt > 0 {
+		go func() {
+			tk := time.NewTicker(*statsInt)
+			defer tk.Stop()
+			for range tk.C {
+				logf("rrserved: %s", srv.SchedSummary())
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

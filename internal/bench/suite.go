@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -36,7 +38,10 @@ func DefaultSuite() []Spec {
 		serveSubmitSpec("serve/submit/64tenants", 64),
 		servePipelinedSpec("serve/submit/pipelined/1tenant", 1, 64, 32),
 		servePipelinedSpec("serve/submit/pipelined/64tenants", 64, 64, 32),
-		serveStatsSpec("serve/stats/64tenants", 64),
+		serveStatsSpec("serve/stats/64tenants", 64, false),
+		serveStatsSpec("serve/stats-ex/64tenants", 64, true),
+		serveSkewedSpec("serve/skewed/wdrr/64tenants", "wdrr"),
+		serveSkewedSpec("serve/skewed/fifo/64tenants", "fifo"),
 	}
 }
 
@@ -318,8 +323,12 @@ func servePipelinedSpec(name string, tenants, window, batch int) Spec {
 }
 
 // serveStatsSpec measures the stats command aggregating every tenant's
-// row — the monitoring-path cost at fleet width.
-func serveStatsSpec(name string, tenants int) Spec {
+// row — the monitoring-path cost at fleet width. extended selects the
+// protocol-v3 stats-ex command (the scheduling readout Client.Stats
+// issues); the plain variant keeps measuring the legacy command
+// unchanged since BENCH_pr6.json, so the two stay comparable across
+// recordings and the delta between them is the cost of the extension.
+func serveStatsSpec(name string, tenants int, extended bool) Spec {
 	return Spec{Name: name, Make: func() (func() error, Rates) {
 		cl, ids := serveServer(name, tenants)
 		req := sched.Request{{Color: 2, Count: 1}}
@@ -328,8 +337,12 @@ func serveStatsSpec(name string, tenants int) Spec {
 				panic(fmt.Sprintf("bench: %s: seeding %s: %v", name, ids[i], err))
 			}
 		}
+		stats := cl.StatsCompat
+		if extended {
+			stats = cl.Stats
+		}
 		op := func() error {
-			rows, err := cl.Stats("")
+			rows, err := stats("")
 			if err == nil && len(rows) != len(ids) {
 				err = fmt.Errorf("stats returned %d rows, want %d", len(rows), len(ids))
 			}
@@ -337,6 +350,177 @@ func serveStatsSpec(name string, tenants int) Spec {
 		}
 		return op, Rates{}
 	}}
+}
+
+// serveSkewedSpec measures one wave of skewed 64-tenant load through a
+// single-shard server under the named cross-tenant allocator: tenant 0
+// repeatedly dumps an adversarial Appendix-A burst in deep pipelined
+// batch frames while 63 victim tenants strict-submit Zipf-sized router
+// traces concurrently, and the op waits until the whole backlog drains.
+// The server runs paced (RoundInterval set), so worker capacity is an
+// explicit budget — one round per backlogged tenant per tick — and the
+// allocator controls only its distribution: aggregate throughput is
+// equal across allocators by construction, making the comparison
+// machine-independent (an eager worker's capacity is CPU share, which
+// on a loaded host the Go scheduler, not the allocator, decides). The
+// quality difference is the Extra metric worst_victim_delay_factor —
+// the worst victim tenant's delay-factor high-water mark. The
+// adversary's own delay factor is excluded: its backlog is
+// self-inflicted and near-identical under any allocator, while the
+// victims' backlog is precisely what the allocator controls.
+// docs/SCHEDULING.md quotes the wdrr-vs-fifo ratio.
+func serveSkewedSpec(name, allocator string) Spec {
+	const (
+		tenants   = 64
+		advRepeat = 16 // trace replays per op; keeps the burst pumping for the whole wave
+		advWindow = 16 // pipelined batch frames in flight, so real depth builds
+	)
+	// The Extra hook reads the final sample's server after measurement,
+	// so the spec closure carries the last-built client across Make calls.
+	type readout struct {
+		cl  *serve.Client
+		ids []string
+	}
+	ro := &readout{}
+	return Spec{
+		Name: name,
+		Make: func() (func() error, Rates) {
+			insts, err := workload.SkewedFleet(11, tenants, 8, 48, 1.0, 6)
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			srv, err := serve.NewServer(serve.Config{
+				Addr: "127.0.0.1:0", DefaultQueueCap: 16384,
+				Shards: 1, Allocator: allocator,
+				RoundInterval: 200 * time.Microsecond,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			go srv.Serve()
+			cls := make([]*serve.Client, tenants)
+			ids := make([]string, tenants)
+			seqs := make([]int, tenants)
+			totalRounds, totalJobs := 0, 0
+			for i := range cls {
+				cl, err := serve.Dial(srv.Addr().String())
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s: %v", name, err))
+				}
+				cls[i] = cl
+				ids[i] = fmt.Sprintf("skew-%03d", i)
+				_, _, err = cl.Open(ids[i], serve.TenantConfig{
+					Policy: "dlruedf", N: 16,
+					Delta: insts[i].Delta, Delays: insts[i].Delays,
+					QueueCap: 16384,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s: opening %s: %v", name, ids[i], err))
+				}
+				mult := 1
+				if i == 0 {
+					mult = advRepeat
+				}
+				totalRounds += mult * insts[i].NumRounds()
+				totalJobs += mult * insts[i].TotalJobs()
+			}
+			ro.cl, ro.ids = cls[0], ids
+			op := func() error {
+				errs := make([]error, tenants)
+				var wg sync.WaitGroup
+				wg.Add(tenants)
+				go func() { // the adversary: a pipelined window of deep batch frames
+					defer wg.Done()
+					// The queue cap exceeds everything the window can hold in
+					// flight, so no frame can be shed; any acknowledgement
+					// error fails the op loudly.
+					pl := cls[0].NewPipeline(advWindow, func(r serve.SubmitResult) {
+						if r.Err != nil && errs[0] == nil {
+							errs[0] = r.Err
+						}
+					})
+					trace := insts[0].Requests
+					for r := 0; r < advRepeat && errs[0] == nil; r++ {
+						cursor := 0
+						for cursor < len(trace) {
+							k := min(serve.MaxBatch, len(trace)-cursor)
+							if err := pl.SubmitBatch(ids[0], seqs[0], trace[cursor:cursor+k]); err != nil {
+								errs[0] = err
+								return
+							}
+							seqs[0] += k
+							cursor += k
+						}
+					}
+					if err := pl.Flush(); err != nil && errs[0] == nil {
+						errs[0] = err
+					}
+				}()
+				for i := 1; i < tenants; i++ {
+					go func(i int) { // a victim: strict one-round submits
+						defer wg.Done()
+						for _, req := range insts[i].Requests {
+							for {
+								_, _, err := cls[i].Submit(ids[i], seqs[i], req)
+								if err == nil {
+									seqs[i]++
+									break
+								}
+								if !errors.Is(err, serve.ErrOverloaded) {
+									errs[i] = err
+									return
+								}
+								runtime.Gosched()
+							}
+						}
+					}(i)
+				}
+				wg.Wait()
+				for _, e := range errs {
+					if e != nil {
+						return e
+					}
+				}
+				// The op covers the wave end to end: wait for the shard
+				// worker to apply the whole backlog, so rounds_per_sec is
+				// applied throughput, not just admission throughput.
+				for {
+					rows, err := cls[0].Stats("")
+					if err != nil {
+						return err
+					}
+					depth := 0
+					for _, r := range rows {
+						depth += r.QueueDepth
+					}
+					if depth == 0 {
+						return nil
+					}
+					runtime.Gosched()
+				}
+			}
+			return op, Rates{Rounds: totalRounds, Jobs: totalJobs}
+		},
+		Extra: func() map[string]float64 {
+			if ro.cl == nil {
+				return nil
+			}
+			rows, err := ro.cl.Stats("")
+			if err != nil {
+				return nil
+			}
+			worst := 0.0
+			for _, r := range rows {
+				if r.ID == ro.ids[0] {
+					continue // self-inflicted; see the spec comment
+				}
+				if r.MaxDelayFactor > worst {
+					worst = r.MaxDelayFactor
+				}
+			}
+			return map[string]float64{"worst_victim_delay_factor": worst}
+		},
+	}
 }
 
 // sweepSpec measures the sharded sweep runner end to end: 16 independent

@@ -22,6 +22,10 @@ type TenantConfig struct {
 	// QueueCap bounds the tenant's admitted-but-unapplied round ticks;
 	// submits beyond it are shed with ErrOverloaded.
 	QueueCap int
+	// Weight is the tenant's cross-tenant service weight: while several
+	// tenants are backlogged, worker capacity is split in proportion to
+	// their weights (see docs/SCHEDULING.md). 0 accepts the default of 1.
+	Weight int
 }
 
 // Client is one connection to an rrserved server. It is safe for
@@ -141,7 +145,7 @@ func (c *Client) Open(tenant string, tc TenantConfig) (nextSeq int, resumed bool
 	(&openMsg{
 		Version: ProtocolVersion, Tenant: tenant, Policy: tc.Policy,
 		N: tc.N, Speed: tc.Speed, Delta: tc.Delta,
-		QueueCap: tc.QueueCap, Delays: tc.Delays,
+		QueueCap: tc.QueueCap, Delays: tc.Delays, Weight: tc.Weight,
 	}).encode(c.enc)
 	d, err := c.roundtrip(msgOpen)
 	if err != nil {
@@ -210,8 +214,34 @@ func (c *Client) SubmitBatch(tenant string, seq int, ticks []sched.Request) (adm
 }
 
 // Stats fetches one tenant's stats row, or every tenant's (sorted by
-// ID) when tenant is "".
+// ID) when tenant is "". It uses the protocol-v3 extended stats command,
+// so rows include the cross-tenant scheduling fields (Weight,
+// DelayFactor, ServiceShare, …); fetching stats from a pre-v3 server is
+// not supported — a v1/v2 *client* against this server keeps working
+// unchanged via the legacy msgStats command.
 func (c *Client) Stats(tenant string) ([]TenantStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&tenantMsg{Type: msgStatsEx, Tenant: tenant}).encode(c.enc)
+	d, err := c.roundtrip(msgStatsEx)
+	if err != nil {
+		return nil, err
+	}
+	rows := decodeStatsRespEx(d)
+	if err := c.done(d); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// StatsCompat is Stats over the legacy pre-v3 stats command: the same
+// rows without the scheduling extensions (Weight, MinDelay,
+// ServedRounds, DelayFactor, MaxDelayFactor, ServiceShare all zero).
+// Use it against servers older than protocol v3, which do not answer
+// stats-ex; it is also the op the serve/stats benchmark measures, so
+// the legacy monitoring path stays pinned against regressions.
+func (c *Client) StatsCompat(tenant string) ([]TenantStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.Reset()

@@ -48,6 +48,7 @@ type BadSeqError struct {
 	Expected int
 }
 
+// Error formats the mismatch with both the got and expected sequences.
 func (e *BadSeqError) Error() string {
 	return fmt.Sprintf("serve: bad round sequence %d, expected %d", e.Got, e.Expected)
 }
@@ -60,6 +61,7 @@ type RemoteError struct {
 	Msg  string
 }
 
+// Error returns the server's message under the serve: prefix.
 func (e *RemoteError) Error() string { return "serve: " + e.Msg }
 
 // errFromResp converts a decoded error response into the typed error

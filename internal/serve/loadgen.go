@@ -122,6 +122,17 @@ type LoadReport struct {
 	CostReconfig int64 `json:"cost_reconfig"`
 	CostDrop     int64 `json:"cost_drop"`
 
+	// Cross-tenant scheduling read-out (from the tenants' extended stats
+	// rows, fetched after the run): the worst per-tenant delay-factor
+	// high-water mark with the tenant holding it, and the spread of
+	// service shares. See docs/SCHEDULING.md for the definitions. All
+	// zero when the stats fetch fails — the fetch is best-effort and
+	// never fails the run.
+	WorstDelayFactor float64 `json:"worst_delay_factor,omitempty"`
+	WorstDelayTenant string  `json:"worst_delay_tenant,omitempty"`
+	ServiceShareMin  float64 `json:"service_share_min,omitempty"`
+	ServiceShareMax  float64 `json:"service_share_max,omitempty"`
+
 	// Mismatches lists tenants whose server Result differed from the
 	// local replay (only populated with Verify; empty = bit-identical).
 	Mismatches []string `json:"mismatches,omitempty"`
@@ -221,7 +232,56 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			}
 		}
 	}
+	rep.fillSchedReadout(&cfg)
 	return rep, nil
+}
+
+// fillSchedReadout fetches the load tenants' extended stats rows and
+// fills the report's scheduling fields: the worst delay-factor
+// high-water mark and the service-share spread. Best-effort — a failed
+// fetch (server gone, or too old for msgStatsEx) leaves them zero.
+func (rep *LoadReport) fillSchedReadout(cfg *LoadConfig) {
+	c, err := Dial(cfg.Addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	rows, err := c.Stats("")
+	if err != nil {
+		return
+	}
+	want := make(map[string]bool, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		want[loadTenantID(i)] = true
+	}
+	first := true
+	for _, r := range rows {
+		if !want[r.ID] {
+			continue // a shared server may host unrelated tenants
+		}
+		if first || r.MaxDelayFactor > rep.WorstDelayFactor {
+			rep.WorstDelayFactor, rep.WorstDelayTenant = r.MaxDelayFactor, r.ID
+		}
+		rep.ServiceShareMin = min2(first, rep.ServiceShareMin, r.ServiceShare)
+		rep.ServiceShareMax = max2(first, rep.ServiceShareMax, r.ServiceShare)
+		first = false
+	}
+}
+
+// min2/max2 fold one value into a running extreme, seeding it on the
+// first sample.
+func min2(first bool, cur, v float64) float64 {
+	if first || v < cur {
+		return v
+	}
+	return cur
+}
+
+func max2(first bool, cur, v float64) float64 {
+	if first || v > cur {
+		return v
+	}
+	return cur
 }
 
 // loadDriver shares the run-wide counters across tenant goroutines.

@@ -51,6 +51,21 @@ type Config struct {
 	// many requests in flight before the reader stops pulling frames and
 	// TCP backpressure takes over.
 	ConnWindow int
+	// Allocator selects the cross-tenant allocation policy shard workers
+	// use to pick the next backlogged tenant (see NewAllocator): "wdrr"
+	// — weighted deficit round-robin with delay-factor escalation — by
+	// default, or "fifo" for the legacy drain-in-scan-order behavior.
+	Allocator string
+	// AllocQuantum is the base rounds served per wdrr pick, scaled by
+	// the tenant's weight (default 8). Smaller quanta interleave tenants
+	// more finely at slightly higher scheduling overhead.
+	AllocQuantum int
+	// AllocEscalation is the delay factor (backlog over tightest delay
+	// bound) at which a tenant enters wdrr's priority set: once any
+	// tenant crosses it, only tenants at or past it are served until the
+	// set empties. 0 selects the default 0.5; negative disables
+	// escalation.
+	AllocEscalation float64
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -79,12 +94,17 @@ func (c *Config) fill() {
 // sharded worker pool; per-tenant checkpoints make every tenant
 // recoverable across restarts.
 type Server struct {
-	cfg Config
-	ln  net.Listener
+	cfg   Config
+	alloc Allocator // cross-tenant allocation policy (see alloc.go)
+	ln    net.Listener
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
-	conns   map[net.Conn]struct{}
+	// sorted caches tenantList's ID-ordered snapshot; it is rebuilt on
+	// demand and dropped whenever the tenant set changes. Published
+	// slices are never mutated, so callers may hold one across the lock.
+	sorted []*tenant
+	conns  map[net.Conn]struct{}
 
 	draining atomic.Bool
 
@@ -139,8 +159,13 @@ func (sh *shard) poke() {
 // and starts the shard workers. Call Serve to accept connections.
 func NewServer(cfg Config) (*Server, error) {
 	cfg.fill()
+	alloc, err := NewAllocator(cfg.Allocator, cfg.AllocQuantum, cfg.AllocEscalation)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:       cfg,
+		alloc:     alloc,
 		tenants:   make(map[string]*tenant),
 		conns:     make(map[net.Conn]struct{}),
 		stopShard: make(chan struct{}),
@@ -262,15 +287,22 @@ func (s *Server) tenant(id string) *tenant {
 	return s.tenants[id]
 }
 
+// tenantList returns the tenants sorted by ID. The snapshot is cached
+// until the tenant set changes — the stats command calls this on every
+// request, and re-sorting a big fleet per poll is measurable — and is
+// immutable once returned: neither the server nor callers may modify it.
 func (s *Server) tenantList() []*tenant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ts := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		ts = append(ts, t)
+	if s.sorted == nil {
+		ts := make([]*tenant, 0, len(s.tenants))
+		for _, t := range s.tenants {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+		s.sorted = ts
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
-	return ts
+	return s.sorted
 }
 
 func (s *Server) shardFor(id string) *shard {
@@ -279,10 +311,12 @@ func (s *Server) shardFor(id string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// shardWorker applies admitted round ticks for the shard's tenants: on
-// every poke in eager mode, or one tick per tenant per RoundInterval in
-// paced mode. Checkpoint blobs captured under the tenant lock are
-// written here, outside it.
+// shardWorker applies admitted round ticks for the shard's tenants: a
+// full allocation pass (servePass) on every poke in eager mode, or a
+// budgeted pass — one round of budget per backlogged tenant — per
+// RoundInterval in paced mode. Which backlogged tenant each round goes
+// to is the cross-tenant allocator's decision (alloc.go), not arrival
+// order.
 func (s *Server) shardWorker(sh *shard) {
 	defer s.shardWG.Done()
 	var tick <-chan time.Time
@@ -291,11 +325,11 @@ func (s *Server) shardWorker(sh *shard) {
 		defer tk.Stop()
 		tick = tk.C
 	}
-	perPass := 0 // eager: apply everything queued
+	budget := 0 // eager: drain the pass snapshot completely
 	if tick != nil {
-		perPass = 1 // paced: one round tick per tenant per interval
+		budget = -1 // paced: one round per backlogged tenant per interval
 	}
-	var scratch []*tenant
+	var ps passState
 	for {
 		if tick != nil {
 			select {
@@ -310,15 +344,7 @@ func (s *Server) shardWorker(sh *shard) {
 			case <-sh.wake:
 			}
 		}
-		scratch = sh.snapshot(scratch[:0])
-		for _, t := range scratch {
-			_, blob, round := t.applyQueued(perPass, s.cfg.CheckpointEvery)
-			if blob != nil {
-				if err := t.writeCheckpoint(blob, round); err != nil {
-					s.logf("%v", err)
-				}
-			}
-		}
+		s.servePass(sh, &ps, budget)
 	}
 }
 
@@ -353,6 +379,22 @@ func newSink(cfg sched.StreamConfig) *sched.MetricsSink {
 	return sched.NewMetricsSink(maxDelay, 1024)
 }
 
+// maxTenantWeight bounds the per-tenant service weight an open request
+// may declare, keeping deficit arithmetic well-conditioned.
+const maxTenantWeight = 1 << 20
+
+// minDelayOf returns the tightest positive delay bound in a tenant's
+// menu (≥ 1): the denominator of its delay factor.
+func minDelayOf(delays []int) int {
+	md := 0
+	for _, d := range delays {
+		if d > 0 && (md == 0 || d < md) {
+			md = d
+		}
+	}
+	return max(md, 1)
+}
+
 // matches reports whether an open request names the same configuration
 // this tenant runs under, so a client can re-attach idempotently.
 func (t *tenant) matches(m *openMsg, defaultCap int) bool {
@@ -364,7 +406,7 @@ func (t *tenant) matches(m *openMsg, defaultCap int) bool {
 	if speed == 0 {
 		speed = 1
 	}
-	return t.spec == m.Policy && t.qcap == qcap &&
+	return t.spec == m.Policy && t.qcap == qcap && t.weight == max(m.Weight, 1) &&
 		t.cfg.N == m.N && t.cfg.Speed == speed && t.cfg.Delta == m.Delta &&
 		slices.Equal(t.cfg.Delays, m.Delays)
 }
@@ -379,6 +421,10 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 	if !validTenantID(m.Tenant) {
 		return nil, &errResp{Code: codeBadRequest,
 			Msg: fmt.Sprintf("invalid tenant ID %q (want 1-64 chars of [A-Za-z0-9_-])", m.Tenant)}
+	}
+	if m.Weight < 0 || m.Weight > maxTenantWeight {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("invalid tenant weight %d (want 0-%d; 0 selects 1)", m.Weight, maxTenantWeight)}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -418,15 +464,17 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 	t := &tenant{
 		id: m.Tenant, spec: m.Policy, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, st: st, sink: sink,
+		weight: max(m.Weight, 1), minDelay: minDelayOf(cfg.Delays),
 	}
 	if s.cfg.CheckpointDir != "" {
 		t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
 		t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
-		if err := writeMeta(t.metaPath, t.spec, t.qcap, cfg); err != nil {
+		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
 			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 		}
 	}
 	s.tenants[t.id] = t
+	s.sorted = nil
 	s.shardFor(t.id).add(t)
 	return &openResp{NextSeq: 0, Resumed: false}, nil
 }
@@ -450,6 +498,7 @@ func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 	}
 	s.mu.Lock()
 	delete(s.tenants, id)
+	s.sorted = nil
 	s.mu.Unlock()
 	s.shardFor(id).remove(t)
 	t.removeFiles()
@@ -458,14 +507,17 @@ func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 
 // ——— Durable tenant metadata and recovery ———
 
-const metaVersion = 1
+// metaVersion 2 appended the tenant weight; version-1 files (no weight,
+// implicitly 1) are still read so an upgrade restarts cleanly over an
+// old checkpoint directory.
+const metaVersion = 2
 
 // writeMeta persists the open-time facts a checkpoint blob does not
-// carry — the policy spec string and queue cap — plus the stream
-// configuration, so a restart can rebuild a tenant that crashed before
-// its first checkpoint. The payload rides in the same CRC-checked
-// container as checkpoints, written atomically.
-func writeMeta(path, spec string, qcap int, cfg sched.StreamConfig) error {
+// carry — the policy spec string, queue cap, and service weight — plus
+// the stream configuration, so a restart can rebuild a tenant that
+// crashed before its first checkpoint. The payload rides in the same
+// CRC-checked container as checkpoints, written atomically.
+func writeMeta(path, spec string, qcap, weight int, cfg sched.StreamConfig) error {
 	e := snap.NewEncoder()
 	e.Int(metaVersion)
 	e.String(spec)
@@ -474,25 +526,27 @@ func writeMeta(path, spec string, qcap int, cfg sched.StreamConfig) error {
 	e.Int(cfg.Speed)
 	e.Int(cfg.Delta)
 	e.Ints(cfg.Delays)
+	e.Int(weight)
 	if err := trace.SaveCheckpointState(path, e.Bytes()); err != nil {
 		return fmt.Errorf("serve: writing tenant metadata: %w", err)
 	}
 	return nil
 }
 
-func readMeta(path string) (spec string, qcap int, cfg sched.StreamConfig, err error) {
+func readMeta(path string) (spec string, qcap, weight int, cfg sched.StreamConfig, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", 0, cfg, err
+		return "", 0, 0, cfg, err
 	}
 	defer f.Close()
 	payload, err := trace.ReadCheckpoint(f)
 	if err != nil {
-		return "", 0, cfg, fmt.Errorf("serve: reading tenant metadata %s: %w", path, err)
+		return "", 0, 0, cfg, fmt.Errorf("serve: reading tenant metadata %s: %w", path, err)
 	}
 	d := snap.NewDecoder(payload)
-	if v := d.Int(); d.Err() == nil && v != metaVersion {
-		return "", 0, cfg, fmt.Errorf("serve: tenant metadata %s: version %d, this build reads %d", path, v, metaVersion)
+	v := d.Int()
+	if d.Err() == nil && (v < 1 || v > metaVersion) {
+		return "", 0, 0, cfg, fmt.Errorf("serve: tenant metadata %s: version %d, this build reads 1-%d", path, v, metaVersion)
 	}
 	spec = d.String()
 	qcap = d.Int()
@@ -500,10 +554,14 @@ func readMeta(path string) (spec string, qcap int, cfg sched.StreamConfig, err e
 	cfg.Speed = d.Int()
 	cfg.Delta = d.Int()
 	cfg.Delays = d.Ints()
-	if err := d.Done(); err != nil {
-		return "", 0, cfg, fmt.Errorf("serve: tenant metadata %s: %w", path, err)
+	weight = 1
+	if v >= 2 {
+		weight = d.Int()
 	}
-	return spec, qcap, cfg, nil
+	if err := d.Done(); err != nil {
+		return "", 0, 0, cfg, fmt.Errorf("serve: tenant metadata %s: %w", path, err)
+	}
+	return spec, qcap, weight, cfg, nil
 }
 
 // recover rebuilds every tenant whose metadata file survives in the
@@ -527,6 +585,7 @@ func (s *Server) recover() error {
 			return err
 		}
 		s.tenants[id] = t
+		s.sorted = nil
 		s.shardFor(id).add(t)
 		s.logf("serve: recovered tenant %s at round %d", id, t.st.Round())
 	}
@@ -536,7 +595,7 @@ func (s *Server) recover() error {
 func (s *Server) recoverTenant(id string) (*tenant, error) {
 	metaPath := filepath.Join(s.cfg.CheckpointDir, id+".meta")
 	ckptPath := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
-	spec, qcap, cfg, err := readMeta(metaPath)
+	spec, qcap, weight, cfg, err := readMeta(metaPath)
 	if err != nil {
 		return nil, err
 	}
@@ -548,6 +607,7 @@ func (s *Server) recoverTenant(id string) (*tenant, error) {
 	t := &tenant{
 		id: id, spec: spec, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, sink: sink,
+		weight: max(weight, 1), minDelay: minDelayOf(cfg.Delays),
 		ckptPath: ckptPath, metaPath: metaPath,
 	}
 	f, err := os.Open(ckptPath)
@@ -765,26 +825,23 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 			s.shardFor(cs.batch.Tenant).poke()
 		}
 		(&batchResp{Admitted: admitted, Round: round, QueueDepth: depth, Err: er}).encode(enc)
-	case msgStats:
+	case msgStats, msgStatsEx:
 		var m tenantMsg
 		m.decode(d)
 		if d.Done() != nil {
 			return bad("malformed stats request")
 		}
-		var rows []TenantStats
-		if m.Tenant != "" {
-			t := s.tenant(m.Tenant)
-			if t == nil {
-				(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + m.Tenant}).encode(enc)
-				return false
-			}
-			rows = []TenantStats{t.stats()}
-		} else {
-			for _, t := range s.tenantList() {
-				rows = append(rows, t.stats())
-			}
+		rows, er := s.statsRows(m.Tenant)
+		if er != nil {
+			er.encode(enc)
+			return false
 		}
-		encodeStatsResp(enc, rows)
+		if typ == msgStatsEx {
+			s.fillServiceShares(rows, m.Tenant == "")
+			encodeStatsRespEx(enc, rows)
+		} else {
+			encodeStatsResp(enc, rows)
+		}
 	case msgResult, msgDrain, msgCloseTenant, msgSnapshot:
 		var m tenantMsg
 		m.decode(d)
@@ -803,6 +860,68 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 		return bad(fmt.Sprintf("unknown message type %d", typ))
 	}
 	return false
+}
+
+// statsRows builds the stats rows for one tenant (id non-empty) or all.
+func (s *Server) statsRows(id string) ([]TenantStats, *errResp) {
+	if id != "" {
+		t := s.tenant(id)
+		if t == nil {
+			return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
+		}
+		return []TenantStats{t.stats()}, nil
+	}
+	var rows []TenantStats
+	for _, t := range s.tenantList() {
+		rows = append(rows, t.stats())
+	}
+	return rows, nil
+}
+
+// fillServiceShares computes each row's ServiceShare — its fraction of
+// every round tick the server has applied — against the live all-tenant
+// total, so even a single-tenant row reports its server-wide share.
+// allRows says rows already covers every tenant, letting the total come
+// from the rows themselves instead of a second locked walk.
+func (s *Server) fillServiceShares(rows []TenantStats, allRows bool) {
+	var total float64
+	if allRows {
+		for i := range rows {
+			total += float64(rows[i].ServedRounds)
+		}
+	} else {
+		for _, t := range s.tenantList() {
+			total += float64(t.servedRounds())
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for i := range rows {
+		rows[i].ServiceShare = float64(rows[i].ServedRounds) / total
+	}
+}
+
+// SchedSummary returns a one-line cross-tenant scheduling summary —
+// allocator, tenant count, aggregate backlog, and the worst live and
+// high-water delay factors with the tenants holding them — for periodic
+// operational logging (rrserved -stats-every).
+func (s *Server) SchedSummary() string {
+	rows, _ := s.statsRows("")
+	var backlog int64
+	var worst, worstHi float64
+	worstID, worstHiID := "-", "-"
+	for _, r := range rows {
+		backlog += int64(r.QueueDepth)
+		if worstID == "-" || r.DelayFactor > worst {
+			worst, worstID = r.DelayFactor, r.ID
+		}
+		if worstHiID == "-" || r.MaxDelayFactor > worstHi {
+			worstHi, worstHiID = r.MaxDelayFactor, r.ID
+		}
+	}
+	return fmt.Sprintf("sched: alloc=%s tenants=%d backlog=%d worst_df=%.3f(%s) max_df=%.3f(%s)",
+		s.alloc.Name(), len(rows), backlog, worst, worstID, worstHi, worstHiID)
 }
 
 // tenantCommand executes the single-tenant commands that share the

@@ -20,6 +20,16 @@ type tenant struct {
 	polName string             // the policy's display Name, for stats
 	cfg     sched.StreamConfig // normalized (Speed ≥ 1); Probe is sink
 	qcap    int
+	weight  int // provisioned service weight (≥ 1), immutable after open
+	// minDelay is the tightest delay bound in the tenant's menu; the
+	// tenant's delay factor is queued/minDelay (see TenantLoad).
+	minDelay int
+
+	// deficit is the weighted service this tenant is owed, the state of
+	// the cross-tenant allocator (alloc.go). It is owned by the tenant's
+	// single shard worker — only servePass reads or writes it — so it
+	// needs no lock.
+	deficit float64
 
 	mu     sync.Mutex
 	st     *sched.Stream
@@ -29,10 +39,12 @@ type tenant struct {
 	closed bool
 	failed error // a poisoned stream rejects all further commands
 
-	overloads   int64
-	badSeqs     int64
-	checkpoints int64
-	lastCkpt    int // round of the last snapshot taken
+	served         int64   // rounds applied by workers/drains, for service shares
+	maxDelayFactor float64 // high-water of queued/minDelay, sampled at admission
+	overloads      int64
+	badSeqs        int64
+	checkpoints    int64
+	lastCkpt       int // round of the last snapshot taken
 
 	ckptPath, metaPath string // "" = durability off
 
@@ -109,7 +121,41 @@ func (t *tenant) submitLocked(seq int, arrivals sched.Request, draining bool) *e
 		tick = append(make(sched.Request, 0, len(arrivals)), arrivals...)
 	}
 	t.queue = append(t.queue, tick)
+	if f := t.delayFactorLocked(); f > t.maxDelayFactor {
+		t.maxDelayFactor = f
+	}
 	return nil
+}
+
+// delayFactorLocked is the tenant's live delay factor: backlog over the
+// tightest delay bound in its menu. Callers hold mu.
+func (t *tenant) delayFactorLocked() float64 {
+	return float64(t.queuedLocked()) / float64(max(t.minDelay, 1))
+}
+
+// load snapshots the tenant's scheduling signal for the cross-tenant
+// allocator, reporting ok false when the tenant has no backlog.
+func (t *tenant) load() (TenantLoad, bool) {
+	t.mu.Lock()
+	q := t.queuedLocked()
+	t.mu.Unlock()
+	if q == 0 {
+		return TenantLoad{}, false
+	}
+	return TenantLoad{
+		Queued:   q,
+		MinDelay: max(t.minDelay, 1),
+		Weight:   max(t.weight, 1),
+		Deficit:  t.deficit,
+	}, true
+}
+
+// servedRounds reports the round ticks applied so far, for server-wide
+// service-share totals.
+func (t *tenant) servedRounds() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.served
 }
 
 // submitBatch admits ticks[i] as the round tick at sequence seq+i,
@@ -150,6 +196,7 @@ func (t *tenant) applyQueuedLocked(max int) (applied int) {
 		}
 		applied++
 	}
+	t.served += int64(applied)
 	return applied
 }
 
@@ -326,5 +373,11 @@ func (t *tenant) stats() TenantStats {
 		Overloads:    t.overloads,
 		BadSeqs:      t.badSeqs,
 		Checkpoints:  t.checkpoints,
+
+		Weight:         max(t.weight, 1),
+		MinDelay:       max(t.minDelay, 1),
+		ServedRounds:   t.served,
+		DelayFactor:    t.delayFactorLocked(),
+		MaxDelayFactor: t.maxDelayFactor,
 	}
 }

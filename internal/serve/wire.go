@@ -19,8 +19,13 @@
 // on its response, so many requests can be pipelined per connection and
 // acknowledged out of order or coalesced into one flush), and
 // msgSubmitBatch vectors K consecutive round ticks for one tenant into
-// one frame with a per-round admitted-prefix acknowledgement. Version-1
-// peers never send either and keep working unchanged.
+// one frame with a per-round admitted-prefix acknowledgement. Version 3
+// adds an optional trailing service weight to the open request and the
+// msgStatsEx command, whose rows extend the legacy stats row with the
+// cross-tenant scheduling fields (weight, delay factor, service share).
+// Version-1 and version-2 peers never send either and keep working
+// unchanged: the legacy msgStats request and response are byte-for-byte
+// identical across versions.
 //
 // # Rounds, sequence numbers, and exactly-once ingest
 //
@@ -48,9 +53,11 @@ import (
 )
 
 // ProtocolVersion is carried in every open request. Version 2 added
-// tagged frames (pipelining) and vectored submit batches; the server
-// still accepts version-1 peers, which simply never send either.
-const ProtocolVersion = 2
+// tagged frames (pipelining) and vectored submit batches; version 3
+// added the open request's optional tenant weight and the extended
+// stats command (msgStatsEx). The server still accepts older peers,
+// which simply never send any of these.
+const ProtocolVersion = 3
 
 // MinProtocolVersion is the oldest version the server still speaks.
 // Version-1 clients use strict request/response with untagged frames;
@@ -98,6 +105,12 @@ const (
 	// rounds. Admission is per round and strictly sequential, so the
 	// response names the admitted prefix plus the first rejection.
 	msgSubmitBatch
+	// msgStatsEx (protocol v3) shares msgStats' request shape but answers
+	// with extended rows: the legacy fields followed by the cross-tenant
+	// scheduling fields (weight, min delay, served rounds, delay factors,
+	// service share). The legacy msgStats response is left byte-identical
+	// so older clients keep decoding it.
+	msgStatsEx
 )
 
 // writeFrame sends one length-prefixed frame.
@@ -149,6 +162,10 @@ type openMsg struct {
 	Delta    int
 	QueueCap int
 	Delays   []int
+	// Weight is the tenant's cross-tenant service weight (protocol v3,
+	// encoded as an optional trailing field: older peers simply end the
+	// message before it, which decodes as 0 and is normalized to 1).
+	Weight int
 }
 
 func (m *openMsg) encode(e *snap.Encoder) {
@@ -161,6 +178,7 @@ func (m *openMsg) encode(e *snap.Encoder) {
 	e.Int(m.Delta)
 	e.Int(m.QueueCap)
 	e.Ints(m.Delays)
+	e.Int(m.Weight)
 }
 
 func (m *openMsg) decode(d *snap.Decoder) {
@@ -172,6 +190,10 @@ func (m *openMsg) decode(d *snap.Decoder) {
 	m.Delta = d.Int()
 	m.QueueCap = d.Int()
 	m.Delays = d.Ints()
+	m.Weight = 0
+	if d.Err() == nil && d.Remaining() > 0 {
+		m.Weight = d.Int()
+	}
 }
 
 // openResp acknowledges an open: NextSeq is the sequence number the
@@ -385,6 +407,22 @@ type TenantStats struct {
 	Overloads   int64 `json:"overloads"`
 	BadSeqs     int64 `json:"bad_seqs"`
 	Checkpoints int64 `json:"checkpoints"`
+	// Cross-tenant scheduling fields (protocol v3, carried only by the
+	// extended stats command — a legacy msgStats row leaves them zero).
+	//
+	// Weight is the tenant's provisioned service weight; MinDelay the
+	// tightest bound in its delay menu. DelayFactor = QueueDepth/MinDelay
+	// is the live backlog pressure signal the allocator escalates on, and
+	// MaxDelayFactor its high-water mark sampled at admission (since this
+	// process started). ServedRounds counts round ticks applied by shard
+	// workers; ServiceShare is this tenant's fraction of every round the
+	// server has applied. See docs/SCHEDULING.md.
+	Weight         int     `json:"weight,omitempty"`
+	MinDelay       int     `json:"min_delay,omitempty"`
+	ServedRounds   int64   `json:"served_rounds,omitempty"`
+	DelayFactor    float64 `json:"delay_factor,omitempty"`
+	MaxDelayFactor float64 `json:"max_delay_factor,omitempty"`
+	ServiceShare   float64 `json:"service_share,omitempty"`
 }
 
 func (s *TenantStats) encode(e *snap.Encoder) {
@@ -425,6 +463,29 @@ func (s *TenantStats) decode(d *snap.Decoder) {
 	s.Checkpoints = d.Int64()
 }
 
+// encodeEx appends the protocol-v3 scheduling fields after the legacy
+// row. Only msgStatsEx responses carry them; the legacy msgStats row
+// stays byte-identical for older clients.
+func (s *TenantStats) encodeEx(e *snap.Encoder) {
+	s.encode(e)
+	e.Int(s.Weight)
+	e.Int(s.MinDelay)
+	e.Int64(s.ServedRounds)
+	e.Float64(s.DelayFactor)
+	e.Float64(s.MaxDelayFactor)
+	e.Float64(s.ServiceShare)
+}
+
+func (s *TenantStats) decodeEx(d *snap.Decoder) {
+	s.decode(d)
+	s.Weight = d.Int()
+	s.MinDelay = d.Int()
+	s.ServedRounds = d.Int64()
+	s.DelayFactor = d.Float64()
+	s.MaxDelayFactor = d.Float64()
+	s.ServiceShare = d.Float64()
+}
+
 func encodeStatsResp(e *snap.Encoder, rows []TenantStats) {
 	e.Uint64(msgStats)
 	e.Int(len(rows))
@@ -442,6 +503,31 @@ func decodeStatsResp(d *snap.Decoder) []TenantStats {
 	for i := 0; i < n; i++ {
 		var s TenantStats
 		s.decode(d)
+		if d.Err() != nil {
+			return nil
+		}
+		rows = append(rows, s)
+	}
+	return rows
+}
+
+func encodeStatsRespEx(e *snap.Encoder, rows []TenantStats) {
+	e.Uint64(msgStatsEx)
+	e.Int(len(rows))
+	for i := range rows {
+		rows[i].encodeEx(e)
+	}
+}
+
+func decodeStatsRespEx(d *snap.Decoder) []TenantStats {
+	n := d.Len()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	rows := make([]TenantStats, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var s TenantStats
+		s.decodeEx(d)
 		if d.Err() != nil {
 			return nil
 		}

@@ -61,13 +61,7 @@ func Names() []string {
 // verification harness checking the server's results, say — reconstruct
 // bit-identical instances.
 func Tenant(name string, p Params, tenant int) (*sched.Instance, error) {
-	x := p.Seed + 0x9E3779B97F4A7C15*uint64(tenant+1)
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	p.Seed = x
+	p.Seed = splitmix(p.Seed, tenant)
 	inst, err := ByName(name, p)
 	if err != nil {
 		return nil, err

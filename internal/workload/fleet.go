@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/sched"
+)
+
+// splitmix derives an independent per-tenant seed from a fleet seed by
+// one splitmix64 step, so every tenant's trace is decorrelated while
+// any two parties agreeing on (seed, tenant) reconstruct it
+// bit-identically.
+func splitmix(seed uint64, tenant int) uint64 {
+	x := seed + 0x9E3779B97F4A7C15*uint64(tenant+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// SkewedFleet builds the per-tenant traces of a heavy-tailed
+// multi-tenant fleet: tenant 0 is an adversarial Appendix-A instance —
+// the paper's lower-bound construction, a deep reconfiguration-forcing
+// burst — and tenants 1..tenants-1 replay router traces whose offered
+// load decays like a Zipf law (tenant i carries load/i^s jobs per
+// round over rounds rounds). The result is the production shape the
+// cross-tenant allocator exists for: one hostile deep queue, a few
+// heavy steady tenants, and a long tail of light ones, all
+// deterministic in (seed, tenants).
+func SkewedFleet(seed uint64, tenants, delta, rounds int, s, load float64) ([]*sched.Instance, error) {
+	if tenants < 2 {
+		return nil, fmt.Errorf("workload: skewed fleet needs at least 2 tenants, got %d", tenants)
+	}
+	if delta <= 0 {
+		delta = 8
+	}
+	if rounds <= 0 {
+		rounds = 64
+	}
+	if s <= 0 {
+		s = 1.0
+	}
+	if load <= 0 {
+		load = 6
+	}
+	insts := make([]*sched.Instance, tenants)
+	// Appendix A needs 2^k > 2^{j+1} > n·Δ; derive the smallest such
+	// exponents so any delta works.
+	const n = 8
+	j := bits.Len(uint(n * delta))
+	adv, err := AppendixA(n, delta, j, j+2)
+	if err != nil {
+		return nil, fmt.Errorf("workload: skewed fleet adversary: %w", err)
+	}
+	// Amplify the construction's batch counts: the lower-bound *pattern*
+	// (which colors burst when) is the paper's, but each round must carry
+	// enough jobs that applying it costs real worker time — an adversary
+	// whose rounds are cheaper to apply than to admit cannot crowd anyone
+	// out of a shard worker, whatever the allocator.
+	const amp = 50
+	for _, req := range adv.Requests {
+		for i := range req {
+			req[i].Count *= amp
+		}
+	}
+	adv.Name = fmt.Sprintf("skewed/adversary(%s)", adv.Name)
+	insts[0] = adv
+	for i := 1; i < tenants; i++ {
+		inst := Router(splitmix(seed, i), 4, delta, rounds, load/math.Pow(float64(i), s))
+		inst.Name = fmt.Sprintf("skewed/tenant%d(%s)", i, inst.Name)
+		insts[i] = inst
+	}
+	return insts, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import "testing"
+
+func TestSkewedFleetDeterministic(t *testing.T) {
+	a, err := SkewedFleet(42, 8, 8, 64, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkewedFleet(42, 8, 8, 64, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("fleet sizes %d, %d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].NumRounds() != b[i].NumRounds() {
+			t.Fatalf("tenant %d differs across identical builds: %q/%d vs %q/%d",
+				i, a[i].Name, a[i].NumRounds(), b[i].Name, b[i].NumRounds())
+		}
+		ja, jb := 0, 0
+		for _, r := range a[i].Requests {
+			ja += r.Jobs()
+		}
+		for _, r := range b[i].Requests {
+			jb += r.Jobs()
+		}
+		if ja != jb {
+			t.Fatalf("tenant %d job totals differ: %d vs %d", i, ja, jb)
+		}
+	}
+}
+
+func TestSkewedFleetShape(t *testing.T) {
+	insts, err := SkewedFleet(7, 16, 8, 64, 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := func(i int) int {
+		n := 0
+		for _, r := range insts[i].Requests {
+			n += r.Jobs()
+		}
+		return n
+	}
+	if jobs(0) == 0 {
+		t.Fatal("adversarial tenant 0 has no jobs")
+	}
+	// The victim tail must be Zipf-skewed: the heaviest victim carries
+	// several times the lightest one's load.
+	head, tail := jobs(1), jobs(len(insts)-1)
+	if tail == 0 {
+		t.Fatal("lightest victim has no jobs; the tail should stay mildly active")
+	}
+	if head < 4*tail {
+		t.Fatalf("victim load not skewed: head %d, tail %d", head, tail)
+	}
+	if _, err := SkewedFleet(7, 1, 8, 64, 1, 8); err == nil {
+		t.Fatal("SkewedFleet accepted a 1-tenant fleet")
+	}
+}
