@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke docscheck check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke proxysmoke docscheck check experiments fmt vet clean
 
 all: build test
 
@@ -18,7 +18,7 @@ race:
 # pre-commit subset. The offline package runs in -short mode: the full
 # differential corpus under the race detector belongs to `make race`.
 race-hot:
-	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/
+	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/ ./internal/proxy/
 	go test -race -count=1 -short ./internal/offline/
 
 cover:
@@ -62,6 +62,14 @@ faultsmoke:
 servesmoke:
 	go test -count=1 ./internal/serve/
 
+# The fleet smoke (docs/SERVER.md "Fleet"): the rrproxy router tier
+# fresh — rendezvous placement stability, stats/ping fan-out, a verified
+# load run through the proxy in both driver modes, a live tenant
+# migration mid-run, and the 3-backend failover harness that kills a
+# primary mid-run and requires bit-identical results via standby replay.
+proxysmoke:
+	go test -count=1 ./internal/proxy/
+
 # The exact-solver smoke: the branch-and-bound optimum pinned
 # bit-identical to the legacy DFS on the differential corpus, at several
 # worker counts, plus the wide-key fallback. Fresh runs, never cached.
@@ -78,7 +86,7 @@ docscheck:
 # race-detector subset on the hot-path packages, the fault-injection,
 # exact-solver and server harnesses, then the full test suite under the
 # race detector.
-check: vet docscheck race-hot faultsmoke optsmoke servesmoke race
+check: vet docscheck race-hot faultsmoke optsmoke servesmoke proxysmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -94,6 +94,9 @@ func main() {
 		if rep.WorstDelayTenant != "" {
 			fmt.Printf("worst delay factor %.3f (%s)  service share min %.4f  max %.4f\n",
 				rep.WorstDelayFactor, rep.WorstDelayTenant, rep.ServiceShareMin, rep.ServiceShareMax)
+		} else if rep.SchedReadoutDegraded {
+			fmt.Printf("sched readout degraded: pre-v3 server, no delay-factor/share stats; worst backlog %d (%s)\n",
+				rep.WorstBacklog, rep.WorstBacklogTenant)
 		}
 	}
 	if *verify {

@@ -74,15 +74,10 @@ func main() {
 	}
 	logf("rrserved: listening on %s (%d tenants recovered)", srv.Addr(), srv.NumTenants())
 
-	if *statsInt > 0 {
-		go func() {
-			tk := time.NewTicker(*statsInt)
-			defer tk.Stop()
-			for range tk.C {
-				logf("rrserved: %s", srv.SchedSummary())
-			}
-		}()
-	}
+	// The logger goroutine is joined to the server's worker group, so it
+	// stops — and cannot log — once Shutdown begins (the old inline
+	// ticker goroutine leaked past shutdown and could log after close).
+	srv.StartStatsLogger(*statsInt)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

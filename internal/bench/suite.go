@@ -11,6 +11,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/offline"
 	"repro/internal/policy"
+	"repro/internal/proxy"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -34,10 +35,13 @@ func DefaultSuite() []Spec {
 		exactSpec("exact/bb/small", smallExactInstance, false),
 		exactSpec("exact/ref/small", smallExactInstance, true),
 		bracketSpec("exact/bracket/small", smallExactInstance),
-		serveSubmitSpec("serve/submit/1tenant", 1),
-		serveSubmitSpec("serve/submit/64tenants", 64),
-		servePipelinedSpec("serve/submit/pipelined/1tenant", 1, 64, 32),
-		servePipelinedSpec("serve/submit/pipelined/64tenants", 64, 64, 32),
+		serveSubmitSpec("serve/submit/1tenant", 1, serveServer),
+		serveSubmitSpec("serve/submit/64tenants", 64, serveServer),
+		servePipelinedSpec("serve/submit/pipelined/1tenant", 1, 64, 32, serveServer),
+		servePipelinedSpec("serve/submit/pipelined/64tenants", 64, 64, 32, serveServer),
+		serveSubmitSpec("serve/proxy/submit/1tenant", 1, proxyServer),
+		serveSubmitSpec("serve/proxy/submit/64tenants", 64, proxyServer),
+		servePipelinedSpec("serve/proxy/submit/pipelined/1tenant", 1, 64, 32, proxyServer),
 		serveStatsSpec("serve/stats/64tenants", 64, false),
 		serveStatsSpec("serve/stats-ex/64tenants", 64, true),
 		serveSkewedSpec("serve/skewed/wdrr/64tenants", "wdrr"),
@@ -188,7 +192,36 @@ func serveServer(name string, tenants int) (*serve.Client, []string) {
 		panic(fmt.Sprintf("bench: %s: %v", name, err))
 	}
 	go srv.Serve()
-	cl, err := serve.Dial(srv.Addr().String())
+	return openBenchTenants(name, srv.Addr().String(), tenants)
+}
+
+// proxyServer boots a 3-backend fleet behind an rrproxy router with the
+// client connected to the proxy, for the serve/proxy/* specs. They pair
+// with the serve/submit/* specs built on serveServer: the delta between
+// a spec and its proxied twin is the routing tier's per-round tax (peek,
+// route, relay, extra loopback hop). Same teardown caveat as
+// serveServer.
+func proxyServer(name string, tenants int) (*serve.Client, []string) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		srv, err := serve.NewServer(serve.Config{Addr: "127.0.0.1:0", DefaultQueueCap: 4096})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %s: %v", name, err))
+		}
+		go srv.Serve()
+		addrs[i] = srv.Addr().String()
+	}
+	px, err := proxy.New(proxy.Config{Addr: "127.0.0.1:0", Backends: addrs})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", name, err))
+	}
+	go px.Serve()
+	return openBenchTenants(name, px.Addr().String(), tenants)
+}
+
+// openBenchTenants dials addr and opens the standard bench tenants.
+func openBenchTenants(name, addr string, tenants int) (*serve.Client, []string) {
+	cl, err := serve.Dial(addr)
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", name, err))
 	}
@@ -210,10 +243,11 @@ func serveServer(name string, tenants int) (*serve.Client, []string) {
 // loopback TCP — frame encode, server decode, admission, eager round
 // application and the acknowledgement — rotating across tenants. This
 // is the served counterpart of step/*: the delta between them is the
-// wire and admission overhead per round.
-func serveSubmitSpec(name string, tenants int) Spec {
+// wire and admission overhead per round. boot picks the topology —
+// serveServer measures the direct path, proxyServer the routed one.
+func serveSubmitSpec(name string, tenants int, boot func(string, int) (*serve.Client, []string)) Spec {
 	return Spec{Name: name, Make: func() (func() error, Rates) {
-		cl, ids := serveServer(name, tenants)
+		cl, ids := boot(name, tenants)
 		req := sched.Request{
 			{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
 			{Color: 1, Count: 1}, {Color: 7, Count: 2},
@@ -250,10 +284,11 @@ func serveSubmitSpec(name string, tenants int) Spec {
 // into a pipelined window of tagged frames, so the round trip is
 // amortized over the window and the framing over the batch. The ratio
 // of its rounds_per_sec to serve/submit/*'s is the wire-path tax the
-// pipelining recovers; the floor is step/*, the bare engine cost.
-func servePipelinedSpec(name string, tenants, window, batch int) Spec {
+// pipelining recovers; the floor is step/*, the bare engine cost. boot
+// picks the topology, as in serveSubmitSpec.
+func servePipelinedSpec(name string, tenants, window, batch int, boot func(string, int) (*serve.Client, []string)) Spec {
 	return Spec{Name: name, Make: func() (func() error, Rates) {
-		cl, ids := serveServer(name, tenants)
+		cl, ids := boot(name, tenants)
 		req := sched.Request{
 			{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
 			{Color: 1, Count: 1}, {Color: 7, Count: 2},

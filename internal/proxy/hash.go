@@ -1,0 +1,28 @@
+package proxy
+
+import "hash/fnv"
+
+// Pick returns the index of the node owning key under rendezvous
+// (highest-random-weight) hashing, or -1 when nodes is empty.
+//
+// Rendezvous hashing was chosen over a virtual-node ring (see
+// docs/SERVER.md "Fleet"): every (key, node) pair gets an independent
+// pseudo-random score and the key lives on its highest-scoring node, so
+// removing a node moves exactly the keys that lived on it — provably
+// minimal disruption with no virtual-node count to tune — and the O(n)
+// scan per lookup is noise at router fleet sizes (a few dozen backends)
+// next to a network round trip. Ties break to the lower index so the
+// choice is deterministic across proxies sharing a backend list.
+func Pick(nodes []string, key string) int {
+	best, bestScore := -1, uint64(0)
+	for i, node := range nodes {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+		h.Write([]byte(node))
+		if s := h.Sum64(); best < 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

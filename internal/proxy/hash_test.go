@@ -1,0 +1,87 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPickEmptyAndSingle(t *testing.T) {
+	if got := Pick(nil, "k"); got != -1 {
+		t.Fatalf("Pick(nil) = %d, want -1", got)
+	}
+	if got := Pick([]string{"only"}, "k"); got != 0 {
+		t.Fatalf("Pick(single) = %d, want 0", got)
+	}
+}
+
+// TestPickDeterministic pins that placement depends only on (nodes,
+// key) — proxies sharing a backend list must agree.
+func TestPickDeterministic(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3"}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("tenant-%03d", i)
+		first := Pick(nodes, key)
+		for rep := 0; rep < 3; rep++ {
+			if got := Pick(nodes, key); got != first {
+				t.Fatalf("Pick(%q) flapped: %d then %d", key, first, got)
+			}
+		}
+	}
+}
+
+// TestPickDistribution: rendezvous scores are independent per node, so
+// a large key population spreads roughly evenly.
+func TestPickDistribution(t *testing.T) {
+	nodes := []string{"10.0.0.1:7145", "10.0.0.2:7145", "10.0.0.3:7145"}
+	const keys = 9000
+	counts := make([]int, len(nodes))
+	for i := 0; i < keys; i++ {
+		counts[Pick(nodes, fmt.Sprintf("load-%04d", i))]++
+	}
+	want := keys / len(nodes)
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %d got %d of %d keys (counts %v) — distribution badly skewed", i, c, keys, counts)
+		}
+	}
+}
+
+// TestPickStability pins rendezvous hashing's minimal-disruption
+// property, the reason it was chosen (docs/SERVER.md "Fleet"): adding a
+// node moves keys only onto the new node (about 1/(n+1) of them), and
+// removing a node moves only the keys that lived on it.
+func TestPickStability(t *testing.T) {
+	base := []string{"a:1", "b:2", "c:3"}
+	grown := append(append([]string{}, base...), "d:4")
+	const keys = 8000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%05d", i)
+		before, after := Pick(base, key), Pick(grown, key)
+		if base[before] != grown[after] {
+			if grown[after] != "d:4" {
+				t.Fatalf("key %q moved %s → %s on node ADD — only moves onto the new node are allowed",
+					key, base[before], grown[after])
+			}
+			moved++
+		}
+	}
+	// Expect about keys/4 to land on the new node; allow a wide band.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved when growing 3 → 4 nodes, want about %d", moved, keys, keys/4)
+	}
+
+	// Removal: keys on the surviving nodes must not move at all.
+	shrunk := []string{"a:1", "c:3"} // b removed
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%05d", i)
+		before := Pick(base, key)
+		if base[before] == "b:2" {
+			continue // its keys must re-home, anywhere
+		}
+		if after := Pick(shrunk, key); shrunk[after] != base[before] {
+			t.Fatalf("key %q moved %s → %s on node REMOVE of an unrelated node",
+				key, base[before], shrunk[after])
+		}
+	}
+}

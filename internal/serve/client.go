@@ -316,6 +316,74 @@ func (c *Client) Snapshot(tenant string) ([]byte, error) {
 	return blob, nil
 }
 
+// ReleasedTenant is everything Release hands back — the tenant's
+// configuration as opened, the sequence number the next Submit must
+// carry wherever the tenant lands, and the state blob Restore accepts.
+type ReleasedTenant struct {
+	Config  TenantConfig
+	NextSeq int
+	Blob    []byte
+}
+
+// Release is the source half of a live migration (protocol v4): the
+// server flushes the tenant's admission queue, snapshots it, deletes
+// its durable state, and replaces it with a tombstone that answers
+// every later command — including re-opens — with the retryable
+// ErrDraining until a Restore brings the tenant back. Feed the returned
+// state to Restore on the migration target.
+func (c *Client) Release(tenant string) (*ReleasedTenant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&tenantMsg{Type: msgRelease, Tenant: tenant}).encode(c.enc)
+	d, err := c.roundtrip(msgRelease)
+	if err != nil {
+		return nil, err
+	}
+	var r releaseResp
+	r.decode(d)
+	if err := c.done(d); err != nil {
+		return nil, err
+	}
+	return &ReleasedTenant{
+		Config: TenantConfig{
+			Policy: r.Policy, N: r.N, Speed: r.Speed, Delta: r.Delta,
+			Delays: r.Delays, QueueCap: r.QueueCap, Weight: r.Weight,
+		},
+		NextSeq: r.NextSeq,
+		Blob:    r.Blob,
+	}, nil
+}
+
+// Restore installs a released tenant snapshot on the server (protocol
+// v4): the target half of a live migration. The declared configuration
+// must match the one embedded in the blob. nextSeq is the sequence
+// number the tenant's next Submit must carry on this server — it equals
+// the ReleasedTenant's NextSeq when the blob came from Release.
+// Restoring a tenant that is already open (and not a migration
+// tombstone) fails with ErrTenantExists.
+func (c *Client) Restore(tenant string, tc TenantConfig, blob []byte) (nextSeq int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	(&restoreMsg{
+		Version: ProtocolVersion, Tenant: tenant, Policy: tc.Policy,
+		N: tc.N, Speed: tc.Speed, Delta: tc.Delta,
+		QueueCap: tc.QueueCap, Delays: tc.Delays, Weight: tc.Weight,
+		Blob: blob,
+	}).encode(c.enc)
+	d, err := c.roundtrip(msgRestore)
+	if err != nil {
+		return 0, err
+	}
+	var r restoreResp
+	r.decode(d)
+	if err := c.done(d); err != nil {
+		return 0, err
+	}
+	return r.NextSeq, nil
+}
+
 // Ping checks liveness, reporting whether the server is draining and
 // how many tenants it hosts.
 func (c *Client) Ping() (draining bool, tenants int, err error) {

@@ -74,6 +74,12 @@ func FuzzFrameDecode(f *testing.F) {
 		(&submitMsg{Tenant: "fuzz", Seq: 0,
 			Arrivals: sched.Request{{Color: 0, Count: 2}}}).encode(e)
 	})
+	// Protocol v4: the migration pair.
+	seed(func(e *snap.Encoder) {
+		(&restoreMsg{Version: ProtocolVersion, Tenant: "fuzz2", Policy: "edf",
+			N: 4, Delta: 4, Delays: []int{2, 6}, Weight: 1, Blob: []byte{1, 2, 3}}).encode(e)
+	})
+	seed(func(e *snap.Encoder) { (&tenantMsg{Type: msgRelease, Tenant: "fuzz"}).encode(e) })
 	seed(func(e *snap.Encoder) {
 		e.Uint64(msgTagged)
 		e.Uint64(9)
@@ -149,10 +155,16 @@ func processBody(t *testing.T, s *Server, body []byte) {
 				before, ft.nextSeq(), body)
 		}
 	}
-	// A mutated close frame can legitimately remove the fuzz tenant;
-	// restore it so later inputs still reach the tenant-addressed
-	// handlers.
-	if s.tenant("fuzz") == nil {
+	// A mutated close frame can legitimately remove the fuzz tenant, and
+	// a release frame can tombstone it; restore it so later inputs still
+	// reach the tenant-addressed handlers.
+	if ft := s.tenant("fuzz"); ft == nil || ft.isReleased() {
+		if ft != nil {
+			s.mu.Lock()
+			delete(s.tenants, "fuzz")
+			s.sorted = nil
+			s.mu.Unlock()
+		}
 		s.open(&openMsg{Version: ProtocolVersion, Tenant: "fuzz", Policy: "edf",
 			N: 4, Delta: 4, Delays: []int{2, 6}})
 	}

@@ -133,6 +133,14 @@ type LoadReport struct {
 	ServiceShareMin  float64 `json:"service_share_min,omitempty"`
 	ServiceShareMax  float64 `json:"service_share_max,omitempty"`
 
+	// SchedReadoutDegraded marks a readout fetched over the legacy
+	// pre-v3 stats command because the server does not answer the
+	// extended one: the DF/share fields above are unavailable (zero) and
+	// the worst-backlog pair below stands in for them.
+	SchedReadoutDegraded bool   `json:"sched_readout_degraded,omitempty"`
+	WorstBacklog         int    `json:"worst_backlog,omitempty"`
+	WorstBacklogTenant   string `json:"worst_backlog_tenant,omitempty"`
+
 	// Mismatches lists tenants whose server Result differed from the
 	// local replay (only populated with Verify; empty = bit-identical).
 	Mismatches []string `json:"mismatches,omitempty"`
@@ -238,17 +246,29 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 // fillSchedReadout fetches the load tenants' extended stats rows and
 // fills the report's scheduling fields: the worst delay-factor
-// high-water mark and the service-share spread. Best-effort — a failed
-// fetch (server gone, or too old for msgStatsEx) leaves them zero.
+// high-water mark and the service-share spread. A server too old for
+// msgStatsEx (pre-v3) answers the legacy stats command instead; the
+// readout then degrades to the worst MaxPending backlog with
+// SchedReadoutDegraded set, rather than staying silently empty.
+// Best-effort — a server that is gone leaves everything zero.
 func (rep *LoadReport) fillSchedReadout(cfg *LoadConfig) {
 	c, err := Dial(cfg.Addr)
 	if err != nil {
 		return
 	}
-	defer c.Close()
+	defer func() { c.Close() }() // c is rebound on the compat fallback
 	rows, err := c.Stats("")
 	if err != nil {
-		return
+		// The failed extended request poisoned the client; a pre-v3
+		// server needs a fresh connection for the legacy command.
+		c.Close()
+		if c, err = Dial(cfg.Addr); err != nil {
+			return
+		}
+		if rows, err = c.StatsCompat(""); err != nil {
+			return
+		}
+		rep.SchedReadoutDegraded = true
 	}
 	want := make(map[string]bool, cfg.Tenants)
 	for i := 0; i < cfg.Tenants; i++ {
@@ -258,6 +278,15 @@ func (rep *LoadReport) fillSchedReadout(cfg *LoadConfig) {
 	for _, r := range rows {
 		if !want[r.ID] {
 			continue // a shared server may host unrelated tenants
+		}
+		if rep.SchedReadoutDegraded {
+			// Legacy rows carry no DF/share fields; fold the deepest
+			// backlog high-water instead.
+			if first || r.MaxPending > rep.WorstBacklog {
+				rep.WorstBacklog, rep.WorstBacklogTenant = r.MaxPending, r.ID
+			}
+			first = false
+			continue
 		}
 		if first || r.MaxDelayFactor > rep.WorstDelayFactor {
 			rep.WorstDelayFactor, rep.WorstDelayTenant = r.MaxDelayFactor, r.ID

@@ -196,11 +196,18 @@ func NewServer(cfg Config) (*Server, error) {
 // Addr reports the bound listen address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// NumTenants reports the number of live tenants.
+// NumTenants reports the number of live tenants. Released migration
+// tombstones are not counted — their state lives on another server.
 func (s *Server) NumTenants() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.tenants)
+	n := 0
+	for _, t := range s.tenants {
+		if !t.isReleased() {
+			n++
+		}
+	}
+	return n
 }
 
 // Serve accepts connections until the listener closes. It returns nil
@@ -429,6 +436,12 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t := s.tenants[m.Tenant]; t != nil {
+		// A released tombstone keeps re-opens at bay until the migration
+		// settles: forking a fresh stream at sequence 0 here would split
+		// the tenant's history across two servers.
+		if t.isReleased() {
+			return nil, &errResp{Code: codeDraining, Msg: "tenant " + m.Tenant + " is migrating"}
+		}
 		if !t.matches(m, s.cfg.DefaultQueueCap) {
 			return nil, &errResp{Code: codeTenantExists,
 				Msg: "tenant " + m.Tenant + " exists with a different configuration"}
@@ -492,6 +505,9 @@ func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 	if t == nil {
 		return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
 	}
+	if t.isReleased() {
+		return nil, &errResp{Code: codeDraining, Msg: "tenant " + id + " is migrating"}
+	}
 	res, err := t.drainAndClose()
 	if err != nil {
 		return nil, &errResp{Code: codeInternal, Msg: err.Error()}
@@ -503,6 +519,147 @@ func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 	s.shardFor(id).remove(t)
 	t.removeFiles()
 	return res, nil
+}
+
+// release hands tenant id's state out of this server: flush its queue,
+// snapshot, tombstone it (the tenant struct stays in the table answering
+// every later command with a retryable draining error), unregister it
+// from its shard and delete its durable files. The returned response
+// carries everything a restore on the migration target needs.
+func (s *Server) release(id string) (*releaseResp, *errResp) {
+	t := s.tenant(id)
+	if t == nil {
+		return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
+	}
+	resp, er := t.release()
+	if er != nil {
+		return nil, er
+	}
+	s.shardFor(id).remove(t)
+	t.removeFiles()
+	s.logf("serve: released tenant %s at round %d", id, resp.NextSeq)
+	return resp, nil
+}
+
+// restore installs a released tenant snapshot on this server: validate
+// the declared configuration against the one embedded in the blob,
+// rebuild the stream at its snapshotted round, persist metadata plus the
+// blob as the tenant's first checkpoint (so a crash right after the
+// route flip recovers at the restored round, not at zero), and register
+// the tenant. Restoring over a released tombstone is allowed — that is
+// how a tenant migrates back — but an open tenant rejects the restore.
+func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
+	if m.Version < MinProtocolVersion || m.Version > ProtocolVersion {
+		return nil, &errResp{Code: codeBadVersion,
+			Msg: fmt.Sprintf("protocol version %d, server speaks %d-%d", m.Version, MinProtocolVersion, ProtocolVersion)}
+	}
+	if !validTenantID(m.Tenant) {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("invalid tenant ID %q (want 1-64 chars of [A-Za-z0-9_-])", m.Tenant)}
+	}
+	if m.Weight < 0 || m.Weight > maxTenantWeight {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("invalid tenant weight %d (want 0-%d; 0 selects 1)", m.Weight, maxTenantWeight)}
+	}
+	pol, err := NewPolicy(m.Policy)
+	if err != nil {
+		return nil, &errResp{Code: codeBadPolicy, Msg: err.Error()}
+	}
+	cfg := sched.StreamConfig{N: m.N, Speed: m.Speed, Delta: m.Delta, Delays: slices.Clone(m.Delays)}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
+	// The blob embeds the configuration it was snapshotted under; a
+	// mismatch with the declared one proves the blob belongs to some
+	// other tenant (or got corrupted in transit) — reject before any
+	// state is created.
+	pcfg, polName, perr := sched.PeekSnapshot(m.Blob)
+	if perr != nil {
+		return nil, &errResp{Code: codeBadRequest, Msg: fmt.Sprintf("restore blob: %v", perr)}
+	}
+	if pcfg.N != cfg.N || pcfg.Speed != cfg.Speed || pcfg.Delta != cfg.Delta || !slices.Equal(pcfg.Delays, cfg.Delays) {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: "restore blob configuration does not match the declared configuration"}
+	}
+	if polName != pol.Name() {
+		return nil, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("restore blob policy %q does not match declared policy %q", polName, pol.Name())}
+	}
+	qcap := m.QueueCap
+	if qcap <= 0 {
+		qcap = s.cfg.DefaultQueueCap
+	}
+	sink := newSink(cfg)
+	st, err := sched.RestoreStream(pol, m.Blob, sink)
+	if err != nil {
+		return nil, &errResp{Code: codeBadRequest, Msg: fmt.Sprintf("restore blob: %v", err)}
+	}
+	t := &tenant{
+		id: m.Tenant, spec: m.Policy, polName: pol.Name(),
+		cfg: cfg, qcap: qcap, st: st, sink: sink,
+		weight: max(m.Weight, 1), minDelay: minDelayOf(cfg.Delays),
+	}
+	s.mu.Lock()
+	if old := s.tenants[m.Tenant]; old != nil && !old.isReleased() {
+		s.mu.Unlock()
+		return nil, &errResp{Code: codeTenantExists, Msg: "tenant " + m.Tenant + " is already open"}
+	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, &errResp{Code: codeDraining, Msg: "server is draining"}
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		s.mu.Unlock()
+		return nil, &errResp{Code: codeOverloaded,
+			Msg: fmt.Sprintf("tenant limit %d reached", s.cfg.MaxTenants)}
+	}
+	if s.cfg.CheckpointDir != "" {
+		t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
+		t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
+		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
+			s.mu.Unlock()
+			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
+		}
+		if round := st.Round(); round > 0 {
+			if err := trace.SaveCheckpointState(t.ckptPath, m.Blob); err != nil {
+				s.mu.Unlock()
+				return nil, &errResp{Code: codeInternal, Msg: fmt.Sprintf("serve: tenant %s: writing restore checkpoint: %v", t.id, err)}
+			}
+			t.lastCkpt = round
+			t.writtenRound = round
+		}
+	}
+	s.tenants[t.id] = t
+	s.sorted = nil
+	s.mu.Unlock()
+	s.shardFor(t.id).add(t)
+	s.logf("serve: restored tenant %s at round %d", t.id, st.Round())
+	return &restoreResp{NextSeq: st.Round()}, nil
+}
+
+// StartStatsLogger starts a goroutine that logs SchedSummary through
+// Config.Logf every interval, joined to the server's worker group: it
+// stops — and can no longer log — before Shutdown or Close returns.
+// Call it before either; a non-positive interval, a draining server, or
+// a nil Logf is a no-op. It is the engine behind rrserved -stats-every.
+func (s *Server) StartStatsLogger(every time.Duration) {
+	if every <= 0 || s.cfg.Logf == nil || s.draining.Load() {
+		return
+	}
+	s.shardWG.Add(1)
+	go func() {
+		defer s.shardWG.Done()
+		tk := time.NewTicker(every)
+		defer tk.Stop()
+		for {
+			select {
+			case <-s.stopShard:
+				return
+			case <-tk.C:
+				s.logf("%s", s.SchedSummary())
+			}
+		}
+	}()
 }
 
 // ——— Durable tenant metadata and recovery ———
@@ -856,6 +1013,30 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 		enc.Uint64(msgPing)
 		enc.Bool(s.draining.Load())
 		enc.Int(s.NumTenants())
+	case msgRestore:
+		var m restoreMsg
+		m.decode(d)
+		if d.Done() != nil {
+			return bad("malformed restore")
+		}
+		resp, er := s.restore(&m)
+		if er != nil {
+			er.encode(enc)
+		} else {
+			resp.encode(enc)
+		}
+	case msgRelease:
+		var m tenantMsg
+		m.decode(d)
+		if d.Done() != nil {
+			return bad("malformed release")
+		}
+		resp, er := s.release(m.Tenant)
+		if er != nil {
+			er.encode(enc)
+		} else {
+			resp.encode(enc)
+		}
 	default:
 		return bad(fmt.Sprintf("unknown message type %d", typ))
 	}
@@ -863,16 +1044,24 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 }
 
 // statsRows builds the stats rows for one tenant (id non-empty) or all.
+// Released migration tombstones are skipped — their live row belongs to
+// the server the tenant migrated to.
 func (s *Server) statsRows(id string) ([]TenantStats, *errResp) {
 	if id != "" {
 		t := s.tenant(id)
 		if t == nil {
 			return nil, &errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}
 		}
+		if t.isReleased() {
+			return nil, &errResp{Code: codeDraining, Msg: "tenant " + id + " is migrating"}
+		}
 		return []TenantStats{t.stats()}, nil
 	}
 	var rows []TenantStats
 	for _, t := range s.tenantList() {
+		if t.isReleased() {
+			continue
+		}
 		rows = append(rows, t.stats())
 	}
 	return rows, nil
@@ -939,6 +1128,10 @@ func (s *Server) tenantCommand(typ uint64, id string, enc *snap.Encoder) {
 	t := s.tenant(id)
 	if t == nil {
 		(&errResp{Code: codeUnknownTenant, Msg: "unknown tenant " + id}).encode(enc)
+		return
+	}
+	if t.isReleased() {
+		(&errResp{Code: codeDraining, Msg: "tenant " + id + " is migrating"}).encode(enc)
 		return
 	}
 	switch typ {

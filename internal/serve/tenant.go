@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"os"
+	"slices"
 	"sync"
 
 	"repro/internal/sched"
@@ -37,7 +38,13 @@ type tenant struct {
 	queue  []sched.Request // admitted round ticks; live entries are queue[head:]
 	head   int
 	closed bool
-	failed error // a poisoned stream rejects all further commands
+	// released marks a tenant whose state was handed to another server
+	// by msgRelease. The tombstone stays in the table so every later
+	// command — including a racing re-open that would otherwise fork a
+	// fresh stream at sequence 0 — is answered with a retryable draining
+	// error until a restore (migrating back) replaces it.
+	released bool
+	failed   error // a poisoned stream rejects all further commands
 
 	served         int64   // rounds applied by workers/drains, for service shares
 	maxDelayFactor float64 // high-water of queued/minDelay, sampled at admission
@@ -87,6 +94,9 @@ func (t *tenant) submitLocked(seq int, arrivals sched.Request, draining bool) *e
 	if t.closed {
 		return &errResp{Code: codeUnknownTenant, Msg: "tenant " + t.id + " is closed"}
 	}
+	if t.released {
+		return &errResp{Code: codeDraining, Msg: "tenant " + t.id + " is migrating"}
+	}
 	if t.failed != nil {
 		return &errResp{Code: codeInternal, Msg: t.failed.Error()}
 	}
@@ -121,9 +131,7 @@ func (t *tenant) submitLocked(seq int, arrivals sched.Request, draining bool) *e
 		tick = append(make(sched.Request, 0, len(arrivals)), arrivals...)
 	}
 	t.queue = append(t.queue, tick)
-	if f := t.delayFactorLocked(); f > t.maxDelayFactor {
-		t.maxDelayFactor = f
-	}
+	t.sampleDelayFactorLocked()
 	return nil
 }
 
@@ -133,11 +141,23 @@ func (t *tenant) delayFactorLocked() float64 {
 	return float64(t.queuedLocked()) / float64(max(t.minDelay, 1))
 }
 
+// sampleDelayFactorLocked folds the live delay factor into its
+// high-water mark. It runs at admission, on every allocator load probe,
+// and on stats reads — not only at admission — so a tenant whose queue
+// sits deep while its worker is parked (starvation) records the peak
+// even when no new submit arrives. Callers hold mu.
+func (t *tenant) sampleDelayFactorLocked() {
+	if f := t.delayFactorLocked(); f > t.maxDelayFactor {
+		t.maxDelayFactor = f
+	}
+}
+
 // load snapshots the tenant's scheduling signal for the cross-tenant
 // allocator, reporting ok false when the tenant has no backlog.
 func (t *tenant) load() (TenantLoad, bool) {
 	t.mu.Lock()
 	q := t.queuedLocked()
+	t.sampleDelayFactorLocked()
 	t.mu.Unlock()
 	if q == 0 {
 		return TenantLoad{}, false
@@ -340,6 +360,53 @@ func (t *tenant) result() (*sched.Result, error) {
 	return t.st.Result(), nil
 }
 
+// isReleased reports whether the tenant is a migration tombstone.
+func (t *tenant) isReleased() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.released
+}
+
+// release is the source half of a migration: apply everything queued so
+// the snapshot carries no in-flight rounds, snapshot, and turn the
+// tenant into a released tombstone. The response carries the
+// configuration as opened, the resume sequence, and the state blob —
+// everything a restore on the target needs. The caller (server.release)
+// removes the tenant's shard registration and durable files afterwards.
+func (t *tenant) release() (*releaseResp, *errResp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, &errResp{Code: codeUnknownTenant, Msg: "tenant " + t.id + " is closed"}
+	}
+	if t.released {
+		return nil, &errResp{Code: codeDraining, Msg: "tenant " + t.id + " is migrating"}
+	}
+	if t.failed == nil {
+		t.applyQueuedLocked(0)
+	}
+	if t.failed != nil {
+		return nil, &errResp{Code: codeInternal, Msg: t.failed.Error()}
+	}
+	blob, err := t.st.Snapshot()
+	if err != nil {
+		t.failed = fmt.Errorf("serve: tenant %s: snapshot for release: %w", t.id, err)
+		return nil, &errResp{Code: codeInternal, Msg: t.failed.Error()}
+	}
+	t.released = true
+	return &releaseResp{
+		Policy:   t.spec,
+		N:        t.cfg.N,
+		Speed:    t.cfg.Speed,
+		Delta:    t.cfg.Delta,
+		QueueCap: t.qcap,
+		Delays:   slices.Clone(t.cfg.Delays),
+		Weight:   max(t.weight, 1),
+		NextSeq:  t.st.Round(),
+		Blob:     blob,
+	}, nil
+}
+
 // snapshot returns the current state blob (the payload RestoreStream
 // accepts), for clients mirroring server state.
 func (t *tenant) snapshot() ([]byte, error) {
@@ -355,6 +422,7 @@ func (t *tenant) snapshot() ([]byte, error) {
 func (t *tenant) stats() TenantStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sampleDelayFactorLocked()
 	cost := t.st.Cost()
 	return TenantStats{
 		ID:           t.id,

@@ -23,9 +23,14 @@
 // adds an optional trailing service weight to the open request and the
 // msgStatsEx command, whose rows extend the legacy stats row with the
 // cross-tenant scheduling fields (weight, delay factor, service share).
-// Version-1 and version-2 peers never send either and keep working
-// unchanged: the legacy msgStats request and response are byte-for-byte
-// identical across versions.
+// Version 4 adds the fleet-migration pair: msgRelease hands a tenant's
+// state out of a server (drain the admission queue, snapshot, leave a
+// tombstone) and msgRestore installs a released snapshot on another
+// server, so a router tier (internal/proxy) can move a live tenant
+// between backends without losing a round. Version-1 through version-3
+// peers never send any of these and keep working unchanged: the legacy
+// msgStats request and response are byte-for-byte identical across
+// versions.
 //
 // # Rounds, sequence numbers, and exactly-once ingest
 //
@@ -55,9 +60,10 @@ import (
 // ProtocolVersion is carried in every open request. Version 2 added
 // tagged frames (pipelining) and vectored submit batches; version 3
 // added the open request's optional tenant weight and the extended
-// stats command (msgStatsEx). The server still accepts older peers,
-// which simply never send any of these.
-const ProtocolVersion = 3
+// stats command (msgStatsEx); version 4 added the live-migration pair
+// msgRelease/msgRestore used by the proxy tier. The server still
+// accepts older peers, which simply never send any of these.
+const ProtocolVersion = 4
 
 // MinProtocolVersion is the oldest version the server still speaks.
 // Version-1 clients use strict request/response with untagged frames;
@@ -111,6 +117,22 @@ const (
 	// service share). The legacy msgStats response is left byte-identical
 	// so older clients keep decoding it.
 	msgStatsEx
+	// msgRestore (protocol v4) installs a previously released tenant
+	// snapshot: the open-request fields that describe the tenant's
+	// configuration plus the state blob a msgRelease (or msgSnapshot)
+	// returned. The server validates the blob against the declared
+	// configuration, recreates the tenant at its snapshotted round, and
+	// persists the blob as the tenant's first checkpoint, so a migration
+	// survives a crash immediately after the flip.
+	msgRestore
+	// msgRelease (protocol v4) is the source half of a migration: the
+	// server applies everything the tenant has queued, snapshots it,
+	// removes its durable state, and replaces the tenant with a released
+	// tombstone that answers every later command with a retryable
+	// draining error. The response carries the tenant's configuration,
+	// resume sequence, and state blob — everything msgRestore needs on
+	// the target.
+	msgRelease
 )
 
 // writeFrame sends one length-prefixed frame.
@@ -357,6 +379,107 @@ func (m *batchResp) decode(d *snap.Decoder) {
 	if d.Bool() {
 		m.Err = &errResp{Code: d.Int(), Expected: d.Int(), Msg: d.String()}
 	}
+}
+
+// restoreMsg installs a released tenant snapshot on this server: the
+// open-request configuration fields plus the state blob a release (or
+// snapshot) returned. The declared configuration must match the one
+// embedded in the blob — a mismatch proves operator error and is
+// rejected before any state is created.
+type restoreMsg struct {
+	Version  int
+	Tenant   string
+	Policy   string
+	N        int
+	Speed    int
+	Delta    int
+	QueueCap int
+	Delays   []int
+	Weight   int
+	Blob     []byte
+}
+
+func (m *restoreMsg) encode(e *snap.Encoder) {
+	e.Uint64(msgRestore)
+	e.Int(m.Version)
+	e.String(m.Tenant)
+	e.String(m.Policy)
+	e.Int(m.N)
+	e.Int(m.Speed)
+	e.Int(m.Delta)
+	e.Int(m.QueueCap)
+	e.Ints(m.Delays)
+	e.Int(m.Weight)
+	e.Blob(m.Blob)
+}
+
+func (m *restoreMsg) decode(d *snap.Decoder) {
+	m.Version = d.Int()
+	m.Tenant = d.String()
+	m.Policy = d.String()
+	m.N = d.Int()
+	m.Speed = d.Int()
+	m.Delta = d.Int()
+	m.QueueCap = d.Int()
+	m.Delays = d.Ints()
+	m.Weight = d.Int()
+	m.Blob = d.Blob()
+}
+
+// restoreResp acknowledges a restore: NextSeq is the sequence number
+// the tenant's next Submit must carry on this server.
+type restoreResp struct {
+	NextSeq int
+}
+
+func (m *restoreResp) encode(e *snap.Encoder) {
+	e.Uint64(msgRestore)
+	e.Int(m.NextSeq)
+}
+
+func (m *restoreResp) decode(d *snap.Decoder) {
+	m.NextSeq = d.Int()
+}
+
+// releaseResp carries everything a restore on the migration target
+// needs: the tenant's configuration as opened, the resume sequence
+// (rounds applied — the released queue is always flushed first, so no
+// queued rounds are in flight), and the state blob.
+type releaseResp struct {
+	Policy   string
+	N        int
+	Speed    int
+	Delta    int
+	QueueCap int
+	Delays   []int
+	Weight   int
+	NextSeq  int
+	Blob     []byte
+}
+
+func (m *releaseResp) encode(e *snap.Encoder) {
+	e.Uint64(msgRelease)
+	e.String(m.Policy)
+	e.Int(m.N)
+	e.Int(m.Speed)
+	e.Int(m.Delta)
+	e.Int(m.QueueCap)
+	e.Ints(m.Delays)
+	e.Int(m.Weight)
+	e.Int(m.NextSeq)
+	e.Blob(m.Blob)
+}
+
+func (m *releaseResp) decode(d *snap.Decoder) {
+	m.Policy = d.String()
+	m.N = d.Int()
+	m.Speed = d.Int()
+	m.Delta = d.Int()
+	m.QueueCap = d.Int()
+	m.Delays = d.Ints()
+	m.Weight = d.Int()
+	m.NextSeq = d.Int()
+	m.Blob = d.Blob()
 }
 
 // tenantMsg is the shape shared by the single-tenant commands (stats,
