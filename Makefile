@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke optsmoke servesmoke proxysmoke docscheck check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke durasmoke optsmoke servesmoke proxysmoke docscheck check experiments fmt vet clean
 
 all: build test
 
@@ -18,7 +18,7 @@ race:
 # pre-commit subset. The offline package runs in -short mode: the full
 # differential corpus under the race detector belongs to `make race`.
 race-hot:
-	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/ ./internal/proxy/
+	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/ ./internal/proxy/ ./internal/ckptlog/
 	go test -race -count=1 -short ./internal/offline/
 
 cover:
@@ -53,6 +53,16 @@ faultsmoke:
 	go test -run 'TestFaultInjection' -count=1 .
 	go test -run 'TestCheckpoint' -count=1 ./internal/trace/
 
+# The group-commit durability smoke (docs/CHECKPOINT.md "Group-commit
+# log"): the whole ckptlog package fresh — segment framing, recovery
+# scans over truncated/corrupted tails, rotation and compaction — plus
+# the serve-layer log-mode contracts: tombstones shadowing closed and
+# released tenants, compacting restarts, delta-chain recovery and the
+# adaptive pacer. Fresh runs, never cached.
+durasmoke:
+	go test -count=1 ./internal/ckptlog/
+	go test -run 'TestCloseTenantLogTombstone|TestReleaseLogTombstone|TestServeLog|TestServeCrashRestartLogSegments|TestServeAdaptivePacing' -count=1 ./internal/serve/
+
 # The multi-tenant server smoke (docs/SERVER.md): the full serve-layer
 # suite fresh — wire codec, admission control and overload shedding, the
 # 64-tenant load-generator run verified bit-identical against local
@@ -84,9 +94,9 @@ docscheck:
 
 # The pre-commit gate: static analysis, the docs drift gate, the
 # race-detector subset on the hot-path packages, the fault-injection,
-# exact-solver and server harnesses, then the full test suite under the
-# race detector.
-check: vet docscheck race-hot faultsmoke optsmoke servesmoke proxysmoke race
+# durability, exact-solver and server harnesses, then the full test
+# suite under the race detector.
+check: vet docscheck race-hot faultsmoke durasmoke optsmoke servesmoke proxysmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

@@ -5,11 +5,21 @@
 // Usage:
 //
 //	rrserved                          # listen on 127.0.0.1:7145, in-memory only
-//	rrserved -addr :7145 -ckpt state  # durable: per-tenant checkpoints in state/,
-//	                                  # recovered automatically on restart
+//	rrserved -addr :7145 -ckpt state  # durable: checkpoints in state/, recovered
+//	                                  # automatically on restart
+//	rrserved -ckpt-mode files         # one fsynced .ckpt file per tenant instead
+//	                                  # of the default group-commit segment log
+//	rrserved -ckpt-adaptive           # pace checkpoints from measured costs
 //	rrserved -round-interval 10ms     # pace rounds instead of applying eagerly
 //	rrserved -allocator fifo          # legacy drain-in-scan-order cross-tenant order
 //	rrserved -stats-every 10s         # periodic scheduling summary log line
+//
+// Durable mode defaults to the group-commit checkpoint log
+// (docs/CHECKPOINT.md): all tenants' checkpoints are appended to shared
+// segment files and one background fsync per -ckpt-commit-interval
+// covers every append in the window, so checkpoint cost stays flat as
+// tenant counts grow. -ckpt-mode files restores the one-file-per-tenant
+// backend, which pays one fsync per checkpoint.
 //
 // Which backlogged tenant a worker serves next is the cross-tenant
 // allocator's decision (-allocator, -alloc-quantum, -alloc-escalation);
@@ -34,19 +44,25 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7145", "TCP listen address")
-		ckptDir   = flag.String("ckpt", "", "checkpoint directory (empty = no durability)")
-		ckptEvery = flag.Int("checkpoint-every", 64, "rounds between periodic per-tenant checkpoints")
-		interval  = flag.Duration("round-interval", 0, "pace round application (0 = apply eagerly)")
-		shards    = flag.Int("shards", 0, "round-engine worker shards (0 = GOMAXPROCS, capped at 16)")
-		maxTen    = flag.Int("max-tenants", 0, "live tenant limit (0 = default 4096)")
-		queueCap  = flag.Int("queue-cap", 0, "default per-tenant queue cap (0 = default 64)")
-		connWin   = flag.Int("conn-window", 0, "staged responses per connection before the reader blocks (0 = default 256)")
-		alloc     = flag.String("allocator", "", "cross-tenant allocator: wdrr or fifo (empty = wdrr)")
-		allocQ    = flag.Int("alloc-quantum", 0, "wdrr rounds per pick per unit weight (0 = default 8)")
-		allocEsc  = flag.Float64("alloc-escalation", 0, "delay factor that escalates a tenant (0 = default 0.5, negative disables)")
-		statsInt  = flag.Duration("stats-every", 0, "log a scheduling summary at this interval (0 = off)")
-		quiet     = flag.Bool("quiet", false, "suppress operational log lines")
+		addr         = flag.String("addr", "127.0.0.1:7145", "TCP listen address")
+		ckptDir      = flag.String("ckpt", "", "checkpoint directory (empty = no durability)")
+		ckptEvery    = flag.Int("checkpoint-every", 64, "rounds between periodic per-tenant checkpoints")
+		ckptMode     = flag.String("ckpt-mode", "", "durability backend: log (group-commit segments, the default) or files (one .ckpt per tenant)")
+		ckptCommit   = flag.Duration("ckpt-commit-interval", 0, "group-commit fsync interval in log mode (0 = default 2ms)")
+		ckptSegBytes = flag.Int("ckpt-segment-bytes", 0, "log segment size before rotation (0 = default 4MiB)")
+		ckptAdaptive = flag.Bool("ckpt-adaptive", false, "pace checkpoints adaptively from measured snapshot/apply costs (log mode)")
+		ckptPaceMin  = flag.Int("ckpt-pace-min", 0, "adaptive pacing floor in rounds (0 = default 1)")
+		ckptPaceMax  = flag.Int("ckpt-pace-max", 0, "adaptive pacing ceiling in rounds (0 = default 1024)")
+		interval     = flag.Duration("round-interval", 0, "pace round application (0 = apply eagerly)")
+		shards       = flag.Int("shards", 0, "round-engine worker shards (0 = GOMAXPROCS, capped at 16)")
+		maxTen       = flag.Int("max-tenants", 0, "live tenant limit (0 = default 4096)")
+		queueCap     = flag.Int("queue-cap", 0, "default per-tenant queue cap (0 = default 64)")
+		connWin      = flag.Int("conn-window", 0, "staged responses per connection before the reader blocks (0 = default 256)")
+		alloc        = flag.String("allocator", "", "cross-tenant allocator: wdrr or fifo (empty = wdrr)")
+		allocQ       = flag.Int("alloc-quantum", 0, "wdrr rounds per pick per unit weight (0 = default 8)")
+		allocEsc     = flag.Float64("alloc-escalation", 0, "delay factor that escalates a tenant (0 = default 0.5, negative disables)")
+		statsInt     = flag.Duration("stats-every", 0, "log a scheduling summary at this interval (0 = off)")
+		quiet        = flag.Bool("quiet", false, "suppress operational log lines")
 	)
 	flag.Parse()
 
@@ -55,18 +71,24 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	srv, err := serve.NewServer(serve.Config{
-		Addr:            *addr,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		RoundInterval:   *interval,
-		Shards:          *shards,
-		MaxTenants:      *maxTen,
-		DefaultQueueCap: *queueCap,
-		ConnWindow:      *connWin,
-		Allocator:       *alloc,
-		AllocQuantum:    *allocQ,
-		AllocEscalation: *allocEsc,
-		Logf:            logf,
+		Addr:               *addr,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CkptMode:           *ckptMode,
+		CkptCommitInterval: *ckptCommit,
+		CkptSegmentBytes:   *ckptSegBytes,
+		CkptAdaptive:       *ckptAdaptive,
+		CkptPaceMin:        *ckptPaceMin,
+		CkptPaceMax:        *ckptPaceMax,
+		RoundInterval:      *interval,
+		Shards:             *shards,
+		MaxTenants:         *maxTen,
+		DefaultQueueCap:    *queueCap,
+		ConnWindow:         *connWin,
+		Allocator:          *alloc,
+		AllocQuantum:       *allocQ,
+		AllocEscalation:    *allocEsc,
+		Logf:               logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -3,6 +3,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -46,6 +47,9 @@ func DefaultSuite() []Spec {
 		serveStatsSpec("serve/stats-ex/64tenants", 64, true),
 		serveSkewedSpec("serve/skewed/wdrr/64tenants", "wdrr"),
 		serveSkewedSpec("serve/skewed/fifo/64tenants", "fifo"),
+		serveCkptSpec("serve/ckpt/files/64tenants", "files", false),
+		serveCkptSpec("serve/ckpt/log/64tenants", "log", false),
+		serveCkptSpec("serve/ckpt/log/adaptive/64tenants", "log", true),
 	}
 }
 
@@ -385,6 +389,104 @@ func serveStatsSpec(name string, tenants int, extended bool) Spec {
 		}
 		return op, Rates{}
 	}}
+}
+
+// serveCkptSpec measures durable submit throughput: 64 tenants behind
+// one connection, every applied round checkpoint-due (CheckpointEvery
+// 1), under the named durability backend. The tiny queue cap couples
+// the submit loop to the shard workers via overload backpressure, so
+// the measured rate is applied-and-checkpointed throughput — in files
+// mode every round pays a per-tenant file write and fsync, in log mode
+// an append into the group-commit log whose fsyncs the background
+// committer batches. The log/files ratio is the group commit's win;
+// docs/PERFORMANCE.md quotes it. Extra records the backend's DuraStats
+// so a run shows the fsync collapse (and, under -ckpt-adaptive, how
+// many appends the pacer chose) rather than just the speedup.
+func serveCkptSpec(name, mode string, adaptive bool) Spec {
+	const tenants = 64
+	type readout struct{ cl *serve.Client }
+	ro := &readout{}
+	return Spec{
+		Name: name,
+		Make: func() (func() error, Rates) {
+			dir, err := os.MkdirTemp("", "rrbench-ckpt-")
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			srv, err := serve.NewServer(serve.Config{
+				Addr:            "127.0.0.1:0",
+				CheckpointDir:   dir,
+				CheckpointEvery: 1,
+				CkptMode:        mode,
+				CkptAdaptive:    adaptive,
+				DefaultQueueCap: 4,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			go srv.Serve()
+			cl, err := serve.Dial(srv.Addr().String())
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			ro.cl = cl
+			ids := make([]string, tenants)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("ckpt-%03d", i)
+				_, _, err = cl.Open(ids[i], serve.TenantConfig{
+					Policy: "dlruedf", N: 16, Delta: 4,
+					Delays: []int{2, 8, 4, 16, 2, 8, 4, 16},
+				})
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s: opening %s: %v", name, ids[i], err))
+				}
+			}
+			req := sched.Request{
+				{Color: 5, Count: 2}, {Color: 1, Count: 1}, {Color: 3, Count: 2},
+				{Color: 1, Count: 1}, {Color: 7, Count: 2},
+			}
+			jobs := 0
+			for _, b := range req {
+				jobs += b.Count
+			}
+			seqs := make([]int, tenants)
+			turn := 0
+			op := func() error {
+				i := turn
+				turn = (turn + 1) % tenants
+				for {
+					_, _, err := cl.Submit(ids[i], seqs[i], req)
+					if err == nil {
+						seqs[i]++
+						return nil
+					}
+					if !errors.Is(err, serve.ErrOverloaded) {
+						return err
+					}
+					// The worker is busy checkpointing; backpressure, don't
+					// fail — the stall is the cost being measured.
+					runtime.Gosched()
+				}
+			}
+			return op, Rates{Rounds: 1, Jobs: jobs}
+		},
+		Extra: func() map[string]float64 {
+			if ro.cl == nil {
+				return nil
+			}
+			st, err := ro.cl.DuraStats()
+			if err != nil {
+				return nil
+			}
+			return map[string]float64{
+				"dura_appends":  float64(st.Appends),
+				"dura_fsyncs":   float64(st.Fsyncs),
+				"dura_bytes":    float64(st.Bytes),
+				"dura_deltas":   float64(st.Deltas),
+				"dura_segments": float64(st.Segments),
+			}
+		},
+	}
 }
 
 // serveSkewedSpec measures one wave of skewed 64-tenant load through a

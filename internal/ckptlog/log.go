@@ -1,0 +1,776 @@
+// Package ckptlog is the group-commit checkpoint log: the default
+// durability backend of the serve tier (docs/CHECKPOINT.md
+// "Group-commit log"). Checkpoint blobs from every tenant on a shard
+// are appended to one shared, CRC-framed segment file, and a single
+// background committer turns any number of appends into one fsync per
+// commit interval — the batching that collapses the serve tier's
+// fsyncs/round from ~1 to ~1/batch. Segments rotate at a size bound;
+// a compactor rewrites the records still live (each tenant's latest
+// full snapshot, its latest delta, or its tombstone) out of the oldest
+// segments so disk use tracks live state, not history.
+//
+// On-disk layout, one directory per shard:
+//
+//	log-00000001.seg   sealed segment (rotated out, never written again)
+//	log-00000002.seg   …
+//	log-00000003.seg   active segment (append-only)
+//
+// Every segment starts with an 8-byte header — magic "RRLG", then a
+// fixed-width little-endian uint32 format version — followed by
+// records framed as
+//
+//	uint32 LE payload length | payload | uint32 LE CRC-32 (IEEE) of payload
+//
+// with the payload itself encoded by internal/snap: kind (uvarint),
+// tenant ID (string), round, delta base round, then the blob. Records
+// are self-describing and self-checking; recovery is a single forward
+// scan of all segments in sequence order, last record per tenant wins
+// (append order, not round numbers — a tenant closed and re-opened
+// legitimately restarts at round 0). A torn or corrupt record in the
+// final segment marks the crash point: recovery logs it loudly and
+// keeps everything before it. Corruption in a sealed segment cannot be
+// explained by a crash mid-append and is reported as an error.
+//
+// The log stores three record kinds: KindFull (a complete snapshot),
+// KindDelta (a snap.ApplyDelta delta against the tenant's latest full
+// record — deltas never chain), and KindTombstone (the tenant was
+// closed or migrated away; earlier records must not resurrect).
+package ckptlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/snap"
+)
+
+// Kind discriminates checkpoint-log record types.
+type Kind int
+
+// Record kinds. KindFull carries a complete snapshot blob, KindDelta a
+// binary delta against the tenant's latest KindFull record, and
+// KindTombstone marks the tenant closed (blob empty).
+const (
+	KindFull Kind = iota
+	KindDelta
+	KindTombstone
+)
+
+const (
+	segMagic   = "RRLG"
+	segVersion = 1
+	segHeader  = 8 // magic + uint32 version
+	frameOver  = 8 // uint32 length + uint32 CRC around each payload
+
+	// maxPayload bounds the declared record length so a corrupt frame
+	// cannot trigger an unbounded allocation during recovery.
+	maxPayload = 1 << 30
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding the segment files. It must exist.
+	Dir string
+	// CommitInterval bounds how long an appended record may sit in the
+	// OS before the committer fsyncs it — the durability latency of
+	// group commit. Default 2ms.
+	CommitInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes. Default 4 MiB.
+	SegmentBytes int64
+	// CompactSegments is the number of sealed segments tolerated before
+	// the compactor rewrites live records out of the oldest one.
+	// Default 4.
+	CompactSegments int
+	// Logf, when non-nil, receives recovery diagnostics (torn tails,
+	// discarded records). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.CommitInterval <= 0 {
+		o.CommitInterval = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactSegments <= 0 {
+		o.CompactSegments = 4
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appends counts records appended (all kinds); Deltas the subset
+	// appended as KindDelta.
+	Appends int64
+	Deltas  int64
+	// Bytes counts framed bytes appended.
+	Bytes int64
+	// Fsyncs counts file syncs issued — the number the group commit
+	// exists to minimize. Rotations and Compactions count segment
+	// rollovers and compaction passes.
+	Fsyncs      int64
+	Rotations   int64
+	Compactions int64
+	// Segments is the current on-disk segment count (sealed + active).
+	Segments int
+}
+
+// recordRef locates one record's payload inside a segment.
+type recordRef struct {
+	seg int   // segment sequence number
+	off int64 // offset of the payload (past the length word)
+	n   int   // payload length
+}
+
+// tenantState is the index entry per tenant: where its latest full
+// record lives, the latest delta against it (if any), or its
+// tombstone. Exactly one of (full[, delta]) and tomb is meaningful.
+type tenantState struct {
+	full       recordRef
+	fullRound  int
+	delta      recordRef
+	deltaRound int
+	hasDelta   bool
+	tomb       bool
+	tombRef    recordRef
+	// dangling, set only during the Open scan, records a delta whose
+	// base full record is gone — legal when compaction dropped a full
+	// that stale (superseded) deltas in middle segments still name, but
+	// fatal if the dangling delta ends up as the tenant's latest record.
+	// Any later full, tombstone, or resolvable delta clears it.
+	dangling error
+}
+
+// segment is one sealed, read-only segment file.
+type segment struct {
+	seq  int
+	path string
+	f    *os.File
+}
+
+// Log is a group-commit checkpoint log over one directory. All methods
+// are safe for concurrent use.
+type Log struct {
+	opt Options
+
+	mu         sync.Mutex
+	sealed     []*segment // ascending seq
+	active     *os.File
+	activeSeq  int
+	activeOff  int64 // header + flushed + buffered bytes
+	wbuf       []byte
+	dirty      bool // bytes written to the file since the last fsync
+	index      map[string]tenantState
+	closed     bool
+	compacting bool
+
+	enc snap.Encoder // payload scratch, reused under mu
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	appends     atomic.Int64
+	deltas      atomic.Int64
+	bytes       atomic.Int64
+	fsyncs      atomic.Int64
+	rotations   atomic.Int64
+	compactions atomic.Int64
+}
+
+// Open scans dir for existing segments, rebuilds the tenant index,
+// seals every existing segment, opens a fresh active segment and
+// starts the background committer. A torn tail in the newest segment
+// (the signature of a crash mid-commit) is logged via Options.Logf and
+// truncated from the index; corruption anywhere else fails Open.
+func Open(opt Options) (*Log, error) {
+	opt.fill()
+	l := &Log{
+		opt:   opt,
+		index: make(map[string]tenantState),
+		done:  make(chan struct{}),
+	}
+	names, err := filepath.Glob(filepath.Join(opt.Dir, "log-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	maxSeq := 0
+	for i, name := range names {
+		seq, err := segSeq(name)
+		if err != nil {
+			return nil, err
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if err := l.scanSegment(name, seq, i == len(names)-1); err != nil {
+			for _, s := range l.sealed {
+				s.f.Close()
+			}
+			return nil, err
+		}
+	}
+	// A dangling delta that survived to the end of the scan is a
+	// tenant's latest record with its base gone — unrecoverable state,
+	// not compaction residue. Fail loudly rather than resurrect the
+	// tenant at an older round.
+	for tenant, st := range l.index {
+		if st.dangling != nil {
+			for _, s := range l.sealed {
+				s.f.Close()
+			}
+			return nil, fmt.Errorf("ckptlog: tenant %q: latest record is unresolvable: %w", tenant, st.dangling)
+		}
+	}
+	if err := l.openActive(maxSeq + 1); err != nil {
+		for _, s := range l.sealed {
+			s.f.Close()
+		}
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.committer()
+	return l, nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("log-%08d.seg", seq) }
+
+func segSeq(path string) (int, error) {
+	var seq int
+	if _, err := fmt.Sscanf(filepath.Base(path), "log-%d.seg", &seq); err != nil {
+		return 0, fmt.Errorf("ckptlog: segment name %q: %w", filepath.Base(path), err)
+	}
+	return seq, nil
+}
+
+// scanSegment reads one existing segment, folds its records into the
+// index and appends it to the sealed list. last marks the newest
+// segment, the only place a torn tail is a normal crash signature.
+func (l *Log) scanSegment(path string, seq int, last bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < segHeader {
+		// A crash can tear the header of a just-created segment; that is
+		// only survivable for the newest one.
+		if !last {
+			return fmt.Errorf("ckptlog: %s: truncated segment header in a sealed segment", filepath.Base(path))
+		}
+		if len(data) > 0 && string(data[:min(4, len(data))]) != segMagic[:min(4, len(data))] {
+			return fmt.Errorf("ckptlog: %s: not a checkpoint-log segment", filepath.Base(path))
+		}
+		l.opt.Logf("ckptlog: recovery: %s: torn segment header (%d bytes); discarding (crash at creation)",
+			filepath.Base(path), len(data))
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		l.sealed = append(l.sealed, &segment{seq: seq, path: path, f: f})
+		return nil
+	}
+	if string(data[:4]) != segMagic {
+		return fmt.Errorf("ckptlog: %s: not a checkpoint-log segment", filepath.Base(path))
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
+		return fmt.Errorf("ckptlog: %s: segment version %d, this build reads %d", filepath.Base(path), v, segVersion)
+	}
+	off := int64(segHeader)
+	for int(off) < len(data) {
+		rest := data[off:]
+		bad := ""
+		var payload []byte
+		if len(rest) < 4 {
+			bad = "torn length word"
+		} else {
+			n := binary.LittleEndian.Uint32(rest)
+			if int64(n) > maxPayload {
+				bad = fmt.Sprintf("implausible record length %d", n)
+			} else if len(rest) < 4+int(n)+4 {
+				bad = fmt.Sprintf("torn record (%d of %d payload+CRC bytes)", len(rest)-4, int(n)+4)
+			} else {
+				payload = rest[4 : 4+n]
+				want := binary.LittleEndian.Uint32(rest[4+n:])
+				if got := crc32.ChecksumIEEE(payload); got != want {
+					bad = fmt.Sprintf("record CRC %08x, stored %08x", got, want)
+				}
+			}
+		}
+		if bad == "" {
+			if err := l.indexRecord(seq, off+4, payload); err != nil {
+				bad = err.Error()
+			}
+		}
+		if bad != "" {
+			if !last {
+				return fmt.Errorf("ckptlog: %s: %s at offset %d in a sealed segment", filepath.Base(path), bad, off)
+			}
+			l.opt.Logf("ckptlog: recovery: %s: %s at offset %d; discarding the tail (crash mid-commit)",
+				filepath.Base(path), bad, off)
+			break
+		}
+		off += 4 + int64(len(payload)) + 4
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, &segment{seq: seq, path: path, f: f})
+	return nil
+}
+
+// indexRecord folds one decoded record into the tenant index, in
+// append order (later records win).
+func (l *Log) indexRecord(seq int, payloadOff int64, payload []byte) error {
+	d := snap.NewDecoder(payload)
+	kind := Kind(d.Uint64())
+	tenant := d.String()
+	round := d.Int()
+	base := d.Int()
+	blobLen := d.Len()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("record payload: %w", err)
+	}
+	ref := recordRef{seg: seq, off: payloadOff, n: len(payload)}
+	st := l.index[tenant]
+	switch kind {
+	case KindFull:
+		st = tenantState{full: ref, fullRound: round}
+	case KindDelta:
+		if st.tomb || st.full.n == 0 || st.fullRound != base {
+			// The base full is not the latest one the scan has seen. This
+			// is normal after compaction: a doomed segment's full can be
+			// dropped while stale deltas naming it survive in younger
+			// segments, always followed (in append order) by the record
+			// that superseded them. Defer the error — it only stands if
+			// no later record clears it (checked at the end of Open).
+			st.dangling = fmt.Errorf("delta for %q against round %d, latest full is round %d", tenant, base, st.fullRound)
+		} else {
+			st.delta, st.deltaRound, st.hasDelta = ref, round, true
+			st.dangling = nil
+		}
+	case KindTombstone:
+		st = tenantState{tomb: true, tombRef: ref}
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	_ = blobLen
+	l.index[tenant] = st
+	return nil
+}
+
+func (l *Log) openActive(seq int) error {
+	f, err := os.OpenFile(filepath.Join(l.opt.Dir, segName(seq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeader]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.activeSeq = seq
+	l.activeOff = segHeader
+	l.dirty = true // header awaits its first sync
+	return nil
+}
+
+// appendPayloadLocked frames payload into the write buffer and returns
+// its ref. Callers hold l.mu.
+func (l *Log) appendPayloadLocked(payload []byte) recordRef {
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
+	l.wbuf = append(l.wbuf, frame[:]...)
+	ref := recordRef{seg: l.activeSeq, off: l.activeOff + 4, n: len(payload)}
+	l.wbuf = append(l.wbuf, payload...)
+	binary.LittleEndian.PutUint32(frame[:], crc32.ChecksumIEEE(payload))
+	l.wbuf = append(l.wbuf, frame[:]...)
+	l.activeOff += int64(len(payload)) + frameOver
+	l.bytes.Add(int64(len(payload)) + frameOver)
+	return ref
+}
+
+// flushLocked moves buffered bytes into the active file (no fsync).
+func (l *Log) flushLocked() error {
+	if len(l.wbuf) == 0 {
+		return nil
+	}
+	if _, err := l.active.Write(l.wbuf); err != nil {
+		return err
+	}
+	l.wbuf = l.wbuf[:0]
+	l.dirty = true
+	return nil
+}
+
+// commitLocked flushes and fsyncs the active segment.
+func (l *Log) commitLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// committer is the group-commit loop: one fsync per CommitInterval
+// whenever anything was appended, no matter how many tenants appended.
+func (l *Log) committer() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opt.CommitInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && (len(l.wbuf) > 0 || l.dirty) {
+				if err := l.commitLocked(); err != nil {
+					l.opt.Logf("ckptlog: commit: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Append adds one checkpoint record for tenant. KindDelta records must
+// name the tenant's latest full record round as baseRound — the log
+// validates the chain so recovery can always resolve a delta against
+// the full record it was computed from. Durability is deferred to the
+// committer (bounded by CommitInterval); call Sync to force it.
+func (l *Log) Append(tenant string, kind Kind, round, baseRound int, blob []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("ckptlog: append to closed log")
+	}
+	st := l.index[tenant]
+	switch kind {
+	case KindFull:
+	case KindDelta:
+		if st.tomb || st.full.n == 0 {
+			return fmt.Errorf("ckptlog: delta for %q without a full record", tenant)
+		}
+		if st.fullRound != baseRound {
+			return fmt.Errorf("ckptlog: delta for %q against round %d, latest full is round %d", tenant, baseRound, st.fullRound)
+		}
+	case KindTombstone:
+	default:
+		return fmt.Errorf("ckptlog: unknown record kind %d", kind)
+	}
+	l.enc.Reset()
+	l.enc.Uint64(uint64(kind))
+	l.enc.String(tenant)
+	l.enc.Int(round)
+	l.enc.Int(baseRound)
+	l.enc.Blob(blob)
+	ref := l.appendPayloadLocked(l.enc.Bytes())
+	switch kind {
+	case KindFull:
+		l.index[tenant] = tenantState{full: ref, fullRound: round}
+	case KindDelta:
+		st.delta, st.deltaRound, st.hasDelta = ref, round, true
+		l.index[tenant] = st
+		l.deltas.Add(1)
+	case KindTombstone:
+		l.index[tenant] = tenantState{tomb: true, tombRef: ref}
+	}
+	l.appends.Add(1)
+	if l.activeOff > l.opt.SegmentBytes && !l.compacting {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// AppendTombstone records that tenant was closed or migrated away:
+// recovery will report no record for it even though earlier records
+// remain on disk until compaction. The caller should follow with Sync
+// when the tombstone must be durable before proceeding (the serve tier
+// does, once per close).
+func (l *Log) AppendTombstone(tenant string) error {
+	return l.Append(tenant, KindTombstone, 0, 0, nil)
+}
+
+// Sync forces everything appended so far to durable storage now,
+// without waiting for the committer.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("ckptlog: sync of closed log")
+	}
+	return l.commitLocked()
+}
+
+// rotateLocked seals the active segment and opens the next one,
+// compacting if the sealed count now exceeds the bound.
+func (l *Log) rotateLocked() error {
+	if err := l.commitLocked(); err != nil {
+		return err
+	}
+	f := l.active
+	seq := l.activeSeq
+	l.sealed = append(l.sealed, &segment{seq: seq, path: filepath.Join(l.opt.Dir, segName(seq)), f: f})
+	if err := l.openActive(seq + 1); err != nil {
+		// The old active stays usable as a sealed segment; the log is
+		// wedged for writes but recovery remains intact.
+		return err
+	}
+	l.rotations.Add(1)
+	return l.compactLocked()
+}
+
+// readRef returns the payload bytes a ref points at. Refs into the
+// active segment require a flush first (callers do it).
+func (l *Log) readRef(ref recordRef) ([]byte, error) {
+	var f *os.File
+	if ref.seg == l.activeSeq {
+		f = l.active
+	} else {
+		for _, s := range l.sealed {
+			if s.seq == ref.seg {
+				f = s.f
+				break
+			}
+		}
+	}
+	if f == nil {
+		return nil, fmt.Errorf("ckptlog: record references missing segment %d", ref.seg)
+	}
+	buf := make([]byte, ref.n)
+	if _, err := f.ReadAt(buf, ref.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// compactLocked rewrites live records out of the oldest sealed
+// segments until at most CompactSegments remain, then deletes them. A
+// tenant whose latest full or delta lives in the doomed segment has
+// the whole full(+delta) pair re-appended — together, so the
+// full-before-delta chronology recovery depends on survives. A
+// tombstone in the doomed segment is dropped along with the segment:
+// the tombstone being the tenant's latest record means every record it
+// was shadowing lived in this or earlier segments, all gone.
+func (l *Log) compactLocked() error {
+	for len(l.sealed) > l.opt.CompactSegments {
+		doomed := l.sealed[0]
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		l.compacting = true
+		err := l.compactSegmentLocked(doomed)
+		l.compacting = false
+		if err != nil {
+			return err
+		}
+		doomed.f.Close()
+		if err := os.Remove(doomed.path); err != nil {
+			return err
+		}
+		l.sealed = l.sealed[1:]
+		l.compactions.Add(1)
+	}
+	return nil
+}
+
+func (l *Log) compactSegmentLocked(doomed *segment) error {
+	// Deterministic order keeps tests reproducible.
+	tenants := make([]string, 0, len(l.index))
+	for id := range l.index {
+		tenants = append(tenants, id)
+	}
+	sort.Strings(tenants)
+	for _, id := range tenants {
+		st := l.index[id]
+		switch {
+		case st.tomb && st.tombRef.seg == doomed.seq:
+			delete(l.index, id)
+		case st.tomb:
+			// Tombstone lives in a later segment; nothing to move.
+		case st.full.seg == doomed.seq || (st.hasDelta && st.delta.seg == doomed.seq):
+			full, err := l.readRef(st.full)
+			if err != nil {
+				return fmt.Errorf("ckptlog: compacting %s: %w", filepath.Base(doomed.path), err)
+			}
+			nst := tenantState{full: l.appendPayloadLocked(full), fullRound: st.fullRound}
+			if st.hasDelta {
+				delta, err := l.readRef(st.delta)
+				if err != nil {
+					return fmt.Errorf("ckptlog: compacting %s: %w", filepath.Base(doomed.path), err)
+				}
+				nst.delta, nst.deltaRound, nst.hasDelta = l.appendPayloadLocked(delta), st.deltaRound, true
+			}
+			l.index[id] = nst
+		}
+	}
+	// The moved records must be durable before the doomed segment
+	// disappears, or a crash in between loses them.
+	return l.commitLocked()
+}
+
+// Latest resolves tenant's current checkpoint: its latest full record
+// with the latest delta (if any) applied. ok is false when the log has
+// no record for the tenant or its latest record is a tombstone. The
+// returned blob is freshly allocated and caller-owned.
+func (l *Log) Latest(tenant string) (blob []byte, round int, ok bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, false, fmt.Errorf("ckptlog: read of closed log")
+	}
+	st, found := l.index[tenant]
+	if !found || st.tomb {
+		return nil, 0, false, nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, 0, false, err
+	}
+	fullPay, err := l.readRef(st.full)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	fullBlob, _, err := decodeBlob(fullPay)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !st.hasDelta {
+		return fullBlob, st.fullRound, true, nil
+	}
+	deltaPay, err := l.readRef(st.delta)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	deltaBlob, _, err := decodeBlob(deltaPay)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	blob, err = snap.ApplyDelta(nil, fullBlob, deltaBlob)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("ckptlog: resolving delta for %q: %w", tenant, err)
+	}
+	return blob, st.deltaRound, true, nil
+}
+
+// decodeBlob extracts the blob from a record payload.
+func decodeBlob(payload []byte) (blob []byte, round int, err error) {
+	d := snap.NewDecoder(payload)
+	d.Uint64()      // kind
+	_ = d.String()  // tenant
+	round = d.Int() // round
+	d.Int()         // base round
+	blob = d.Blob() // the checkpoint state
+	if err := d.Done(); err != nil {
+		return nil, 0, err
+	}
+	return blob, round, nil
+}
+
+// Tenants returns the IDs with a live (non-tombstone) record, sorted.
+func (l *Log) Tenants() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.index))
+	for id, st := range l.index {
+		if !st.tomb {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := len(l.sealed) + 1
+	if l.active == nil {
+		segs--
+	}
+	l.mu.Unlock()
+	return Stats{
+		Appends:     l.appends.Load(),
+		Deltas:      l.deltas.Load(),
+		Bytes:       l.bytes.Load(),
+		Fsyncs:      l.fsyncs.Load(),
+		Rotations:   l.rotations.Load(),
+		Compactions: l.compactions.Load(),
+		Segments:    segs,
+	}
+}
+
+// Close stops the committer, makes everything appended durable and
+// closes the segment files. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.stopCommitter()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.commitLocked()
+	l.closeFilesLocked()
+	return err
+}
+
+// Abort stops the committer and closes the files WITHOUT flushing the
+// append buffer or issuing a final fsync — the crash-consistency
+// analogue of Close, used by the serve tier's crash-simulating
+// shutdown path and the fault-injection tests. Records still buffered
+// are lost, exactly as a kill at that moment would lose them.
+func (l *Log) Abort() error {
+	l.stopCommitter()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closeFilesLocked()
+	return nil
+}
+
+func (l *Log) stopCommitter() {
+	l.mu.Lock()
+	if !l.closed {
+		select {
+		case <-l.done:
+		default:
+			close(l.done)
+		}
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+func (l *Log) closeFilesLocked() {
+	for _, s := range l.sealed {
+		s.f.Close()
+	}
+	if l.active != nil {
+		l.active.Close()
+	}
+	l.closed = true
+}

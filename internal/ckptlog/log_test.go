@@ -1,0 +1,586 @@
+package ckptlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/snap"
+)
+
+// blobFor builds a deterministic checkpoint blob for (tenant, round),
+// large enough that several rounds span a small segment.
+func blobFor(tenant string, round int) []byte {
+	b := make([]byte, 0, 256)
+	for i := 0; i < 8; i++ {
+		b = append(b, fmt.Sprintf("%s/%d/%d|", tenant, round, i)...)
+	}
+	for len(b) < 200 {
+		b = append(b, byte(round), byte(len(b)))
+	}
+	return b
+}
+
+func openTest(t *testing.T, dir string, mut func(*Options)) *Log {
+	t.Helper()
+	opt := Options{Dir: dir, CommitInterval: time.Hour, Logf: t.Logf}
+	if mut != nil {
+		mut(&opt)
+	}
+	l, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestLogRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	tenants := []string{"alpha", "beta", "gamma"}
+	for round := 1; round <= 5; round++ {
+		for _, id := range tenants {
+			if err := l.Append(id, KindFull, round, 0, blobFor(id, round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range tenants {
+		blob, round, ok, err := l.Latest(id)
+		if err != nil || !ok || round != 5 || !bytes.Equal(blob, blobFor(id, 5)) {
+			t.Fatalf("Latest(%s) = round %d, ok %v, err %v", id, round, ok, err)
+		}
+	}
+	if _, _, ok, _ := l.Latest("nope"); ok {
+		t.Fatal("Latest of unknown tenant reported ok")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything recovers from disk.
+	l2 := openTest(t, dir, nil)
+	defer l2.Close()
+	for _, id := range tenants {
+		blob, round, ok, err := l2.Latest(id)
+		if err != nil || !ok || round != 5 || !bytes.Equal(blob, blobFor(id, 5)) {
+			t.Fatalf("after reopen: Latest(%s) = round %d, ok %v, err %v", id, round, ok, err)
+		}
+	}
+	if got := l2.Tenants(); !equalStrings(got, tenants) {
+		t.Fatalf("Tenants = %v", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	a, b = append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(a)
+	sort.Strings(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLogDeltaResolve(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	base := blobFor("ten", 3)
+	if err := l.Append("ten", KindFull, 3, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	for round := 4; round <= 7; round++ {
+		target := blobFor("ten", round)
+		if err := l.Append("ten", KindDelta, round, 3, snap.MakeDelta(base, target)); err != nil {
+			t.Fatal(err)
+		}
+		blob, got, ok, err := l.Latest("ten")
+		if err != nil || !ok || got != round || !bytes.Equal(blob, target) {
+			t.Fatalf("round %d: Latest = round %d, ok %v, err %v", round, got, ok, err)
+		}
+	}
+	// A delta against the wrong base round is rejected.
+	if err := l.Append("ten", KindDelta, 8, 7, nil); err == nil {
+		t.Fatal("delta against a non-full round was accepted")
+	}
+	// A delta for a tenant with no full record is rejected.
+	if err := l.Append("fresh", KindDelta, 1, 0, nil); err == nil {
+		t.Fatal("delta without a full record was accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, dir, nil)
+	defer l2.Close()
+	blob, round, ok, err := l2.Latest("ten")
+	if err != nil || !ok || round != 7 || !bytes.Equal(blob, blobFor("ten", 7)) {
+		t.Fatalf("after reopen: Latest = round %d, ok %v, err %v", round, ok, err)
+	}
+}
+
+func TestLogTombstone(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	if err := l.Append("ten", KindFull, 4, 0, blobFor("ten", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTombstone("ten"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := l.Latest("ten"); ok || err != nil {
+		t.Fatalf("Latest after tombstone: ok %v, err %v", ok, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tombstone shadows the full record across restarts.
+	l2 := openTest(t, dir, nil)
+	if _, _, ok, _ := l2.Latest("ten"); ok {
+		t.Fatal("tombstoned tenant resurrected after reopen")
+	}
+	// Re-opening the tenant starts a fresh chain at a smaller round —
+	// append order, not round numbers, must win.
+	if err := l2.Append("ten", KindFull, 1, 0, blobFor("ten", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openTest(t, dir, nil)
+	defer l3.Close()
+	blob, round, ok, err := l3.Latest("ten")
+	if err != nil || !ok || round != 1 || !bytes.Equal(blob, blobFor("ten", 1)) {
+		t.Fatalf("re-opened tenant: Latest = round %d, ok %v, err %v", round, ok, err)
+	}
+}
+
+// TestLogRotationCompaction drives enough records through a tiny
+// segment bound to force many rotations and compactions, then verifies
+// every tenant still resolves — live and across a reopen — and that
+// the segment count stays bounded.
+func TestLogRotationCompaction(t *testing.T) {
+	dir := t.TempDir()
+	mut := func(o *Options) {
+		o.SegmentBytes = 2 << 10
+		o.CompactSegments = 2
+	}
+	l := openTest(t, dir, mut)
+	tenants := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	last := make(map[string]int)
+	for round := 1; round <= 60; round++ {
+		for _, id := range tenants {
+			if err := l.Append(id, KindFull, round, 0, blobFor(id, round)); err != nil {
+				t.Fatal(err)
+			}
+			last[id] = round
+		}
+	}
+	// One tenant dies mid-history; its records must be GCed, not
+	// resurrected.
+	if err := l.AppendTombstone("t3"); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Rotations == 0 || st.Compactions == 0 {
+		t.Fatalf("expected rotations and compactions, got %+v", st)
+	}
+	if st.Segments > mut0CompactBound() {
+		t.Fatalf("segment count %d not bounded", st.Segments)
+	}
+	check := func(l *Log, when string) {
+		t.Helper()
+		for _, id := range tenants {
+			blob, round, ok, err := l.Latest(id)
+			if id == "t3" {
+				if ok {
+					t.Fatalf("%s: tombstoned t3 resolved", when)
+				}
+				continue
+			}
+			if err != nil || !ok || round != last[id] || !bytes.Equal(blob, blobFor(id, last[id])) {
+				t.Fatalf("%s: Latest(%s) = round %d, ok %v, err %v", when, id, round, ok, err)
+			}
+		}
+	}
+	check(l, "live")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "log-*.seg"))
+	if len(files) > mut0CompactBound() {
+		t.Fatalf("%d segment files on disk after close", len(files))
+	}
+	l2 := openTest(t, dir, mut)
+	defer l2.Close()
+	check(l2, "reopened")
+}
+
+// mut0CompactBound is the loose ceiling on segments for the compaction
+// test: CompactSegments sealed + the active + slack for the compaction
+// that only runs at rotation time.
+func mut0CompactBound() int { return 5 }
+
+// TestLogCompactionPreservesDeltaPairs forces the full+delta pair of a
+// tenant into the oldest segment, compacts, and requires the pair to
+// survive together (recovery depends on full-before-delta order).
+func TestLogCompactionPreservesDeltaPairs(t *testing.T) {
+	dir := t.TempDir()
+	mut := func(o *Options) {
+		o.SegmentBytes = 1 << 10
+		o.CompactSegments = 1
+	}
+	l := openTest(t, dir, mut)
+	base := blobFor("pair", 1)
+	if err := l.Append("pair", KindFull, 1, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	target := blobFor("pair", 2)
+	if err := l.Append("pair", KindDelta, 2, 1, snap.MakeDelta(base, target)); err != nil {
+		t.Fatal(err)
+	}
+	// Bury the pair under churn from another tenant until compaction has
+	// rewritten it forward at least once.
+	for round := 1; round <= 200; round++ {
+		if err := l.Append("churn", KindFull, round, 0, blobFor("churn", round)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Compactions == 0 {
+		t.Fatalf("no compactions after churn: %+v", st)
+	}
+	blob, round, ok, err := l.Latest("pair")
+	if err != nil || !ok || round != 2 || !bytes.Equal(blob, target) {
+		t.Fatalf("live: Latest(pair) = round %d, ok %v, err %v", round, ok, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTest(t, dir, mut)
+	defer l2.Close()
+	blob, round, ok, err = l2.Latest("pair")
+	if err != nil || !ok || round != 2 || !bytes.Equal(blob, target) {
+		t.Fatalf("reopened: Latest(pair) = round %d, ok %v, err %v", round, ok, err)
+	}
+}
+
+// TestLogTruncationSweep cuts the newest segment at every byte length
+// and requires recovery to come up loudly with a consistent prefix:
+// each recovered tenant resolves to the exact blob of some round ≤ the
+// last one written, and recovery never panics or mis-resolves.
+func TestLogTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	base := blobFor("d", 1)
+	for round := 1; round <= 6; round++ {
+		if err := l.Append("a", KindFull, round, 0, blobFor("a", round)); err != nil {
+			t.Fatal(err)
+		}
+		if round == 1 {
+			if err := l.Append("d", KindFull, 1, 0, base); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := l.Append("d", KindDelta, round, 1, snap.MakeDelta(base, blobFor("d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "log-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment, found %v", segs)
+	}
+	whole, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cuts landing exactly on a record boundary (or the bare header) are
+	// clean prefixes — indistinguishable from a crash between commits —
+	// and recover silently. Every other cut must be loud.
+	boundary := map[int]bool{segHeader: true}
+	for off := segHeader; off < len(whole); {
+		n := int(binary.LittleEndian.Uint32(whole[off:]))
+		off += 4 + n + 4
+		boundary[off] = true
+	}
+
+	for cut := 0; cut < len(whole); cut++ {
+		cutDir := t.TempDir()
+		path := filepath.Join(cutDir, filepath.Base(segs[0]))
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var loud bool
+		opt := Options{Dir: cutDir, CommitInterval: time.Hour,
+			Logf: func(string, ...any) { loud = true }}
+		lc, err := Open(opt)
+		if err != nil {
+			t.Fatalf("cut %d: Open failed hard: %v (torn tails must recover)", cut, err)
+		}
+		if !loud && !boundary[cut] {
+			t.Fatalf("cut %d: truncation recovered silently", cut)
+		}
+		for _, id := range []string{"a", "d"} {
+			blob, round, ok, err := lc.Latest(id)
+			if err != nil {
+				t.Fatalf("cut %d: Latest(%s): %v", cut, id, err)
+			}
+			if !ok {
+				continue // truncated before this tenant's first record
+			}
+			if round < 1 || round > 6 || !bytes.Equal(blob, blobFor(id, round)) {
+				t.Fatalf("cut %d: Latest(%s) resolved to corrupt state at round %d", cut, id, round)
+			}
+		}
+		lc.Close()
+	}
+}
+
+// TestLogCorruptionLoudness flips bytes in segment bodies: a flip in
+// the newest segment is a recoverable torn tail (loud, prefix state); a
+// flip in a sealed segment is a hard Open error.
+func TestLogCorruptionLoudness(t *testing.T) {
+	build := func(t *testing.T, segBytes int64) string {
+		dir := t.TempDir()
+		l := openTest(t, dir, func(o *Options) {
+			o.SegmentBytes = segBytes
+			o.CompactSegments = 1 << 20 // effectively never compact
+		})
+		for round := 1; round <= 40; round++ {
+			if err := l.Append("ten", KindFull, round, 0, blobFor("ten", round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("tail-flip-recovers", func(t *testing.T) {
+		dir := build(t, 1<<30) // one segment
+		segs, _ := filepath.Glob(filepath.Join(dir, "log-*.seg"))
+		data, _ := os.ReadFile(segs[0])
+		data[len(data)-10] ^= 0x40 // inside the last record
+		os.WriteFile(segs[0], data, 0o644)
+		var loud bool
+		l, err := Open(Options{Dir: dir, CommitInterval: time.Hour,
+			Logf: func(string, ...any) { loud = true }})
+		if err != nil {
+			t.Fatalf("Open after tail flip: %v", err)
+		}
+		defer l.Close()
+		if !loud {
+			t.Fatal("tail corruption recovered silently")
+		}
+		blob, round, ok, err := l.Latest("ten")
+		if err != nil || !ok || round >= 40 || !bytes.Equal(blob, blobFor("ten", round)) {
+			t.Fatalf("Latest = round %d, ok %v, err %v; want a clean earlier round", round, ok, err)
+		}
+	})
+
+	t.Run("sealed-flip-fails", func(t *testing.T) {
+		dir := build(t, 1<<10) // several segments
+		segs, _ := filepath.Glob(filepath.Join(dir, "log-*.seg"))
+		sort.Strings(segs)
+		if len(segs) < 3 {
+			t.Fatalf("want several segments, got %d", len(segs))
+		}
+		data, _ := os.ReadFile(segs[0])
+		data[len(data)/2] ^= 0x40
+		os.WriteFile(segs[0], data, 0o644)
+		if l, err := Open(Options{Dir: dir, CommitInterval: time.Hour}); err == nil {
+			l.Close()
+			t.Fatal("corruption in a sealed segment did not fail Open")
+		} else if !strings.Contains(err.Error(), "sealed") {
+			t.Fatalf("error does not name the sealed segment: %v", err)
+		}
+	})
+}
+
+// TestLogAbortLosesOnlyTail: records appended but not yet committed are
+// lost by Abort (the crash analogue), while everything before the last
+// Sync survives.
+func TestLogAbortLosesOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	if err := l.Append("ten", KindFull, 1, 0, blobFor("ten", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("ten", KindFull, 2, 0, blobFor("ten", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Abort(); err != nil { // round 2 still buffered: gone
+		t.Fatal(err)
+	}
+	l2 := openTest(t, dir, nil)
+	defer l2.Close()
+	blob, round, ok, err := l2.Latest("ten")
+	if err != nil || !ok || round != 1 || !bytes.Equal(blob, blobFor("ten", 1)) {
+		t.Fatalf("after abort: Latest = round %d, ok %v, err %v; want the synced round 1", round, ok, err)
+	}
+}
+
+// TestLogGroupCommitBatches: many appends inside one commit interval
+// cost one fsync, not one per append.
+func TestLogGroupCommitBatches(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil) // CommitInterval: 1h → only explicit Syncs
+	for round := 1; round <= 100; round++ {
+		for _, id := range []string{"a", "b", "c", "d"} {
+			if err := l.Append(id, KindFull, round, 0, blobFor(id, round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 400 {
+		t.Fatalf("Appends = %d", st.Appends)
+	}
+	if st.Fsyncs > 2 {
+		t.Fatalf("%d fsyncs for one batch of 400 appends", st.Fsyncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogConcurrentAppends exercises the lock paths under the race
+// detector: many goroutines appending and reading concurrently, with a
+// fast committer and tiny segments forcing rotation and compaction.
+func TestLogConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) {
+		o.CommitInterval = 200 * time.Microsecond
+		o.SegmentBytes = 8 << 10
+		o.CompactSegments = 2
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("g%d", g)
+			for round := 1; round <= 50; round++ {
+				if err := l.Append(id, KindFull, round, 0, blobFor(id, round)); err != nil {
+					t.Errorf("%s append: %v", id, err)
+					return
+				}
+				if round%10 == 0 {
+					if _, _, _, err := l.Latest(id); err != nil {
+						t.Errorf("%s latest: %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTest(t, dir, nil)
+	defer l2.Close()
+	for g := 0; g < 8; g++ {
+		id := fmt.Sprintf("g%d", g)
+		blob, round, ok, err := l2.Latest(id)
+		if err != nil || !ok || round != 50 || !bytes.Equal(blob, blobFor(id, 50)) {
+			t.Fatalf("Latest(%s) = round %d, ok %v, err %v", id, round, ok, err)
+		}
+	}
+}
+
+// TestLogStaleDeltaAfterCompaction pins the recovery scan against
+// compaction residue: compaction may drop a segment holding an old full
+// record while younger sealed segments still hold stale deltas naming
+// it. The scan must tolerate those (they are superseded in append
+// order) yet still fail loudly when a dangling delta is a tenant's
+// actual latest record.
+func TestLogStaleDeltaAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) {
+		o.SegmentBytes = 1 // every append seals its own segment
+		o.CompactSegments = 4
+	})
+	// seg1: a's chain base; seg2: a delta against it (soon stale).
+	if err := l.Append("a", KindFull, 1, 0, blobFor("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("a", KindDelta, 2, 1, blobFor("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// seg3: a new full supersedes the chain, making seg1 droppable and
+	// seg2's delta stale.
+	if err := l.Append("a", KindFull, 10, 0, blobFor("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Filler appends push the sealed count past CompactSegments so
+	// compaction deletes seg1 (old full, not latest) but keeps seg2.
+	for i := 1; i <= 2; i++ {
+		if err := l.Append("b", KindFull, i, 0, blobFor("b", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 should have been compacted away (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatalf("segment 2 (stale delta) should survive: %v", err)
+	}
+
+	// Reopen must scan past the stale delta and resolve a at round 10.
+	l2 := openTest(t, dir, nil)
+	blob, round, ok, err := l2.Latest("a")
+	if err != nil || !ok || round != 10 || !bytes.Equal(blob, blobFor("a", 10)) {
+		t.Fatalf("Latest(a) after compaction residue = round %d, ok %v, err %v", round, ok, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now make the dangling delta the latest record: truncate away every
+	// segment after seg2 and reopen — recovery must refuse, loudly.
+	names, err := filepath.Glob(filepath.Join(dir, "log-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if seq, serr := segSeq(name); serr != nil {
+			t.Fatal(serr)
+		} else if seq > 2 {
+			if err := os.Remove(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := Open(Options{Dir: dir, CommitInterval: time.Hour, Logf: t.Logf}); err == nil {
+		t.Fatal("Open resolved a dangling latest delta silently, want an error")
+	} else if !strings.Contains(err.Error(), "unresolvable") {
+		t.Fatalf("dangling latest delta error = %v, want it to name the unresolvable record", err)
+	}
+}

@@ -14,6 +14,9 @@ type jobPool struct {
 	queues []container.BucketQueue
 	dl     *container.IndexedHeap[Color, int]
 	total  int
+	// snapScratch is reused by snapshotState so repeated snapshots do
+	// not allocate per call.
+	snapScratch []container.Bucket
 }
 
 func newJobPool(numColors int) *jobPool {

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/container"
 	"repro/internal/snap"
 )
 
@@ -56,11 +55,24 @@ type Snapshotter interface {
 // attached Probe is not part of the state — observability sinks are
 // reattached explicitly on restore.
 func (s *Stream) Snapshot() ([]byte, error) {
+	return s.AppendSnapshot(nil)
+}
+
+// AppendSnapshot is Snapshot writing into caller-owned storage: the
+// blob is appended onto dst (which may be nil or a recycled buffer —
+// pass buf[:0]) and the extended slice is returned. A caller that
+// recycles the returned buffer across checkpoints reaches a
+// steady state where snapshotting allocates nothing, which is what
+// keeps the serve tier's per-round checkpoint path flat (see
+// docs/PERFORMANCE.md). The returned slice is caller-owned; the
+// stream retains no reference to it.
+func (s *Stream) AppendSnapshot(dst []byte) ([]byte, error) {
 	sn, ok := s.eng.pol.(Snapshotter)
 	if !ok {
 		return nil, fmt.Errorf("sched: policy %s does not implement Snapshotter", s.eng.pol.Name())
 	}
-	e := snap.NewEncoder()
+	e := &s.snapEnc
+	e.Attach(dst)
 	e.Int(SnapshotVersion)
 	e.Int(s.cfg.N)
 	e.Int(s.cfg.Speed)
@@ -69,7 +81,27 @@ func (s *Stream) Snapshot() ([]byte, error) {
 	e.String(s.eng.pol.Name())
 	s.eng.snapshotState(e)
 	sn.SnapshotState(e)
-	return e.Bytes(), nil
+	out := e.Bytes()
+	e.Attach(nil) // release: the buffer is caller-owned from here on
+	return out, nil
+}
+
+// SnapshotDelta captures the stream's state as a binary delta against
+// base, a full snapshot blob previously taken from this stream (see
+// snap.MakeDelta for the format). The delta is appended onto dst and
+// the extended slice returned; snap.ApplyDelta(nil, base, delta)
+// reproduces the full snapshot bit-identically. Deltas are always
+// computed against the given base — they never chain — so the caller
+// retains one full blob and may take any number of deltas against it.
+// Like AppendSnapshot, a caller recycling dst reaches an
+// allocation-flat steady state.
+func (s *Stream) SnapshotDelta(base, dst []byte) ([]byte, error) {
+	cur, err := s.AppendSnapshot(s.deltaScratch[:0])
+	if err != nil {
+		return nil, err
+	}
+	s.deltaScratch = cur // retain the grown buffer for next time
+	return s.dm.AppendDelta(dst, base, cur), nil
 }
 
 // PeekSnapshot decodes just the configuration header of a
@@ -251,11 +283,10 @@ func (e *roundEngine) restoreState(d *snap.Decoder) error {
 // keeps deadline-tie processing identical after restore).
 func (p *jobPool) snapshotState(enc *snap.Encoder) {
 	enc.Int(len(p.queues))
-	var scratch []container.Bucket
 	for i := range p.queues {
-		scratch = p.queues[i].Buckets(scratch[:0])
-		enc.Int(len(scratch))
-		for _, b := range scratch {
+		p.snapScratch = p.queues[i].Buckets(p.snapScratch[:0])
+		enc.Int(len(p.snapScratch))
+		for _, b := range p.snapScratch {
 			enc.Int(b.Deadline)
 			enc.Int(b.Count)
 		}

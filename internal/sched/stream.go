@@ -1,5 +1,7 @@
 package sched
 
+import "repro/internal/snap"
+
 // StreamConfig configures a Stream.
 type StreamConfig struct {
 	// N is the number of resources; Speed the mini-rounds per round
@@ -29,6 +31,14 @@ type Stream struct {
 	cfg     StreamConfig
 	eng     *roundEngine
 	scratch Request
+
+	// Snapshot-path scratch (see AppendSnapshot / SnapshotDelta): a
+	// retained encoder so repeated snapshots reuse one backing buffer,
+	// a scratch buffer holding the current full snapshot while a delta
+	// is computed, and the reusable delta block index.
+	snapEnc      snap.Encoder
+	deltaScratch []byte
+	dm           snap.DeltaMaker
 }
 
 // StepResult reports one round of a Stream.

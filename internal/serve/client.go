@@ -402,3 +402,24 @@ func (c *Client) Ping() (draining bool, tenants int, err error) {
 	}
 	return draining, tenants, nil
 }
+
+// DuraStats reports the server's durability-backend counters (protocol
+// v5): mode ("log", "files", or "off"), append/byte/fsync totals, and
+// the group-commit log's delta, rotation, compaction and segment
+// counts. Dial the server directly — the proxy tier does not relay it.
+func (c *Client) DuraStats() (DuraStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	c.enc.Uint64(msgDuraStats)
+	d, err := c.roundtrip(msgDuraStats)
+	if err != nil {
+		return DuraStats{}, err
+	}
+	var st DuraStats
+	st.decode(d)
+	if err := c.done(d); err != nil {
+		return DuraStats{}, err
+	}
+	return st, nil
+}

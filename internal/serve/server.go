@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckptlog"
 	"repro/internal/sched"
 	"repro/internal/snap"
 	"repro/internal/trace"
@@ -33,6 +34,28 @@ type Config struct {
 	// per-tenant checkpoints (default 64). Graceful shutdown always
 	// writes a final checkpoint regardless.
 	CheckpointEvery int
+	// CkptMode selects the durability backend when CheckpointDir is set:
+	// "log" (the default) appends every tenant's checkpoints to a shared
+	// group-commit segment log (internal/ckptlog) whose committer batches
+	// the fsyncs, "files" writes one fsynced .ckpt file per tenant per
+	// checkpoint (the pre-log behavior, and still the release/migration
+	// blob format).
+	CkptMode string
+	// CkptCommitInterval is the group-commit fsync interval of the "log"
+	// backend (default 2ms). Appends buffered within one interval share a
+	// single fsync; a crash loses at most the last interval's records.
+	CkptCommitInterval time.Duration
+	// CkptSegmentBytes caps a log segment before rotation (default 4MiB).
+	CkptSegmentBytes int
+	// CkptAdaptive enables per-tenant adaptive checkpoint pacing in log
+	// mode: the round gap between checkpoints is chosen from the measured
+	// snapshot cost versus apply cost, weighted by the tenant's Weight,
+	// instead of the fixed CheckpointEvery cadence.
+	CkptAdaptive bool
+	// CkptPaceMin/CkptPaceMax clamp the adaptive pacer's chosen gap in
+	// rounds (defaults 1 and 1024).
+	CkptPaceMin int
+	CkptPaceMax int
 	// RoundInterval, when positive, paces round application: each shard
 	// worker applies at most one queued tick per tenant per interval, so
 	// arrivals batch into timed round ticks and a client outrunning the
@@ -74,6 +97,15 @@ func (c *Config) fill() {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 64
 	}
+	if c.CkptMode == "" {
+		c.CkptMode = "log"
+	}
+	if c.CkptPaceMin <= 0 {
+		c.CkptPaceMin = 1
+	}
+	if c.CkptPaceMax <= 0 {
+		c.CkptPaceMax = 1024
+	}
 	if c.Shards <= 0 {
 		c.Shards = min(runtime.GOMAXPROCS(0), 16)
 	}
@@ -98,6 +130,12 @@ type Server struct {
 	alloc Allocator // cross-tenant allocation policy (see alloc.go)
 	ln    net.Listener
 
+	// clog is the shared group-commit checkpoint log (CkptMode "log");
+	// nil in files mode or when durability is off. dura counts the
+	// files-mode write traffic so DuraStats has numbers in either mode.
+	clog *ckptlog.Log
+	dura duraCounters
+
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	// sorted caches tenantList's ID-ordered snapshot; it is rebuilt on
@@ -115,6 +153,15 @@ type Server struct {
 
 	stopOnce sync.Once
 	stopErr  error
+}
+
+// duraCounters tallies files-mode durability traffic (each checkpoint
+// write is one append, its own fsync). Log mode reads the equivalent
+// numbers from ckptlog.Stats instead.
+type duraCounters struct {
+	appends atomic.Int64
+	bytes   atomic.Int64
+	fsyncs  atomic.Int64
 }
 
 // shard is one worker's set of tenants. wake is a coalesced
@@ -177,7 +224,26 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: creating checkpoint dir: %w", err)
 		}
+		switch cfg.CkptMode {
+		case "log":
+			clog, err := ckptlog.Open(ckptlog.Options{
+				Dir:            cfg.CheckpointDir,
+				CommitInterval: cfg.CkptCommitInterval,
+				SegmentBytes:   int64(cfg.CkptSegmentBytes),
+				Logf:           cfg.Logf,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: opening checkpoint log: %w", err)
+			}
+			s.clog = clog
+		case "files":
+		default:
+			return nil, fmt.Errorf("serve: unknown checkpoint mode %q (want \"log\" or \"files\")", cfg.CkptMode)
+		}
 		if err := s.recover(); err != nil {
+			if s.clog != nil {
+				s.clog.Close()
+			}
 			return nil, err
 		}
 	}
@@ -278,6 +344,22 @@ func (s *Server) stop(flush bool) error {
 		}
 		s.mu.Unlock()
 		s.connWG.Wait()
+		// The log closes only after every connection handler is gone —
+		// a handler mid-drain can still append checkpoints. Graceful
+		// shutdown commits the tail; Close abandons it unsynced, the
+		// crash analogue the fault-injection tests rely on.
+		if s.clog != nil {
+			if flush {
+				if err := s.clog.Close(); err != nil {
+					s.logf("serve: closing checkpoint log: %v", err)
+					if s.stopErr == nil {
+						s.stopErr = err
+					}
+				}
+			} else {
+				s.clog.Abort()
+			}
+		}
 	})
 	return s.stopErr
 }
@@ -390,6 +472,25 @@ func newSink(cfg sched.StreamConfig) *sched.MetricsSink {
 // may declare, keeping deficit arithmetic well-conditioned.
 const maxTenantWeight = 1 << 20
 
+// attachDurability points a tenant at the server's durability backend:
+// the shared group-commit log plus the pacing knobs in log mode, a
+// per-tenant .ckpt path plus the files-mode counters otherwise. The
+// meta path is per-tenant in both modes. Callers must have checked
+// s.cfg.CheckpointDir != "".
+func (s *Server) attachDurability(t *tenant) {
+	t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
+	t.logf = s.logf
+	if s.clog != nil {
+		t.clog = s.clog
+		t.adaptive = s.cfg.CkptAdaptive
+		t.paceMin = s.cfg.CkptPaceMin
+		t.paceMax = s.cfg.CkptPaceMax
+		return
+	}
+	t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
+	t.dura = &s.dura
+}
+
 // minDelayOf returns the tightest positive delay bound in a tenant's
 // menu (≥ 1): the denominator of its delay factor.
 func minDelayOf(delays []int) int {
@@ -480,8 +581,7 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 		weight: max(m.Weight, 1), minDelay: minDelayOf(cfg.Delays),
 	}
 	if s.cfg.CheckpointDir != "" {
-		t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
-		t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
+		s.attachDurability(t)
 		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
 			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 		}
@@ -614,14 +714,25 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 			Msg: fmt.Sprintf("tenant limit %d reached", s.cfg.MaxTenants)}
 	}
 	if s.cfg.CheckpointDir != "" {
-		t.ckptPath = filepath.Join(s.cfg.CheckpointDir, t.id+".ckpt")
-		t.metaPath = filepath.Join(s.cfg.CheckpointDir, t.id+".meta")
+		s.attachDurability(t)
 		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
 			s.mu.Unlock()
 			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 		}
 		if round := st.Round(); round > 0 {
-			if err := trace.SaveCheckpointState(t.ckptPath, m.Blob); err != nil {
+			if s.clog != nil {
+				// A full record shadows any tombstone left by an earlier
+				// release of this id; synced immediately because the route
+				// flip follows the restore acknowledgement.
+				err := s.clog.Append(t.id, ckptlog.KindFull, round, 0, m.Blob)
+				if err == nil {
+					err = s.clog.Sync()
+				}
+				if err != nil {
+					s.mu.Unlock()
+					return nil, &errResp{Code: codeInternal, Msg: fmt.Sprintf("serve: tenant %s: logging restore checkpoint: %v", t.id, err)}
+				}
+			} else if err := trace.SaveCheckpointState(t.ckptPath, m.Blob); err != nil {
 				s.mu.Unlock()
 				return nil, &errResp{Code: codeInternal, Msg: fmt.Sprintf("serve: tenant %s: writing restore checkpoint: %v", t.id, err)}
 			}
@@ -751,7 +862,6 @@ func (s *Server) recover() error {
 
 func (s *Server) recoverTenant(id string) (*tenant, error) {
 	metaPath := filepath.Join(s.cfg.CheckpointDir, id+".meta")
-	ckptPath := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
 	spec, qcap, weight, cfg, err := readMeta(metaPath)
 	if err != nil {
 		return nil, err
@@ -765,16 +875,39 @@ func (s *Server) recoverTenant(id string) (*tenant, error) {
 		id: id, spec: spec, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, sink: sink,
 		weight: max(weight, 1), minDelay: minDelayOf(cfg.Delays),
-		ckptPath: ckptPath, metaPath: metaPath,
 	}
-	f, err := os.Open(ckptPath)
-	switch {
-	case err == nil:
-		blob, rerr := trace.ReadCheckpoint(f)
-		f.Close()
-		if rerr != nil {
-			return nil, fmt.Errorf("serve: tenant %s: %w", id, rerr)
+	s.attachDurability(t)
+
+	// Find the newest checkpoint blob in whichever backend is active. A
+	// missing blob (process died before the first checkpoint, or the
+	// log holds only a tombstone) recovers the tenant fresh at round 0
+	// — the metadata file is the record of its existence.
+	var blob []byte
+	logRound := -1
+	if s.clog != nil {
+		b, r, ok, lerr := s.clog.Latest(id)
+		if lerr != nil {
+			return nil, fmt.Errorf("serve: tenant %s: checkpoint log: %w", id, lerr)
 		}
+		if ok {
+			blob, logRound = b, r
+		}
+	} else {
+		f, oerr := os.Open(t.ckptPath)
+		switch {
+		case oerr == nil:
+			b, rerr := trace.ReadCheckpoint(f)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("serve: tenant %s: %w", id, rerr)
+			}
+			blob = b
+		case os.IsNotExist(oerr):
+		default:
+			return nil, fmt.Errorf("serve: tenant %s: opening checkpoint: %w", id, oerr)
+		}
+	}
+	if blob != nil {
 		// Cheap cross-check before the full restore: the checkpoint must
 		// have been taken under the configuration the metadata records.
 		pcfg, _, perr := sched.PeekSnapshot(blob)
@@ -788,17 +921,18 @@ func (s *Server) recoverTenant(id string) (*tenant, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: tenant %s: %w", id, err)
 		}
+		if logRound >= 0 && logRound != t.st.Round() {
+			return nil, fmt.Errorf("serve: tenant %s: checkpoint log records round %d but the blob restores at round %d", id, logRound, t.st.Round())
+		}
 		t.lastCkpt = t.st.Round()
 		t.writtenRound = t.st.Round()
-	case os.IsNotExist(err):
+	} else {
 		scfg := cfg
 		scfg.Probe = sink
 		t.st, err = sched.NewStream(pol, scfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: tenant %s: %w", id, err)
 		}
-	default:
-		return nil, fmt.Errorf("serve: tenant %s: opening checkpoint: %w", id, err)
 	}
 	return t, nil
 }
@@ -1013,6 +1147,12 @@ func (s *Server) process(body []byte, cs *connState, enc *snap.Encoder) (closeCo
 		enc.Uint64(msgPing)
 		enc.Bool(s.draining.Load())
 		enc.Int(s.NumTenants())
+	case msgDuraStats:
+		if d.Done() != nil {
+			return bad("malformed durability stats request")
+		}
+		st := s.DuraStats()
+		st.encode(enc)
 	case msgRestore:
 		var m restoreMsg
 		m.decode(d)
@@ -1091,6 +1231,35 @@ func (s *Server) fillServiceShares(rows []TenantStats, allRows bool) {
 	}
 }
 
+// DuraStats reports the durability backend's cumulative counters: the
+// group-commit log's in log mode, the per-file write tallies in files
+// mode, zeros (Mode "off") when durability is disabled.
+func (s *Server) DuraStats() DuraStats {
+	switch {
+	case s.clog != nil:
+		ls := s.clog.Stats()
+		return DuraStats{
+			Mode:        "log",
+			Appends:     ls.Appends,
+			Bytes:       ls.Bytes,
+			Fsyncs:      ls.Fsyncs,
+			Deltas:      ls.Deltas,
+			Rotations:   ls.Rotations,
+			Compactions: ls.Compactions,
+			Segments:    int64(ls.Segments),
+		}
+	case s.cfg.CheckpointDir != "":
+		return DuraStats{
+			Mode:    "files",
+			Appends: s.dura.appends.Load(),
+			Bytes:   s.dura.bytes.Load(),
+			Fsyncs:  s.dura.fsyncs.Load(),
+		}
+	default:
+		return DuraStats{Mode: "off"}
+	}
+}
+
 // SchedSummary returns a one-line cross-tenant scheduling summary —
 // allocator, tenant count, aggregate backlog, and the worst live and
 // high-water delay factors with the tenants holding them — for periodic
@@ -1151,6 +1320,14 @@ func (s *Server) tenantCommand(typ uint64, id string, enc *snap.Encoder) {
 		if blob != nil {
 			if werr := t.writeCheckpoint(blob, round); werr != nil {
 				s.logf("%v", werr)
+			}
+		} else if s.clog != nil {
+			// Log mode: the drain's final checkpoint was appended inside
+			// drainStream; sync it so a drain acknowledgement means the
+			// drained state is durable, exactly as the files-mode write
+			// (with its per-file fsync) guarantees.
+			if werr := s.clog.Sync(); werr != nil {
+				s.logf("serve: tenant %s: syncing drain checkpoint: %v", id, werr)
 			}
 		}
 		encodeResult(enc, msgDrain, res)

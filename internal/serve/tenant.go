@@ -2,11 +2,15 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"slices"
 	"sync"
+	"time"
 
+	"repro/internal/ckptlog"
 	"repro/internal/sched"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -53,11 +57,58 @@ type tenant struct {
 	checkpoints    int64
 	lastCkpt       int // round of the last snapshot taken
 
-	ckptPath, metaPath string // "" = durability off
+	ckptPath, metaPath string // "" = files-mode durability off
+
+	// clog, when non-nil, selects the group-commit log backend
+	// (internal/ckptlog): checkpoints are appended to the shard-shared
+	// segment log under mu+ckptMu instead of written to a per-tenant
+	// file, and the log's committer batches the fsyncs. dura counts the
+	// files-mode writes when clog is nil. logf receives checkpoint-path
+	// diagnostics (never nil after newTenantState).
+	clog *ckptlog.Log
+	dura *duraCounters
+	logf func(format string, args ...any)
+
+	// Pooled snapshot-path buffers, guarded by mu. snapBuf holds the
+	// latest full snapshot (reused every checkpoint), deltaBase the full
+	// snapshot the current delta chain is computed against, deltaBuf the
+	// delta scratch — so a steady-state log-mode checkpoint allocates
+	// nothing.
+	snapBuf        []byte
+	deltaBase      []byte
+	deltaBuf       []byte
+	deltaBaseRound int
+	deltasSince    int
+	dm             snap.DeltaMaker
+
+	// Adaptive checkpoint pacing (Config.CkptAdaptive): EWMAs of the
+	// measured snapshot cost and per-round apply cost pick the next
+	// checkpoint round (see nextPaceLocked), clamped to
+	// [paceMin, paceMax]. Guarded by mu.
+	adaptive         bool
+	paceMin, paceMax int
+	snapNs, applyNs  float64 // EWMA, α=0.3; 0 = no measurement yet
+	paceNext         int     // next checkpoint round; 0 = bootstrap
 
 	ckptMu       sync.Mutex
 	writtenRound int  // round of the newest checkpoint on disk
 	removed      bool // durable files deleted; never write them again
+}
+
+// deltaEveryFull is the delta-chain length bound: after this many
+// consecutive delta checkpoints a full snapshot is re-emitted even if
+// deltas stay small, bounding the work recovery pays to resolve a
+// tenant (one full + one delta, never a chain).
+const deltaEveryFull = 16
+
+// ewmaAlpha weighs new cost measurements into the pacing EWMAs.
+const ewmaAlpha = 0.3
+
+func ewma(old float64, sample float64) float64 {
+	if old == 0 {
+		return sample
+	}
+	return old + ewmaAlpha*(sample-old)
 }
 
 // queuedLocked reports the number of admitted-but-unapplied round ticks.
@@ -198,8 +249,19 @@ func (t *tenant) submitBatch(seq int, ticks []sched.Request, draining bool) (adm
 }
 
 // applyQueuedLocked applies up to max queued round ticks (max <= 0 =
-// all) and returns how many it applied. Callers hold mu.
+// all) and returns how many it applied. Callers hold mu. Under
+// adaptive pacing the batch is timed so the pacer knows what a round
+// of progress costs relative to a snapshot.
 func (t *tenant) applyQueuedLocked(max int) (applied int) {
+	var start time.Time
+	if t.adaptive {
+		start = time.Now()
+	}
+	defer func() {
+		if t.adaptive && applied > 0 {
+			t.applyNs = ewma(t.applyNs, float64(time.Since(start).Nanoseconds())/float64(applied))
+		}
+	}()
 	for t.queuedLocked() > 0 && t.failed == nil && (max <= 0 || applied < max) {
 		tick := t.queue[t.head]
 		t.queue[t.head] = nil
@@ -235,8 +297,16 @@ func (t *tenant) applyQueued(max, every int) (applied int, blob []byte, round in
 // maybeSnapshotLocked snapshots the stream when a checkpoint is due
 // (or, with force, whenever durability is on and the stream has moved
 // since the last snapshot). Callers hold mu.
+//
+// In files mode the blob is returned for the caller to persist outside
+// the stream lock via writeCheckpoint (the write pays an fsync). In
+// log mode the record is appended to the group-commit log right here —
+// an append is a buffered copy, durability is the committer's batched
+// fsync — and (nil, 0) is returned; creation order and append order
+// coincide by construction, which is what keeps the per-tenant delta
+// chains valid without any cross-goroutine ordering protocol.
 func (t *tenant) maybeSnapshotLocked(every int, force bool) (blob []byte, round int) {
-	if t.ckptPath == "" || t.failed != nil {
+	if (t.ckptPath == "" && t.clog == nil) || t.failed != nil {
 		return nil, 0
 	}
 	r := t.st.Round()
@@ -244,7 +314,11 @@ func (t *tenant) maybeSnapshotLocked(every int, force bool) (blob []byte, round 
 		if r == t.lastCkpt {
 			return nil, 0
 		}
-	} else if every <= 0 || r-t.lastCkpt < every {
+	} else if !t.ckptDueLocked(every, r) {
+		return nil, 0
+	}
+	if t.clog != nil {
+		t.logCheckpointLocked(r)
 		return nil, 0
 	}
 	b, err := t.st.Snapshot()
@@ -254,7 +328,101 @@ func (t *tenant) maybeSnapshotLocked(every int, force bool) (blob []byte, round 
 	}
 	t.lastCkpt = r
 	t.checkpoints++
+	if t.adaptive {
+		t.paceNext = r + t.nextPaceLocked()
+	}
 	return b, r
+}
+
+// ckptDueLocked decides whether a periodic checkpoint is due at round
+// r. With adaptive pacing off this is the fixed cadence
+// (CheckpointEvery); with it on, the round the pacer picked after the
+// previous checkpoint. Callers hold mu.
+func (t *tenant) ckptDueLocked(every, r int) bool {
+	if r == t.lastCkpt {
+		return false
+	}
+	if t.adaptive {
+		if t.paceNext <= 0 {
+			return true // bootstrap: take one checkpoint to measure against
+		}
+		return r >= t.paceNext
+	}
+	return every > 0 && r-t.lastCkpt >= every
+}
+
+// nextPaceLocked converts the measured costs into the rounds to wait
+// before the next checkpoint — Young's approximation: the overhead of
+// checkpointing every k rounds is snapCost/k while the expected rewind
+// exposure grows with k·applyCost·weight, minimized at
+// k ≈ sqrt(2·snapCost/applyCost/weight). Heavier tenants (larger
+// Weight) checkpoint more often: their rewind is worth more. Callers
+// hold mu.
+func (t *tenant) nextPaceLocked() int {
+	iv := t.paceMax
+	if t.snapNs > 0 && t.applyNs > 0 {
+		cost := t.snapNs / t.applyNs // snapshot cost in units of rounds
+		iv = int(math.Sqrt(2 * cost / float64(max(t.weight, 1))))
+	}
+	return min(max(iv, max(t.paceMin, 1)), max(t.paceMax, 1))
+}
+
+// logCheckpointLocked takes one checkpoint into the group-commit log:
+// a delta against the retained base when the chain is short and the
+// delta pays for itself, a fresh full snapshot (restarting the chain)
+// otherwise. Buffers are pooled; the steady state allocates nothing.
+// Callers hold mu.
+func (t *tenant) logCheckpointLocked(r int) {
+	var start time.Time
+	if t.adaptive {
+		start = time.Now()
+	}
+	cur, err := t.st.AppendSnapshot(t.snapBuf[:0])
+	if err != nil {
+		t.failed = fmt.Errorf("serve: tenant %s: snapshot at round %d: %w", t.id, r, err)
+		return
+	}
+	t.snapBuf = cur
+	kind, base, rec := ckptlog.KindFull, 0, cur
+	if t.deltaBase != nil && t.deltasSince < deltaEveryFull {
+		d := t.dm.AppendDelta(t.deltaBuf[:0], t.deltaBase, cur)
+		t.deltaBuf = d
+		if 2*len(d) <= len(cur) {
+			kind, base, rec = ckptlog.KindDelta, t.deltaBaseRound, d
+		}
+	}
+	if t.adaptive {
+		t.snapNs = ewma(t.snapNs, float64(time.Since(start).Nanoseconds()))
+	}
+	// The tombstone check guards the log-append path exactly as it
+	// guards files-mode writes: a released or closed tenant must not
+	// resurrect records into the shared log (see removeFiles).
+	appended := false
+	t.ckptMu.Lock()
+	if !t.removed && r > t.writtenRound {
+		if err := t.clog.Append(t.id, kind, r, base, rec); err != nil {
+			t.logf("serve: tenant %s: checkpoint log append at round %d: %v", t.id, r, err)
+		} else {
+			t.writtenRound = r
+			appended = true
+		}
+	}
+	t.ckptMu.Unlock()
+	if !appended {
+		return // removed, stale, or failed: leave the chain untouched and retry later
+	}
+	if kind == ckptlog.KindFull {
+		t.deltaBase = append(t.deltaBase[:0], cur...)
+		t.deltaBaseRound = r
+		t.deltasSince = 0
+	} else {
+		t.deltasSince++
+	}
+	t.lastCkpt = r
+	t.checkpoints++
+	if t.adaptive {
+		t.paceNext = r + t.nextPaceLocked()
+	}
 }
 
 // writeCheckpoint persists a snapshot blob taken by applyQueued, flush
@@ -274,6 +442,11 @@ func (t *tenant) writeCheckpoint(blob []byte, round int) error {
 		return fmt.Errorf("serve: tenant %s: writing checkpoint: %w", t.id, err)
 	}
 	t.writtenRound = round
+	if t.dura != nil {
+		t.dura.appends.Add(1)
+		t.dura.bytes.Add(int64(len(blob)))
+		t.dura.fsyncs.Add(1) // SaveCheckpointState fsyncs each write
+	}
 	return nil
 }
 
@@ -282,14 +455,27 @@ func (t *tenant) writeCheckpoint(blob []byte, round int) error {
 // Holding ckptMu across the removal orders it against a concurrent
 // writer: whichever side wins the lock, the files end (and stay) gone.
 func (t *tenant) removeFiles() {
-	if t.ckptPath == "" {
+	if t.ckptPath == "" && t.clog == nil {
 		return
 	}
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
 	t.removed = true
-	os.Remove(t.ckptPath)
 	os.Remove(t.metaPath)
+	if t.clog != nil {
+		// The tombstone shadows every earlier record for this id so a
+		// restart cannot resurrect the tenant; it is synced immediately
+		// because removal is acknowledged to the client. Best-effort: on
+		// error the meta file is already gone, so recovery skips the
+		// tenant anyway.
+		if err := t.clog.AppendTombstone(t.id); err != nil {
+			t.logf("serve: tenant %s: checkpoint log tombstone: %v", t.id, err)
+		} else if err := t.clog.Sync(); err != nil {
+			t.logf("serve: tenant %s: checkpoint log sync: %v", t.id, err)
+		}
+		return
+	}
+	os.Remove(t.ckptPath)
 }
 
 // flush applies every queued round tick and takes a final snapshot —

@@ -27,10 +27,14 @@
 // state out of a server (drain the admission queue, snapshot, leave a
 // tombstone) and msgRestore installs a released snapshot on another
 // server, so a router tier (internal/proxy) can move a live tenant
-// between backends without losing a round. Version-1 through version-3
-// peers never send any of these and keep working unchanged: the legacy
-// msgStats request and response are byte-for-byte identical across
-// versions.
+// between backends without losing a round. Version 5 adds msgDuraStats,
+// a bare request reporting the durability backend's counters (appends,
+// bytes, fsyncs, and the group-commit log's deltas, rotations,
+// compactions and segment count); it is answered by the server a client
+// dialed directly and is not relayed by the proxy tier. Version-1
+// through version-4 peers never send any of these and keep working
+// unchanged: the legacy msgStats request and response are byte-for-byte
+// identical across versions.
 //
 // # Rounds, sequence numbers, and exactly-once ingest
 //
@@ -61,9 +65,10 @@ import (
 // tagged frames (pipelining) and vectored submit batches; version 3
 // added the open request's optional tenant weight and the extended
 // stats command (msgStatsEx); version 4 added the live-migration pair
-// msgRelease/msgRestore used by the proxy tier. The server still
-// accepts older peers, which simply never send any of these.
-const ProtocolVersion = 4
+// msgRelease/msgRestore used by the proxy tier; version 5 added the
+// msgDuraStats durability-counter probe. The server still accepts older
+// peers, which simply never send any of these.
+const ProtocolVersion = 5
 
 // MinProtocolVersion is the oldest version the server still speaks.
 // Version-1 clients use strict request/response with untagged frames;
@@ -133,7 +138,53 @@ const (
 	// resume sequence, and state blob — everything msgRestore needs on
 	// the target.
 	msgRelease
+	// msgDuraStats (protocol v5) is a bare request for the server's
+	// durability counters: the backend mode plus append/byte/fsync
+	// totals, and in log mode the group-commit log's delta, rotation,
+	// compaction and live-segment counts. Direct-dial only — the proxy
+	// tier does not relay it, since the numbers describe one server's
+	// local storage, not a fleet-level view.
+	msgDuraStats
 )
+
+// DuraStats reports the durability backend's cumulative counters.
+// Mode is "log", "files", or "off" (no CheckpointDir). In files mode
+// every append pays its own fsync, so Appends == Fsyncs and the
+// log-only fields stay zero; in log mode Fsyncs counts group commits,
+// which is the number the batching exists to shrink.
+type DuraStats struct {
+	Mode        string
+	Appends     int64
+	Bytes       int64
+	Fsyncs      int64
+	Deltas      int64
+	Rotations   int64
+	Compactions int64
+	Segments    int64
+}
+
+func (s *DuraStats) encode(e *snap.Encoder) {
+	e.Uint64(msgDuraStats)
+	e.String(s.Mode)
+	e.Int64(s.Appends)
+	e.Int64(s.Bytes)
+	e.Int64(s.Fsyncs)
+	e.Int64(s.Deltas)
+	e.Int64(s.Rotations)
+	e.Int64(s.Compactions)
+	e.Int64(s.Segments)
+}
+
+func (s *DuraStats) decode(d *snap.Decoder) {
+	s.Mode = d.String()
+	s.Appends = d.Int64()
+	s.Bytes = d.Int64()
+	s.Fsyncs = d.Int64()
+	s.Deltas = d.Int64()
+	s.Rotations = d.Int64()
+	s.Compactions = d.Int64()
+	s.Segments = d.Int64()
+}
 
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, body []byte) error {

@@ -50,6 +50,13 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // allocation. Any slice previously obtained from Bytes is invalidated.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// Attach makes buf the encoder's backing storage; subsequent writes
+// append after buf's existing bytes. Callers that own a pooled buffer
+// pass buf[:0] to encode into it without allocating, then take the
+// (possibly re-grown) storage back via Bytes. Attach(nil) detaches the
+// encoder from caller-owned storage.
+func (e *Encoder) Attach(buf []byte) { e.buf = buf }
+
 // Uint64 appends v as an unsigned varint.
 func (e *Encoder) Uint64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
 

@@ -74,3 +74,45 @@ func TestFullPolicyStepAllocFree(t *testing.T) {
 func TestFullPolicyStepAllocFreeWithCounterSink(t *testing.T) {
 	pinStepAllocs(t, "DLRU-EDF+CounterSink", core.NewDLRUEDF(), &sched.CounterSink{}, 0)
 }
+
+// TestSnapshotAllocFlat pins the pooled snapshot path (PR 9): a
+// steady-state Stream.AppendSnapshot into a recycled buffer, and a
+// SnapshotDelta against a retained base, must not allocate. This is
+// what keeps the serve tier's group-commit checkpoint path flat — every
+// checkpointed round takes one of these snapshots.
+func TestSnapshotAllocFlat(t *testing.T) {
+	st, req := steadyStream(t, core.NewDLRUEDF(), nil)
+	var buf []byte
+	var err error
+	// Warm: grow buf (and the encoder's internals) to working-set size.
+	for i := 0; i < 4; i++ {
+		if buf, err = st.AppendSnapshot(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Step(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if buf, err = st.AppendSnapshot(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state AppendSnapshot: %v allocs per call, want 0", allocs)
+	}
+
+	base := append([]byte(nil), buf...)
+	var delta []byte
+	if delta, err = st.SnapshotDelta(base, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(300, func() {
+		if delta, err = st.SnapshotDelta(base, delta[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state SnapshotDelta: %v allocs per call, want 0", allocs)
+	}
+}
