@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke durasmoke optsmoke servesmoke proxysmoke docscheck check experiments fmt vet clean
+.PHONY: all build test race race-hot cover bench bench-json benchsmoke faultsmoke durasmoke bdrsmoke optsmoke servesmoke proxysmoke docscheck check experiments fmt vet clean
 
 all: build test
 
@@ -18,7 +18,7 @@ race:
 # pre-commit subset. The offline package runs in -short mode: the full
 # differential corpus under the race detector belongs to `make race`.
 race-hot:
-	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/ ./internal/proxy/ ./internal/ckptlog/
+	go test -race -count=1 ./internal/sched/ ./internal/exp/ ./internal/serve/ ./internal/proxy/ ./internal/ckptlog/ ./internal/bdr/
 	go test -race -count=1 -short ./internal/offline/
 
 cover:
@@ -63,6 +63,17 @@ durasmoke:
 	go test -count=1 ./internal/ckptlog/
 	go test -run 'TestCloseTenantLogTombstone|TestReleaseLogTombstone|TestServeLog|TestServeCrashRestartLogSegments|TestServeAdaptivePacing' -count=1 ./internal/serve/
 
+# The admission-control smoke (docs/SCHEDULING.md "Admission (layer
+# 0)"): the whole internal/bdr package fresh — SBF feasibility
+# properties, the reservation tree, the fractional-share controller —
+# plus the serve-layer BDR contracts: typed admission rejection with
+# residuals, durable reservations across restarts, migration bounce and
+# the deterministic isolation harness. Fresh runs, never cached.
+bdrsmoke:
+	go test -count=1 ./internal/bdr/
+	go test -run 'TestBDR' -count=1 ./internal/serve/
+	go test -run 'TestProxyMigrateAdmissionBounce|TestProxyDuraStatsFanout' -count=1 ./internal/proxy/
+
 # The multi-tenant server smoke (docs/SERVER.md): the full serve-layer
 # suite fresh — wire codec, admission control and overload shedding, the
 # 64-tenant load-generator run verified bit-identical against local
@@ -96,7 +107,7 @@ docscheck:
 # race-detector subset on the hot-path packages, the fault-injection,
 # durability, exact-solver and server harnesses, then the full test
 # suite under the race detector.
-check: vet docscheck race-hot faultsmoke durasmoke optsmoke servesmoke proxysmoke race
+check: vet docscheck race-hot faultsmoke durasmoke bdrsmoke optsmoke servesmoke proxysmoke race
 
 # Regenerate every experiment table/figure (DESIGN.md §3) and refresh the
 # data section of EXPERIMENTS.md.

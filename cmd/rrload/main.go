@@ -12,6 +12,9 @@
 //	rrload -tenants 128 -rounds 2048 -rate 500   # paced at 500 rounds/s/tenant
 //	rrload -policy edf -workload bursty -verify  # verify bit-identical results
 //	rrload -pipeline 64 -batch 16                # pipelined + batched submits (protocol v2)
+//	rrload -res-rate 0.01 -res-delay 32          # BDR reservation per tenant (protocol v6,
+//	                                             # needs rrserved -bdr; rejected reservations
+//	                                             # fall back to best-effort and are counted)
 //	rrload -json                                 # machine-readable report
 package main
 
@@ -41,6 +44,8 @@ func main() {
 		rate     = flag.Float64("rate", 0, "target rounds/sec per tenant (0 = unpaced)")
 		pipeline = flag.Int("pipeline", 0, "submit frames in flight per tenant (0/1 = strict request/response)")
 		batch    = flag.Int("batch", 1, "consecutive rounds per submit frame")
+		resRate  = flag.Float64("res-rate", 0, "BDR reservation rate per tenant (0 = best-effort)")
+		resDelay = flag.Float64("res-delay", 0, "BDR reservation delay bound in rounds")
 		verify   = flag.Bool("verify", false, "verify results bit-identical against local replays")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
@@ -62,6 +67,8 @@ func main() {
 		Rate:     *rate,
 		Pipeline: *pipeline,
 		Batch:    *batch,
+		ResRate:  *resRate,
+		ResDelay: *resDelay,
 		Verify:   *verify,
 		Logf:     logf,
 	})
@@ -85,8 +92,8 @@ func main() {
 		}
 		fmt.Printf("rounds sent %d (%.0f/s aggregate, target %.0f/s/tenant)  jobs %d\n",
 			rep.RoundsSent, rep.AchievedRate, rep.TargetRate, rep.JobsSent)
-		fmt.Printf("sheds %d  resumes %d  reconnects %d\n",
-			rep.Overloads, rep.Resumes, rep.Reconnects)
+		fmt.Printf("sheds by cause: ring %d  admission %d  draining %d  |  resumes %d  reconnects %d\n",
+			rep.Overloads, rep.AdmissionRejects, rep.DrainingRejects, rep.Resumes, rep.Reconnects)
 		fmt.Printf("submit latency ms  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
 			rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
 		fmt.Printf("executed %d  dropped %d  reconfigs %d  cost %d+%d\n",

@@ -13,6 +13,10 @@
 //	rrserved -round-interval 10ms     # pace rounds instead of applying eagerly
 //	rrserved -allocator fifo          # legacy drain-in-scan-order cross-tenant order
 //	rrserved -stats-every 10s         # periodic scheduling summary log line
+//	rrserved -bdr                     # bounded-delay admission control: tenants may
+//	                                  # reserve (rate, delay) pairs, checked against
+//	                                  # the machine's supply bound before admission
+//	rrserved -bdr -machine-rate 8 -shard-rate 1   # explicit capacity model
 //
 // Durable mode defaults to the group-commit checkpoint log
 // (docs/CHECKPOINT.md): all tenants' checkpoints are appended to shared
@@ -24,6 +28,17 @@
 // Which backlogged tenant a worker serves next is the cross-tenant
 // allocator's decision (-allocator, -alloc-quantum, -alloc-escalation);
 // see docs/SCHEDULING.md for the model and tuning guidance.
+//
+// With -bdr the server additionally runs bounded-delay-reservation
+// admission control (docs/SCHEDULING.md "Admission"): a tenant may
+// declare a (rate, delay) reservation at open, the server checks it
+// against the shard's residual supply bound and either guarantees it —
+// the fractional-share controller clamps the tenant's scheduling weight
+// and per-pass budget so the guarantee holds under any competing load —
+// or rejects the open with a typed admission error carrying the
+// residual capacity. -machine-rate/-machine-delay and
+// -shard-rate/-shard-delay set the capacity model; the defaults derive
+// a machine rate equal to the shard count split evenly across shards.
 //
 // SIGTERM or SIGINT drains gracefully: the server stops admitting work,
 // applies every queued round tick, writes a final checkpoint per tenant
@@ -62,6 +77,11 @@ func main() {
 		allocQ       = flag.Int("alloc-quantum", 0, "wdrr rounds per pick per unit weight (0 = default 8)")
 		allocEsc     = flag.Float64("alloc-escalation", 0, "delay factor that escalates a tenant (0 = default 0.5, negative disables)")
 		statsInt     = flag.Duration("stats-every", 0, "log a scheduling summary at this interval (0 = off)")
+		bdrOn        = flag.Bool("bdr", false, "enable bounded-delay-reservation admission control")
+		machineRate  = flag.Float64("machine-rate", 0, "BDR machine service rate in rounds per pass (0 = shard count)")
+		machineDelay = flag.Float64("machine-delay", 0, "BDR machine-level delay bound in rounds")
+		shardRate    = flag.Float64("shard-rate", 0, "BDR per-shard service rate (0 = machine-rate/shards)")
+		shardDelay   = flag.Float64("shard-delay", 0, "BDR per-shard delay bound (0 = machine-delay+1)")
 		quiet        = flag.Bool("quiet", false, "suppress operational log lines")
 	)
 	flag.Parse()
@@ -88,6 +108,11 @@ func main() {
 		Allocator:          *alloc,
 		AllocQuantum:       *allocQ,
 		AllocEscalation:    *allocEsc,
+		BDR:                *bdrOn,
+		MachineRate:        *machineRate,
+		MachineDelay:       *machineDelay,
+		ShardRate:          *shardRate,
+		ShardDelay:         *shardDelay,
 		Logf:               logf,
 	})
 	if err != nil {

@@ -47,6 +47,7 @@ func DefaultSuite() []Spec {
 		serveStatsSpec("serve/stats-ex/64tenants", 64, true),
 		serveSkewedSpec("serve/skewed/wdrr/64tenants", "wdrr"),
 		serveSkewedSpec("serve/skewed/fifo/64tenants", "fifo"),
+		serveBDRSkewedSpec("serve/bdr/skewed/64tenants"),
 		serveCkptSpec("serve/ckpt/files/64tenants", "files", false),
 		serveCkptSpec("serve/ckpt/log/64tenants", "log", false),
 		serveCkptSpec("serve/ckpt/log/adaptive/64tenants", "log", true),
@@ -656,6 +657,189 @@ func serveSkewedSpec(name, allocator string) Spec {
 				}
 			}
 			return map[string]float64{"worst_victim_delay_factor": worst}
+		},
+	}
+}
+
+// serveBDRSkewedSpec is the admission-control variant of the skewed
+// wave (docs/SCHEDULING.md "Admission (layer 0)"): the same adversarial
+// 64-tenant load against a -bdr server, with the victims holding BDR
+// reservations from workload.ReservedFleet — jointly half the shard —
+// and the adversary's own 0.9 reservation rejected at admission (the
+// typed error is asserted, not tolerated), after which it runs
+// best-effort. Extra records worst_reserved_delay_factor, the reserved
+// victims' delay-factor high-water mark: the admission guarantee says
+// it stays ≤ 1.0 however hard the adversary pumps, which is the
+// quality bar BENCH comparisons watch.
+//
+// rounds_per_sec here is NOT comparable to serve/skewed/*: the budget
+// floors keep the reserved victims' queues shallow, so fewer tenants
+// are backlogged per paced tick and the worker's
+// one-round-per-backlogged-tenant budget is smaller — the adversary's
+// self-inflicted backlog drains slower precisely because the victims
+// are no longer queueing behind it. advRepeat is reduced accordingly
+// to keep the op short.
+func serveBDRSkewedSpec(name string) Spec {
+	const (
+		tenants   = 64
+		advRepeat = 4
+		advWindow = 16
+		resDelay  = 64
+	)
+	type readout struct {
+		cl  *serve.Client
+		ids []string
+	}
+	ro := &readout{}
+	return Spec{
+		Name: name,
+		Make: func() (func() error, Rates) {
+			insts, res, err := workload.ReservedFleet(11, tenants, 8, 48, 1.0, 6, resDelay)
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			srv, err := serve.NewServer(serve.Config{
+				Addr: "127.0.0.1:0", DefaultQueueCap: 16384,
+				Shards: 1, BDR: true,
+				RoundInterval: 200 * time.Microsecond,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", name, err))
+			}
+			go srv.Serve()
+			cls := make([]*serve.Client, tenants)
+			ids := make([]string, tenants)
+			seqs := make([]int, tenants)
+			totalRounds, totalJobs := 0, 0
+			open := func(i int, r workload.Reservation) error {
+				tc := serve.TenantConfig{
+					Policy: "dlruedf", N: 16,
+					Delta: insts[i].Delta, Delays: insts[i].Delays,
+					QueueCap: 16384,
+					ResRate:  r.Rate, ResDelay: r.Delay,
+				}
+				_, _, err := cls[i].Open(ids[i], tc)
+				return err
+			}
+			for i := range cls {
+				cl, err := serve.Dial(srv.Addr().String())
+				if err != nil {
+					panic(fmt.Sprintf("bench: %s: %v", name, err))
+				}
+				cls[i] = cl
+				ids[i] = fmt.Sprintf("skew-%03d", i)
+				mult := 1
+				if i == 0 {
+					mult = advRepeat
+				}
+				totalRounds += mult * insts[i].NumRounds()
+				totalJobs += mult * insts[i].TotalJobs()
+			}
+			// Victims first: their reservations are jointly feasible in
+			// any order and must hold the shard before the adversary asks.
+			for i := 1; i < tenants; i++ {
+				if err := open(i, res[i]); err != nil {
+					panic(fmt.Sprintf("bench: %s: opening %s: %v", name, ids[i], err))
+				}
+			}
+			// The adversary's 0.9 cannot fit the residual half: the typed
+			// rejection is the admission story this spec exists to pin.
+			var ae *serve.AdmissionError
+			if err := open(0, res[0]); !errors.As(err, &ae) {
+				panic(fmt.Sprintf("bench: %s: adversary reserved open = %v, want *serve.AdmissionError", name, err))
+			}
+			if err := open(0, workload.Reservation{}); err != nil {
+				panic(fmt.Sprintf("bench: %s: adversary best-effort open: %v", name, err))
+			}
+			ro.cl, ro.ids = cls[0], ids
+			op := func() error {
+				errs := make([]error, tenants)
+				var wg sync.WaitGroup
+				wg.Add(tenants)
+				go func() { // the adversary: a pipelined window of deep batch frames
+					defer wg.Done()
+					pl := cls[0].NewPipeline(advWindow, func(r serve.SubmitResult) {
+						if r.Err != nil && errs[0] == nil {
+							errs[0] = r.Err
+						}
+					})
+					trace := insts[0].Requests
+					for r := 0; r < advRepeat && errs[0] == nil; r++ {
+						cursor := 0
+						for cursor < len(trace) {
+							k := min(serve.MaxBatch, len(trace)-cursor)
+							if err := pl.SubmitBatch(ids[0], seqs[0], trace[cursor:cursor+k]); err != nil {
+								errs[0] = err
+								return
+							}
+							seqs[0] += k
+							cursor += k
+						}
+					}
+					if err := pl.Flush(); err != nil && errs[0] == nil {
+						errs[0] = err
+					}
+				}()
+				for i := 1; i < tenants; i++ {
+					go func(i int) { // a reserved victim: strict one-round submits
+						defer wg.Done()
+						for _, req := range insts[i].Requests {
+							for {
+								_, _, err := cls[i].Submit(ids[i], seqs[i], req)
+								if err == nil {
+									seqs[i]++
+									break
+								}
+								if !errors.Is(err, serve.ErrOverloaded) {
+									errs[i] = err
+									return
+								}
+								runtime.Gosched()
+							}
+						}
+					}(i)
+				}
+				wg.Wait()
+				for _, e := range errs {
+					if e != nil {
+						return e
+					}
+				}
+				for {
+					rows, err := cls[0].Stats("")
+					if err != nil {
+						return err
+					}
+					depth := 0
+					for _, r := range rows {
+						depth += r.QueueDepth
+					}
+					if depth == 0 {
+						return nil
+					}
+					runtime.Gosched()
+				}
+			}
+			return op, Rates{Rounds: totalRounds, Jobs: totalJobs}
+		},
+		Extra: func() map[string]float64 {
+			if ro.cl == nil {
+				return nil
+			}
+			rows, err := ro.cl.Stats("")
+			if err != nil {
+				return nil
+			}
+			worst := 0.0
+			for _, r := range rows {
+				if r.ReservedRate == 0 {
+					continue // the adversary runs best-effort; only guarantees count
+				}
+				if r.MaxDelayFactor > worst {
+					worst = r.MaxDelayFactor
+				}
+			}
+			return map[string]float64{"worst_reserved_delay_factor": worst}
 		},
 	}
 }

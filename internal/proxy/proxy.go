@@ -340,6 +340,12 @@ func (p *Proxy) handleConn(c net.Conn) {
 			if !fc.writeLocal(enc.Bytes()) {
 				return
 			}
+		case serve.ReqDuraStats:
+			enc.Reset()
+			p.appendDuraStats(enc, info)
+			if !fc.writeLocal(enc.Bytes()) {
+				return
+			}
 		default:
 			addr := p.route(info.Tenant)
 			if addr == "" {
@@ -555,6 +561,44 @@ func (p *Proxy) appendFleetStats(enc *snap.Encoder, info serve.PeekInfo) {
 		}
 	}
 	serve.AppendStatsResponse(enc, info, rows)
+}
+
+// appendDuraStats answers a durability-stats request for the fleet
+// (protocol v6): the counters summed across every live backend, with a
+// per-backend breakdown labelled by address in Backends. Mode is the
+// backends' common mode, or "mixed" when they disagree. Unreachable
+// backends are skipped best-effort, like the stats fan-out.
+func (p *Proxy) appendDuraStats(enc *snap.Encoder, info serve.PeekInfo) {
+	var sum serve.DuraStats
+	for _, addr := range p.liveBackends() {
+		c, err := serve.Dial(addr)
+		if err != nil {
+			p.probeBackend(addr)
+			continue
+		}
+		st, err := c.DuraStats()
+		c.Close()
+		if err != nil {
+			p.probeBackend(addr)
+			continue
+		}
+		switch {
+		case sum.Mode == "":
+			sum.Mode = st.Mode
+		case sum.Mode != st.Mode:
+			sum.Mode = "mixed"
+		}
+		sum.Appends += st.Appends
+		sum.Bytes += st.Bytes
+		sum.Fsyncs += st.Fsyncs
+		sum.Deltas += st.Deltas
+		sum.Rotations += st.Rotations
+		sum.Compactions += st.Compactions
+		sum.Segments += st.Segments
+		st.Backends = nil // a backend never reports rows; keep it that way
+		sum.Backends = append(sum.Backends, serve.BackendDuraStats{Addr: addr, DuraStats: st})
+	}
+	serve.AppendDuraStatsResponse(enc, info, sum)
 }
 
 func (p *Proxy) statsFrom(addr string, extended bool) ([]serve.TenantStats, error) {

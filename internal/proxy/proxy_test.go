@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -379,5 +380,206 @@ func TestProxyFailover(t *testing.T) {
 				t.Logf("standby tee dropped %d frames (recovered via sequence rewind)", n)
 			}
 		})
+	}
+}
+
+// TestProxyDuraStatsFanout: the durability-stats request (protocol v6)
+// fans out like the scheduler stats — the proxy sums the counters
+// across live backends and attaches a per-backend breakdown labelled
+// by address. Two log-mode backends plus a memory-only one make the
+// merged mode "mixed" and give the sum real work to add up.
+func TestProxyDuraStatsFanout(t *testing.T) {
+	// CheckpointEvery 1 makes every applied round append a log record,
+	// so a submit + drain deterministically bumps the counters.
+	cfgs := []serve.Config{
+		{CheckpointDir: t.TempDir(), CheckpointEvery: 1},
+		{CheckpointDir: t.TempDir(), CheckpointEvery: 1},
+		{},
+	}
+	backends := make([]*serve.Server, len(cfgs))
+	addrs := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		backends[i] = startBackend(t, cfg)
+		addrs[i] = backends[i].Addr().String()
+	}
+	px, err := New(Config{Addr: "127.0.0.1:0", Backends: addrs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- px.Serve() }()
+	t.Cleanup(func() {
+		px.Close()
+		if err := <-done; err != nil {
+			t.Errorf("proxy serve: %v", err)
+		}
+	})
+
+	c, err := serve.Dial(px.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Land at least one tenant on each durable backend so both log rows
+	// carry non-zero append counts.
+	perNode := map[int]int{}
+	tc := serve.TenantConfig{Policy: "edf", N: 4, Delta: 4, Delays: []int{2, 6}}
+	for i := 0; perNode[0] == 0 || perNode[1] == 0; i++ {
+		name := fmt.Sprintf("dura-%03d", i)
+		node := Pick(addrs, name)
+		if node == 2 || perNode[node] > 0 {
+			continue
+		}
+		perNode[node]++
+		if _, _, err := c.Open(name, tc); err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		if _, _, err := c.Submit(name, 0, sched.Request{{Color: 0, Count: 1}}); err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		if _, err := c.DrainTenant(name); err != nil {
+			t.Fatalf("drain %s: %v", name, err)
+		}
+	}
+
+	st, err := c.DuraStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "mixed" {
+		t.Fatalf("merged mode = %q, want \"mixed\" (log, log, off)", st.Mode)
+	}
+	if len(st.Backends) != 3 {
+		t.Fatalf("fan-out returned %d backend rows, want 3", len(st.Backends))
+	}
+	byAddr := map[string]serve.BackendDuraStats{}
+	var sumAppends, sumBytes int64
+	for _, b := range st.Backends {
+		if len(b.Backends) != 0 {
+			t.Fatalf("backend row %s carries nested rows — fan-out must be one level", b.Addr)
+		}
+		byAddr[b.Addr] = b
+		sumAppends += b.Appends
+		sumBytes += b.Bytes
+	}
+	for i, addr := range addrs {
+		row, ok := byAddr[addr]
+		if !ok {
+			t.Fatalf("no row for backend %s", addr)
+		}
+		wantMode := "log"
+		if i == 2 {
+			wantMode = "off"
+		}
+		if row.Mode != wantMode {
+			t.Fatalf("backend %s mode = %q, want %q", addr, row.Mode, wantMode)
+		}
+		if i != 2 && row.Appends == 0 {
+			t.Fatalf("durable backend %s shows zero appends after a submit", addr)
+		}
+	}
+	if st.Appends != sumAppends || st.Bytes != sumBytes {
+		t.Fatalf("top-level counters (%d appends, %d bytes) != sum of rows (%d, %d)",
+			st.Appends, st.Bytes, sumAppends, sumBytes)
+	}
+	if st.Appends == 0 {
+		t.Fatal("fleet-wide appends = 0 after submits on durable backends")
+	}
+}
+
+// TestProxyMigrateAdmissionBounce: migrating a reserved tenant onto a
+// backend whose shard cannot host the reservation must fail with the
+// typed admission error, and the failed move must strand nothing — the
+// restore-back path returns the tenant (reservation included) to the
+// source, where it keeps serving. Freeing the target then lets the
+// same migration succeed, reservation carried along.
+func TestProxyMigrateAdmissionBounce(t *testing.T) {
+	b0 := startBackend(t, serve.Config{Shards: 1, BDR: true})
+	b1 := startBackend(t, serve.Config{Shards: 1, BDR: true})
+	addrs := []string{b0.Addr().String(), b1.Addr().String()}
+	px, err := New(Config{Addr: "127.0.0.1:0", Backends: addrs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- px.Serve() }()
+	t.Cleanup(func() {
+		px.Close()
+		if err := <-done; err != nil {
+			t.Errorf("proxy serve: %v", err)
+		}
+	})
+
+	// A tenant name the hash routes to backend 0.
+	name := ""
+	for i := 0; name == ""; i++ {
+		if cand := fmt.Sprintf("mv-%03d", i); Pick(addrs, cand) == 0 {
+			name = cand
+		}
+	}
+
+	// Backend 1's single shard is 0.8 reserved: a 0.6 restore cannot fit.
+	cb, err := serve.Dial(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	blocker := serve.TenantConfig{Policy: "edf", N: 4, Delta: 4, Delays: []int{2, 6},
+		ResRate: 0.8, ResDelay: 32}
+	if _, _, err := cb.Open("blocker", blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := serve.Dial(px.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tc := serve.TenantConfig{Policy: "edf", N: 4, Delta: 4, Delays: []int{2, 6},
+		ResRate: 0.6, ResDelay: 32}
+	if _, _, err := c.Open(name, tc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Submit(name, 0, sched.Request{{Color: 0, Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var ae *serve.AdmissionError
+	if err := px.Migrate(name, addrs[1]); !errors.As(err, &ae) {
+		t.Fatalf("migrate onto overcommitted backend = %v, want *serve.AdmissionError", err)
+	}
+
+	// The bounce stranded nothing: the tenant is back on the source with
+	// its reservation, and the proxy still serves it.
+	if n := b0.NumTenants(); n != 1 {
+		t.Fatalf("source hosts %d tenants after bounced migration, want 1", n)
+	}
+	rows, err := c.Stats(name)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("stats after bounce = (%v, %v)", rows, err)
+	}
+	if rows[0].ReservedRate != 0.6 || rows[0].ReservedDelay != 32 {
+		t.Fatalf("reservation after bounce = (%g, %g), want (0.6, 32)",
+			rows[0].ReservedRate, rows[0].ReservedDelay)
+	}
+	if _, _, err := c.Submit(name, 1, sched.Request{{Color: 1, Count: 1}}); err != nil {
+		t.Fatalf("submit after bounced migration: %v", err)
+	}
+
+	// Free the target: the same migration now succeeds and the
+	// reservation rides along.
+	if _, err := cb.CloseTenant("blocker"); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.Migrate(name, addrs[1]); err != nil {
+		t.Fatalf("migrate after freeing target: %v", err)
+	}
+	if n := b1.NumTenants(); n != 1 {
+		t.Fatalf("target hosts %d tenants after migration, want 1", n)
+	}
+	rows, err = c.Stats(name)
+	if err != nil || len(rows) != 1 || rows[0].ReservedRate != 0.6 {
+		t.Fatalf("stats after successful migration = (%v, %v), want reserved rate 0.6", rows, err)
 	}
 }

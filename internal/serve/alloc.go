@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/bdr"
 )
 
 // This file is the cross-tenant allocation layer: the policy a shard
@@ -34,6 +36,12 @@ type TenantLoad struct {
 	// round served, so its long-run service share converges to
 	// Weight/ΣWeights. Positive = underserved.
 	Deficit float64
+	// Budget, when positive, caps the rounds this tenant may be served
+	// in the current pass. It is set by the BDR fractional-share
+	// controller (Config.BDR) from the tenant's share of the pass
+	// budget; 0 leaves the tenant uncapped (no controller, or an eager
+	// unbounded pass).
+	Budget int
 }
 
 // DelayFactor is Queued/MinDelay: how much of the tenant's tightest
@@ -157,6 +165,13 @@ type passState struct {
 	scratch []*tenant
 	live    []*tenant
 	loads   []TenantLoad
+	// BDR controller scratch (Config.BDR): the demand/share vectors for
+	// the fractional-share computation, and the pass's initial
+	// backlogged set retained for budget-utilization accrual after the
+	// pick loop mutates live.
+	demands  []bdr.Demand
+	shares   []bdr.Share
+	initLive []*tenant
 }
 
 // servePass runs one allocation pass over a shard: it snapshots the
@@ -186,6 +201,35 @@ func (s *Server) servePass(sh *shard, ps *passState, budget int) {
 		budget = len(ps.loads)
 	}
 	unlimited := budget == 0
+	totalApplied := 0
+	budgeted := false // a BDR pass with per-tenant budgets assigned
+	if s.ctrl != nil && len(ps.loads) > 0 {
+		// BDR fractional shares: convert each backlogged tenant's
+		// reservation plus measured backlog into this pass's effective
+		// weight and service budget. The controller's guarantee clamp
+		// means an admitted reservation's share never drops below its
+		// rate, whatever the best-effort tenants demand.
+		ps.demands = ps.demands[:0]
+		for j, t := range ps.live {
+			ps.demands = append(ps.demands, bdr.Demand{
+				Res: t.res, Backlog: ps.loads[j].Queued, Weight: ps.loads[j].Weight,
+			})
+		}
+		if cap(ps.shares) < len(ps.demands) {
+			ps.shares = make([]bdr.Share, len(ps.demands))
+		}
+		ps.shares = ps.shares[:len(ps.demands)]
+		s.ctrl.Shares(ps.demands, budget, ps.shares)
+		for j := range ps.loads {
+			ps.loads[j].Weight = ps.shares[j].Weight
+			ps.loads[j].Budget = ps.shares[j].Budget
+		}
+		ps.initLive = append(ps.initLive[:0], ps.live...)
+		for _, t := range ps.initLive {
+			t.passApplied = 0
+		}
+		budgeted = !unlimited
+	}
 	for len(ps.loads) > 0 && (unlimited || budget > 0) {
 		i := s.alloc.Pick(ps.loads)
 		if i < 0 || i >= len(ps.loads) {
@@ -198,6 +242,9 @@ func (s *Server) servePass(sh *shard, ps *passState, budget int) {
 		if !unlimited && q > budget {
 			q = budget
 		}
+		if b := ps.loads[i].Budget; b > 0 && q > b {
+			q = b
+		}
 		t := ps.live[i]
 		applied, blob, round := t.applyQueued(q, s.cfg.CheckpointEvery)
 		if blob != nil {
@@ -207,6 +254,13 @@ func (s *Server) servePass(sh *shard, ps *passState, budget int) {
 		}
 		if !unlimited {
 			budget -= applied
+		}
+		totalApplied += applied
+		if s.ctrl != nil {
+			t.passApplied += applied
+			if ps.loads[i].Budget > 0 {
+				ps.loads[i].Budget -= applied
+			}
 		}
 		if applied > 0 {
 			// Settle the deficit accounts: every backlogged tenant accrues
@@ -226,12 +280,27 @@ func (s *Server) servePass(sh *shard, ps *passState, budget int) {
 			t.deficit = ps.loads[i].Deficit
 		}
 		ps.loads[i].Queued -= applied
-		if ps.loads[i].Queued <= 0 || applied == 0 {
-			// Drained — or poisoned/raced empty (applied 0); either way the
-			// tenant leaves this pass. Ordered removal keeps scan order (and
-			// with it tie-breaking) deterministic.
+		budgetSpent := budgeted && ps.loads[i].Budget <= 0
+		if ps.loads[i].Queued <= 0 || applied == 0 || budgetSpent {
+			// Drained, poisoned/raced empty (applied 0), or out of BDR
+			// budget for this pass; either way the tenant leaves this
+			// pass. Ordered removal keeps scan order (and with it
+			// tie-breaking) deterministic.
 			ps.live = append(ps.live[:i], ps.live[i+1:]...)
 			ps.loads = append(ps.loads[:i], ps.loads[i+1:]...)
+		}
+	}
+	if s.ctrl != nil && totalApplied > 0 {
+		// Accrue budget-utilization accounting: every reserved tenant that
+		// was backlogged at the start of the pass earns its guaranteed
+		// fraction of the rounds actually served, whether or not the pick
+		// loop reached it — a reserved tenant served less than its accrual
+		// shows a utilization below 1 in stats-ex.
+		for _, t := range ps.initLive {
+			if t.res.IsZero() {
+				continue
+			}
+			t.accrueBDR(t.res.Rate/s.ctrl.ShardRate*float64(totalApplied), t.passApplied)
 		}
 	}
 }

@@ -274,7 +274,8 @@ func TestStatsRespExRoundTrip(t *testing.T) {
 			QueueCap: 64, Executed: 100, Dropped: 4, Reconfigs: 7, CostReconfig: 28,
 			CostDrop: 4, MaxPending: 12, Overloads: 1, BadSeqs: 2, Checkpoints: 3,
 			Weight: 2, MinDelay: 4, ServedRounds: 70, DelayFactor: 0.5,
-			MaxDelayFactor: 2.25, ServiceShare: 0.125},
+			MaxDelayFactor: 2.25, ServiceShare: 0.125,
+			ReservedRate: 0.25, ReservedDelay: 32, BudgetUtilization: 1.5},
 		{ID: "b"},
 	}
 	e := snap.NewEncoder()

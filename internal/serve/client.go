@@ -26,6 +26,16 @@ type TenantConfig struct {
 	// tenants are backlogged, worker capacity is split in proportion to
 	// their weights (see docs/SCHEDULING.md). 0 accepts the default of 1.
 	Weight int
+	// ResRate and ResDelay declare a BDR reservation (protocol v6): a
+	// guaranteed fractional service rate in (0, 1] and the delay bound,
+	// in rounds, within which that rate must be supplied. Both zero (the
+	// default) opens a best-effort tenant. A reservation is subject to
+	// the server's supply-bound-function admission check; an infeasible
+	// one is rejected with *AdmissionError carrying the shard's residual
+	// capacity, and a reservation sent to a server without -bdr is
+	// rejected outright.
+	ResRate  float64
+	ResDelay float64
 }
 
 // Client is one connection to an rrserved server. It is safe for
@@ -146,6 +156,7 @@ func (c *Client) Open(tenant string, tc TenantConfig) (nextSeq int, resumed bool
 		Version: ProtocolVersion, Tenant: tenant, Policy: tc.Policy,
 		N: tc.N, Speed: tc.Speed, Delta: tc.Delta,
 		QueueCap: tc.QueueCap, Delays: tc.Delays, Weight: tc.Weight,
+		ResRate: tc.ResRate, ResDelay: tc.ResDelay,
 	}).encode(c.enc)
 	d, err := c.roundtrip(msgOpen)
 	if err != nil {
@@ -349,6 +360,7 @@ func (c *Client) Release(tenant string) (*ReleasedTenant, error) {
 		Config: TenantConfig{
 			Policy: r.Policy, N: r.N, Speed: r.Speed, Delta: r.Delta,
 			Delays: r.Delays, QueueCap: r.QueueCap, Weight: r.Weight,
+			ResRate: r.ResRate, ResDelay: r.ResDelay,
 		},
 		NextSeq: r.NextSeq,
 		Blob:    r.Blob,
@@ -370,7 +382,7 @@ func (c *Client) Restore(tenant string, tc TenantConfig, blob []byte) (nextSeq i
 		Version: ProtocolVersion, Tenant: tenant, Policy: tc.Policy,
 		N: tc.N, Speed: tc.Speed, Delta: tc.Delta,
 		QueueCap: tc.QueueCap, Delays: tc.Delays, Weight: tc.Weight,
-		Blob: blob,
+		Blob: blob, ResRate: tc.ResRate, ResDelay: tc.ResDelay,
 	}).encode(c.enc)
 	d, err := c.roundtrip(msgRestore)
 	if err != nil {
@@ -406,7 +418,10 @@ func (c *Client) Ping() (draining bool, tenants int, err error) {
 // DuraStats reports the server's durability-backend counters (protocol
 // v5): mode ("log", "files", or "off"), append/byte/fsync totals, and
 // the group-commit log's delta, rotation, compaction and segment
-// counts. Dial the server directly — the proxy tier does not relay it.
+// counts. Since protocol v6 the proxy tier relays it too: a proxy
+// answers with the counters summed across its live backends and a
+// per-backend breakdown in Backends, each row labelled with the
+// backend's address.
 func (c *Client) DuraStats() (DuraStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,6 +18,7 @@ const (
 	codeBadRequest
 	codeBadPolicy
 	codeBadVersion
+	codeAdmission
 )
 
 // Sentinel errors a Client surfaces for the server's admission-control
@@ -53,6 +54,31 @@ func (e *BadSeqError) Error() string {
 	return fmt.Sprintf("serve: bad round sequence %d, expected %d", e.Got, e.Expected)
 }
 
+// AdmissionError reports an open or restore whose BDR reservation
+// failed the shard's supply-bound-function feasibility check
+// (docs/SCHEDULING.md "Admission"). The tenant was rejected before any
+// state was created — nothing was queued or shed. ResidualRate and
+// ResidualDelay describe what would have fit on the shard the tenant
+// hashed to: a reservation is admissible iff its rate is at most
+// ResidualRate and its delay strictly exceeds ResidualDelay. Test with
+// errors.As; the rejection is not retryable without shrinking the
+// reservation.
+type AdmissionError struct {
+	// ResidualRate is the rate still unreserved on the tenant's shard.
+	ResidualRate float64
+	// ResidualDelay is the shard's own delay bound; an admissible
+	// reservation must declare a strictly larger delay.
+	ResidualDelay float64
+	// Msg is the server's human-readable rejection.
+	Msg string
+}
+
+// Error returns the server's message with the residual capacity.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: %s (residual rate %g, min delay >%g)",
+		e.Msg, e.ResidualRate, e.ResidualDelay)
+}
+
 // RemoteError is any other server-reported failure (invalid arrivals,
 // malformed request, unknown policy, internal fault), carrying the wire
 // code and the server's message.
@@ -78,6 +104,12 @@ func errFromResp(m *errResp) error {
 		return ErrTenantExists
 	case codeBadSeq:
 		return &BadSeqError{Expected: m.Expected}
+	case codeAdmission:
+		return &AdmissionError{
+			ResidualRate:  m.ResidualRate,
+			ResidualDelay: m.ResidualDelay,
+			Msg:           m.Msg,
+		}
 	default:
 		return &RemoteError{Code: m.Code, Msg: m.Msg}
 	}

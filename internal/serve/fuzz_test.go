@@ -103,6 +103,20 @@ func FuzzFrameDecode(f *testing.F) {
 		e.Uint64(3)
 		e.Uint64(msgPing)
 	})
+	// Protocol v6: a reserved open/restore (optional trailing BDR
+	// fields), the release whose response echoes them, and the
+	// durability-stats request the proxy now relays.
+	seed(func(e *snap.Encoder) {
+		(&openMsg{Version: ProtocolVersion, Tenant: "fuzz3", Policy: "edf",
+			N: 4, Delta: 4, Delays: []int{2, 6}, Weight: 1,
+			ResRate: 0.25, ResDelay: 32}).encode(e)
+	})
+	seed(func(e *snap.Encoder) {
+		(&restoreMsg{Version: ProtocolVersion, Tenant: "fuzz4", Policy: "edf",
+			N: 4, Delta: 4, Delays: []int{2, 6}, Weight: 1, Blob: []byte{1, 2, 3},
+			ResRate: 0.125, ResDelay: 16}).encode(e)
+	})
+	seed(func(e *snap.Encoder) { e.Uint64(msgDuraStats) })
 	// A batch claiming far more rounds than it carries — the decoder must
 	// bound allocation by MaxBatch and reject, never trust the count.
 	seed(func(e *snap.Encoder) {

@@ -51,6 +51,16 @@ type LoadConfig struct {
 	// Verify replays every trace locally after the run and requires the
 	// server's final Results to be bit-identical (LoadReport.Mismatches).
 	Verify bool
+	// ResRate and ResDelay declare a BDR reservation for every load
+	// tenant (protocol v6, rrserved -bdr): a guaranteed fractional
+	// service rate and the delay bound it must be supplied within. Both
+	// zero (the default) runs best-effort. A tenant whose reservation is
+	// rejected at admission (*AdmissionError — the shard is full) falls
+	// back to opening best-effort and is counted in
+	// LoadReport.AdmissionRejects, so an over-subscribed run degrades
+	// loudly instead of failing.
+	ResRate  float64
+	ResDelay float64
 	// RetryTimeout bounds how long one tenant keeps retrying through a
 	// server outage (reconnect/backoff) before giving up (default 30s).
 	RetryTimeout time.Duration
@@ -100,12 +110,20 @@ type LoadReport struct {
 
 	RoundsSent int64 `json:"rounds_sent"`
 	JobsSent   int64 `json:"jobs_sent"`
-	// Overloads counts ErrOverloaded rejections (each retried until
-	// admitted); Resumes counts sequence rewinds after a reconnect or
-	// restart; Reconnects counts re-dial attempts.
-	Overloads  int64 `json:"overloads"`
-	Resumes    int64 `json:"resumes"`
-	Reconnects int64 `json:"reconnects"`
+	// Shed-by-cause breakdown. Overloads counts ErrOverloaded rejections
+	// — ring overflow, each retried until admitted. AdmissionRejects
+	// counts BDR reservations refused by the server's feasibility check
+	// (*AdmissionError); those tenants fall back to best-effort, so the
+	// count is the number of tenants running without their requested
+	// guarantee. DrainingRejects counts ErrDraining bounces — the server
+	// (or its proxy) was shutting down or mid-migration, each retried.
+	// Resumes counts sequence rewinds after a reconnect or restart;
+	// Reconnects counts re-dial attempts.
+	Overloads        int64 `json:"overloads"`
+	AdmissionRejects int64 `json:"admission_rejects,omitempty"`
+	DrainingRejects  int64 `json:"draining_rejects,omitempty"`
+	Resumes          int64 `json:"resumes"`
+	Reconnects       int64 `json:"reconnects"`
 
 	ElapsedSec float64 `json:"elapsed_sec"`
 	// TargetRate is the configured per-tenant rate (0 = unpaced);
@@ -185,8 +203,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	var roundsSent, jobsSent, overloads, resumes, reconnects atomic.Int64
+	var admissionRejects, drainingRejects atomic.Int64
 	ld := &loadDriver{cfg: &cfg, roundsSent: &roundsSent, jobsSent: &jobsSent,
-		overloads: &overloads, resumes: &resumes, reconnects: &reconnects}
+		overloads: &overloads, resumes: &resumes, reconnects: &reconnects,
+		admissionRejects: &admissionRejects, drainingRejects: &drainingRejects}
 
 	outs := make([]tenantOutcome, cfg.Tenants)
 	start := time.Now()
@@ -221,6 +241,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.RoundsSent = roundsSent.Load()
 	rep.JobsSent = jobsSent.Load()
 	rep.Overloads = overloads.Load()
+	rep.AdmissionRejects = admissionRejects.Load()
+	rep.DrainingRejects = drainingRejects.Load()
 	rep.Resumes = resumes.Load()
 	rep.Reconnects = reconnects.Load()
 	rep.ElapsedSec = elapsed.Seconds()
@@ -317,8 +339,9 @@ func max2(first bool, cur, v float64) float64 {
 type loadDriver struct {
 	cfg *LoadConfig
 
-	roundsSent, jobsSent           *atomic.Int64
-	overloads, resumes, reconnects *atomic.Int64
+	roundsSent, jobsSent              *atomic.Int64
+	overloads, resumes, reconnects    *atomic.Int64
+	admissionRejects, drainingRejects *atomic.Int64
 }
 
 func (ld *loadDriver) logf(format string, args ...any) {
@@ -329,14 +352,16 @@ func (ld *loadDriver) logf(format string, args ...any) {
 
 // retryable reports whether an open/dial failure is worth waiting out:
 // transport errors and graceful drain resolve when the server returns;
-// a config conflict or unknown policy never will.
+// a config conflict, unknown policy, or admission rejection never will
+// (an infeasible reservation stays infeasible until capacity frees).
 func retryable(err error) bool {
 	if errors.Is(err, ErrDraining) {
 		return true
 	}
 	var re *RemoteError
 	var bs *BadSeqError
-	if errors.As(err, &re) || errors.As(err, &bs) ||
+	var ae *AdmissionError
+	if errors.As(err, &re) || errors.As(err, &bs) || errors.As(err, &ae) ||
 		errors.Is(err, ErrTenantExists) || errors.Is(err, ErrUnknownTenant) || errors.Is(err, ErrOverloaded) {
 		return false
 	}
@@ -375,6 +400,19 @@ func (tcn *tenantConn) connect() (int, error) {
 			c.Close()
 			err = oerr
 		}
+		var ae *AdmissionError
+		if errors.As(err, &ae) && tcn.tc.ResRate > 0 {
+			// The shard refused the reservation — typed, before any state
+			// existed. Fall back to best-effort so the trace still flows,
+			// and count the lost guarantee.
+			ld.admissionRejects.Add(1)
+			ld.logf("load %s: reservation rejected (%v); falling back to best-effort", tcn.id, ae)
+			tcn.tc.ResRate, tcn.tc.ResDelay = 0, 0
+			continue
+		}
+		if errors.Is(err, ErrDraining) {
+			ld.drainingRejects.Add(1)
+		}
 		if !retryable(err) {
 			return 0, err
 		}
@@ -392,6 +430,7 @@ func (ld *loadDriver) newTenantConn(i int, inst *sched.Instance) *tenantConn {
 	return &tenantConn{ld: ld, id: loadTenantID(i), tc: TenantConfig{
 		Policy: cfg.Policy, N: cfg.N, Speed: cfg.Speed,
 		Delta: inst.Delta, Delays: inst.Delays, QueueCap: cfg.QueueCap,
+		ResRate: cfg.ResRate, ResDelay: cfg.ResDelay,
 	}}
 }
 
@@ -481,6 +520,9 @@ func (ld *loadDriver) drive(i int, inst *sched.Instance, start time.Time) (o ten
 		default:
 			// Transport failure or graceful drain: reconnect and resume
 			// from the sequence the (possibly restarted) server reports.
+			if errors.Is(err, ErrDraining) {
+				ld.drainingRejects.Add(1)
+			}
 			ld.logf("load %s: %v; reconnecting", id, err)
 			next, cerr := conn.connect()
 			if cerr != nil {
@@ -606,6 +648,9 @@ func (ld *loadDriver) drivePipelined(i int, inst *sched.Instance, start time.Tim
 				cursor = min(r.Seq+r.Admitted, len(trace))
 				time.Sleep(2 * time.Millisecond)
 			default:
+				if errors.Is(r.Err, ErrDraining) {
+					ld.drainingRejects.Add(1)
+				}
 				ld.logf("load %s: %v; reconnecting", id, r.Err)
 				if !reconnect() {
 					return o

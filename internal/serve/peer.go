@@ -27,6 +27,10 @@ const (
 	ReqStatsAll
 	// ReqPing is a liveness probe; a router answers for the fleet.
 	ReqPing
+	// ReqDuraStats is a durability-counter request (protocol v6); a
+	// router fans it out and answers with summed totals plus a
+	// per-backend breakdown.
+	ReqDuraStats
 )
 
 // PeekInfo describes one request frame without consuming it: enough
@@ -99,6 +103,8 @@ func PeekRequest(body []byte) (PeekInfo, error) {
 		}
 	case msgPing:
 		info.Kind = ReqPing
+	case msgDuraStats:
+		info.Kind = ReqDuraStats
 	default:
 		return info, fmt.Errorf("serve: unknown message type %d", typ)
 	}
@@ -144,6 +150,15 @@ func AppendPingResponse(e *snap.Encoder, info PeekInfo, draining bool, tenants i
 	e.Uint64(msgPing)
 	e.Bool(draining)
 	e.Int(tenants)
+}
+
+// AppendDuraStatsResponse encodes a durability-stats response under the
+// request's tagged envelope if any — the router's answer to a fan-out,
+// with st carrying the fleet-summed counters and the per-backend rows
+// in st.Backends.
+func AppendDuraStatsResponse(e *snap.Encoder, info PeekInfo, st DuraStats) {
+	appendEnvelope(e, info)
+	st.encode(e) // encode writes the message type itself
 }
 
 // AppendErrorResponse encodes a non-retryable bad-request error under

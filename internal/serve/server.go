@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bdr"
 	"repro/internal/ckptlog"
 	"repro/internal/sched"
 	"repro/internal/snap"
@@ -89,6 +90,27 @@ type Config struct {
 	// set empties. 0 selects the default 0.5; negative disables
 	// escalation.
 	AllocEscalation float64
+	// BDR enables bounded-delay admission control (docs/SCHEDULING.md
+	// "Admission"): open requests may carry a (rate, delay) reservation,
+	// admitted iff the shard's supply-bound-function feasibility check
+	// passes, and shard workers run the fractional-share controller that
+	// converts reservations plus measured backlog into per-pass weights
+	// and budgets. Off (the default), a reservation-carrying open is
+	// rejected and scheduling behaves exactly as without this field.
+	BDR bool
+	// MachineRate/MachineDelay are the machine root's BDR when BDR is
+	// on: the total service rate in rounds per shard-worker tick
+	// (default Shards — one dedicated worker per shard) and its delay
+	// bound (default 0).
+	MachineRate  float64
+	MachineDelay float64
+	// ShardRate/ShardDelay are each shard's BDR under the machine
+	// (defaults MachineRate/Shards and MachineDelay+1). Tenant
+	// reservations are admitted against the shard the tenant hashes to:
+	// rates must fit the shard's residual rate and delays must strictly
+	// exceed ShardDelay.
+	ShardRate  float64
+	ShardDelay float64
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -118,6 +140,20 @@ func (c *Config) fill() {
 	if c.ConnWindow <= 0 {
 		c.ConnWindow = 256
 	}
+	if c.BDR {
+		if c.MachineRate <= 0 {
+			c.MachineRate = float64(c.Shards)
+		}
+		if c.MachineDelay < 0 {
+			c.MachineDelay = 0
+		}
+		if c.ShardRate <= 0 {
+			c.ShardRate = c.MachineRate / float64(c.Shards)
+		}
+		if c.ShardDelay <= c.MachineDelay {
+			c.ShardDelay = c.MachineDelay + 1
+		}
+	}
 }
 
 // Server hosts many tenants — each an independent sched.Stream with its
@@ -129,6 +165,14 @@ type Server struct {
 	cfg   Config
 	alloc Allocator // cross-tenant allocation policy (see alloc.go)
 	ln    net.Listener
+
+	// tree is the hierarchical BDR reservation tree (machine → shard →
+	// tenant) and ctrl the fractional-share controller shard workers
+	// consult each pass; both nil unless Config.BDR is set. The tree is
+	// guarded by mu (every mutation happens inside tenant-lifecycle
+	// critical sections that already hold it).
+	tree *bdr.Tree
+	ctrl *bdr.Controller
 
 	// clog is the shared group-commit checkpoint log (CkptMode "log");
 	// nil in files mode or when durability is off. dura counts the
@@ -219,6 +263,21 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &shard{wake: make(chan struct{}, 1)})
+	}
+	if cfg.BDR {
+		// One BDR per shard under the machine root; fill() has already
+		// defaulted the rates so the split is feasible unless the caller
+		// overcommitted it explicitly — which NewTree rejects.
+		shardBDRs := make([]bdr.BDR, cfg.Shards)
+		for i := range shardBDRs {
+			shardBDRs[i] = bdr.BDR{Rate: cfg.ShardRate, Delay: cfg.ShardDelay}
+		}
+		tree, err := bdr.NewTree(bdr.BDR{Rate: cfg.MachineRate, Delay: cfg.MachineDelay}, shardBDRs)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.tree = tree
+		s.ctrl = &bdr.Controller{ShardRate: cfg.ShardRate}
 	}
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
@@ -394,10 +453,15 @@ func (s *Server) tenantList() []*tenant {
 	return s.sorted
 }
 
-func (s *Server) shardFor(id string) *shard {
+func (s *Server) shardFor(id string) *shard { return s.shards[s.shardIndex(id)] }
+
+// shardIndex is the tenant-to-shard hash. The BDR reservation tree is
+// indexed by the same value, so a tenant's reservation always lives on
+// the shard whose worker serves it.
+func (s *Server) shardIndex(id string) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
 }
 
 // shardWorker applies admitted round ticks for the shard's tenants: a
@@ -516,7 +580,8 @@ func (t *tenant) matches(m *openMsg, defaultCap int) bool {
 	}
 	return t.spec == m.Policy && t.qcap == qcap && t.weight == max(m.Weight, 1) &&
 		t.cfg.N == m.N && t.cfg.Speed == speed && t.cfg.Delta == m.Delta &&
-		slices.Equal(t.cfg.Delays, m.Delays)
+		slices.Equal(t.cfg.Delays, m.Delays) &&
+		t.res == (bdr.BDR{Rate: m.ResRate, Delay: m.ResDelay})
 }
 
 // open creates a tenant, or re-attaches to a live one with a matching
@@ -533,6 +598,10 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 	if m.Weight < 0 || m.Weight > maxTenantWeight {
 		return nil, &errResp{Code: codeBadRequest,
 			Msg: fmt.Sprintf("invalid tenant weight %d (want 0-%d; 0 selects 1)", m.Weight, maxTenantWeight)}
+	}
+	res, er := s.checkReservation(m.ResRate, m.ResDelay)
+	if er != nil {
+		return nil, er
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -579,17 +648,69 @@ func (s *Server) open(m *openMsg) (*openResp, *errResp) {
 		id: m.Tenant, spec: m.Policy, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, st: st, sink: sink,
 		weight: max(m.Weight, 1), minDelay: minDelayOf(cfg.Delays),
+		res: res,
+	}
+	shard := s.shardIndex(t.id)
+	if !res.IsZero() {
+		// The supply-bound-function feasibility check (mu is held, so
+		// the admit is atomic with registration): an infeasible
+		// reservation is rejected here, before any state is created —
+		// nothing is queued, nothing shed.
+		if err := s.tree.Admit(shard, t.id, res); err != nil {
+			return nil, admissionErrResp(err)
+		}
 	}
 	if s.cfg.CheckpointDir != "" {
 		s.attachDurability(t)
-		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
+		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, res, cfg); err != nil {
+			if !res.IsZero() {
+				s.tree.Release(shard, t.id)
+			}
 			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 		}
 	}
 	s.tenants[t.id] = t
 	s.sorted = nil
-	s.shardFor(t.id).add(t)
+	s.shards[shard].add(t)
 	return &openResp{NextSeq: 0, Resumed: false}, nil
+}
+
+// checkReservation validates an open/restore request's optional BDR
+// reservation against the server configuration: a reservation on a
+// non-BDR server is a bad request (the client asked for a guarantee
+// this server cannot enforce), and a malformed one is rejected before
+// the admission check.
+func (s *Server) checkReservation(rate, delay float64) (bdr.BDR, *errResp) {
+	if rate == 0 && delay == 0 {
+		return bdr.BDR{}, nil
+	}
+	if !s.cfg.BDR {
+		return bdr.BDR{}, &errResp{Code: codeBadRequest,
+			Msg: "tenant reservation requires a BDR-enabled server (rrserved -bdr)"}
+	}
+	res := bdr.BDR{Rate: rate, Delay: delay}
+	if !res.Valid() || res.Rate > 1 {
+		return bdr.BDR{}, &errResp{Code: codeBadRequest,
+			Msg: fmt.Sprintf("invalid reservation (rate %g, delay %g): want 0 < rate ≤ 1 and delay ≥ 0", rate, delay)}
+	}
+	return res, nil
+}
+
+// admissionErrResp converts a reservation-tree rejection into the
+// typed wire error, copying the residual capacity when the failure is
+// an infeasibility (as opposed to an internal double-admit).
+func admissionErrResp(err error) *errResp {
+	er := &errResp{Code: codeAdmission, Msg: err.Error()}
+	var inf *bdr.InfeasibleError
+	if errors.As(err, &inf) {
+		// The client-side AdmissionError re-appends the residuals to its
+		// message, so carry only the reason here to avoid stating them
+		// twice.
+		er.Msg = fmt.Sprintf("bdr: infeasible reservation on shard %d: %s", inf.Shard, inf.Reason)
+		er.ResidualRate = inf.ResidualRate
+		er.ResidualDelay = inf.MinDelay
+	}
+	return er
 }
 
 // closeTenant drains a tenant fully, removes it and deletes its durable
@@ -615,6 +736,9 @@ func (s *Server) closeTenant(id string) (*sched.Result, *errResp) {
 	s.mu.Lock()
 	delete(s.tenants, id)
 	s.sorted = nil
+	if s.tree != nil {
+		s.tree.Release(s.shardIndex(id), id)
+	}
 	s.mu.Unlock()
 	s.shardFor(id).remove(t)
 	t.removeFiles()
@@ -636,6 +760,14 @@ func (s *Server) release(id string) (*releaseResp, *errResp) {
 		return nil, er
 	}
 	s.shardFor(id).remove(t)
+	if s.tree != nil {
+		// The reservation leaves with the tenant: the migration target
+		// re-admits it from the response's reservation fields, and this
+		// shard's residual opens up for new tenants immediately.
+		s.mu.Lock()
+		s.tree.Release(s.shardIndex(id), id)
+		s.mu.Unlock()
+	}
 	t.removeFiles()
 	s.logf("serve: released tenant %s at round %d", id, resp.NextSeq)
 	return resp, nil
@@ -660,6 +792,10 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 	if m.Weight < 0 || m.Weight > maxTenantWeight {
 		return nil, &errResp{Code: codeBadRequest,
 			Msg: fmt.Sprintf("invalid tenant weight %d (want 0-%d; 0 selects 1)", m.Weight, maxTenantWeight)}
+	}
+	res, rer := s.checkReservation(m.ResRate, m.ResDelay)
+	if rer != nil {
+		return nil, rer
 	}
 	pol, err := NewPolicy(m.Policy)
 	if err != nil {
@@ -698,7 +834,9 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 		id: m.Tenant, spec: m.Policy, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, st: st, sink: sink,
 		weight: max(m.Weight, 1), minDelay: minDelayOf(cfg.Delays),
+		res: res,
 	}
+	shard := s.shardIndex(t.id)
 	s.mu.Lock()
 	if old := s.tenants[m.Tenant]; old != nil && !old.isReleased() {
 		s.mu.Unlock()
@@ -713,9 +851,26 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 		return nil, &errResp{Code: codeOverloaded,
 			Msg: fmt.Sprintf("tenant limit %d reached", s.cfg.MaxTenants)}
 	}
+	if !res.IsZero() {
+		// Re-run admission against this server's shard capacity: a
+		// migration target honors reservations it can feasibly host and
+		// bounces the restore otherwise, so moving a tenant can never
+		// overcommit a shard (the proxy surfaces the typed rejection and
+		// restores the tenant back on its source).
+		if err := s.tree.Admit(shard, t.id, res); err != nil {
+			s.mu.Unlock()
+			return nil, admissionErrResp(err)
+		}
+	}
+	releaseRes := func() {
+		if !res.IsZero() {
+			s.tree.Release(shard, t.id)
+		}
+	}
 	if s.cfg.CheckpointDir != "" {
 		s.attachDurability(t)
-		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, cfg); err != nil {
+		if err := writeMeta(t.metaPath, t.spec, t.qcap, t.weight, res, cfg); err != nil {
+			releaseRes()
 			s.mu.Unlock()
 			return nil, &errResp{Code: codeInternal, Msg: err.Error()}
 		}
@@ -729,10 +884,12 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 					err = s.clog.Sync()
 				}
 				if err != nil {
+					releaseRes()
 					s.mu.Unlock()
 					return nil, &errResp{Code: codeInternal, Msg: fmt.Sprintf("serve: tenant %s: logging restore checkpoint: %v", t.id, err)}
 				}
 			} else if err := trace.SaveCheckpointState(t.ckptPath, m.Blob); err != nil {
+				releaseRes()
 				s.mu.Unlock()
 				return nil, &errResp{Code: codeInternal, Msg: fmt.Sprintf("serve: tenant %s: writing restore checkpoint: %v", t.id, err)}
 			}
@@ -743,7 +900,7 @@ func (s *Server) restore(m *restoreMsg) (*restoreResp, *errResp) {
 	s.tenants[t.id] = t
 	s.sorted = nil
 	s.mu.Unlock()
-	s.shardFor(t.id).add(t)
+	s.shards[shard].add(t)
 	s.logf("serve: restored tenant %s at round %d", t.id, st.Round())
 	return &restoreResp{NextSeq: st.Round()}, nil
 }
@@ -775,17 +932,19 @@ func (s *Server) StartStatsLogger(every time.Duration) {
 
 // ——— Durable tenant metadata and recovery ———
 
-// metaVersion 2 appended the tenant weight; version-1 files (no weight,
-// implicitly 1) are still read so an upgrade restarts cleanly over an
-// old checkpoint directory.
-const metaVersion = 2
+// metaVersion 2 appended the tenant weight; version 3 the BDR
+// reservation. Older files (no weight, implicitly 1; no reservation,
+// implicitly none) are still read so an upgrade restarts cleanly over
+// an old checkpoint directory.
+const metaVersion = 3
 
 // writeMeta persists the open-time facts a checkpoint blob does not
-// carry — the policy spec string, queue cap, and service weight — plus
-// the stream configuration, so a restart can rebuild a tenant that
-// crashed before its first checkpoint. The payload rides in the same
-// CRC-checked container as checkpoints, written atomically.
-func writeMeta(path, spec string, qcap, weight int, cfg sched.StreamConfig) error {
+// carry — the policy spec string, queue cap, service weight and BDR
+// reservation — plus the stream configuration, so a restart can
+// rebuild a tenant that crashed before its first checkpoint. The
+// payload rides in the same CRC-checked container as checkpoints,
+// written atomically.
+func writeMeta(path, spec string, qcap, weight int, res bdr.BDR, cfg sched.StreamConfig) error {
 	e := snap.NewEncoder()
 	e.Int(metaVersion)
 	e.String(spec)
@@ -795,26 +954,28 @@ func writeMeta(path, spec string, qcap, weight int, cfg sched.StreamConfig) erro
 	e.Int(cfg.Delta)
 	e.Ints(cfg.Delays)
 	e.Int(weight)
+	e.Float64(res.Rate)
+	e.Float64(res.Delay)
 	if err := trace.SaveCheckpointState(path, e.Bytes()); err != nil {
 		return fmt.Errorf("serve: writing tenant metadata: %w", err)
 	}
 	return nil
 }
 
-func readMeta(path string) (spec string, qcap, weight int, cfg sched.StreamConfig, err error) {
+func readMeta(path string) (spec string, qcap, weight int, res bdr.BDR, cfg sched.StreamConfig, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", 0, 0, cfg, err
+		return "", 0, 0, res, cfg, err
 	}
 	defer f.Close()
 	payload, err := trace.ReadCheckpoint(f)
 	if err != nil {
-		return "", 0, 0, cfg, fmt.Errorf("serve: reading tenant metadata %s: %w", path, err)
+		return "", 0, 0, res, cfg, fmt.Errorf("serve: reading tenant metadata %s: %w", path, err)
 	}
 	d := snap.NewDecoder(payload)
 	v := d.Int()
 	if d.Err() == nil && (v < 1 || v > metaVersion) {
-		return "", 0, 0, cfg, fmt.Errorf("serve: tenant metadata %s: version %d, this build reads 1-%d", path, v, metaVersion)
+		return "", 0, 0, res, cfg, fmt.Errorf("serve: tenant metadata %s: version %d, this build reads 1-%d", path, v, metaVersion)
 	}
 	spec = d.String()
 	qcap = d.Int()
@@ -826,10 +987,14 @@ func readMeta(path string) (spec string, qcap, weight int, cfg sched.StreamConfi
 	if v >= 2 {
 		weight = d.Int()
 	}
-	if err := d.Done(); err != nil {
-		return "", 0, 0, cfg, fmt.Errorf("serve: tenant metadata %s: %w", path, err)
+	if v >= 3 {
+		res.Rate = d.Float64()
+		res.Delay = d.Float64()
 	}
-	return spec, qcap, weight, cfg, nil
+	if err := d.Done(); err != nil {
+		return "", 0, 0, res, cfg, fmt.Errorf("serve: tenant metadata %s: %w", path, err)
+	}
+	return spec, qcap, weight, res, cfg, nil
 }
 
 // recover rebuilds every tenant whose metadata file survives in the
@@ -862,7 +1027,7 @@ func (s *Server) recover() error {
 
 func (s *Server) recoverTenant(id string) (*tenant, error) {
 	metaPath := filepath.Join(s.cfg.CheckpointDir, id+".meta")
-	spec, qcap, weight, cfg, err := readMeta(metaPath)
+	spec, qcap, weight, res, cfg, err := readMeta(metaPath)
 	if err != nil {
 		return nil, err
 	}
@@ -870,11 +1035,25 @@ func (s *Server) recoverTenant(id string) (*tenant, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: recovering tenant %s: %w", id, err)
 	}
+	if !res.IsZero() {
+		// Re-admit the durable reservation. Failure is loud: it means
+		// the server was restarted with a smaller BDR capacity (or with
+		// -bdr off) than its recovered tenants were promised, and
+		// silently hosting them unreserved would break the guarantee.
+		if !s.cfg.BDR {
+			return nil, fmt.Errorf("serve: tenant %s holds a BDR reservation (rate %g, delay %g) but the server runs without -bdr",
+				id, res.Rate, res.Delay)
+		}
+		if aerr := s.tree.Admit(s.shardIndex(id), id, res); aerr != nil {
+			return nil, fmt.Errorf("serve: recovering tenant %s: %w", id, aerr)
+		}
+	}
 	sink := newSink(cfg)
 	t := &tenant{
 		id: id, spec: spec, polName: pol.Name(),
 		cfg: cfg, qcap: qcap, sink: sink,
 		weight: max(weight, 1), minDelay: minDelayOf(cfg.Delays),
+		res: res,
 	}
 	s.attachDurability(t)
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bdr"
 	"repro/internal/ckptlog"
 	"repro/internal/sched"
 	"repro/internal/snap"
@@ -29,12 +30,21 @@ type tenant struct {
 	// minDelay is the tightest delay bound in the tenant's menu; the
 	// tenant's delay factor is queued/minDelay (see TenantLoad).
 	minDelay int
+	// res is the tenant's admitted BDR reservation (zero = best-effort),
+	// immutable after open/restore/recovery; the matching reservation-tree
+	// entry is released with the tenant by the server lifecycle paths.
+	res bdr.BDR
 
 	// deficit is the weighted service this tenant is owed, the state of
 	// the cross-tenant allocator (alloc.go). It is owned by the tenant's
 	// single shard worker — only servePass reads or writes it — so it
 	// needs no lock.
 	deficit float64
+	// passApplied counts the rounds applied for this tenant within the
+	// current BDR allocation pass (Config.BDR). Like deficit it is owned
+	// by the shard worker: servePass resets it at pass start and folds it
+	// into the BDR budget accounting at pass end.
+	passApplied int
 
 	mu     sync.Mutex
 	st     *sched.Stream
@@ -52,10 +62,17 @@ type tenant struct {
 
 	served         int64   // rounds applied by workers/drains, for service shares
 	maxDelayFactor float64 // high-water of queued/minDelay, sampled at admission
-	overloads      int64
-	badSeqs        int64
-	checkpoints    int64
-	lastCkpt       int // round of the last snapshot taken
+	// BDR budget accounting (Config.BDR): bdrAccrued integrates the
+	// service the reservation guaranteed over the passes the tenant was
+	// backlogged in (its guaranteed fraction × the pass's applied
+	// rounds), bdrServed the rounds it actually received in those
+	// passes. Their ratio is the stats row's BudgetUtilization.
+	bdrAccrued  float64
+	bdrServed   int64
+	overloads   int64
+	badSeqs     int64
+	checkpoints int64
+	lastCkpt    int // round of the last snapshot taken
 
 	ckptPath, metaPath string // "" = files-mode durability off
 
@@ -227,6 +244,17 @@ func (t *tenant) servedRounds() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.served
+}
+
+// accrueBDR folds one allocation pass into the tenant's BDR budget
+// accounting: accrued is the service its reservation guaranteed across
+// the pass (guaranteed fraction × rounds the pass applied shard-wide),
+// served the rounds the tenant itself received.
+func (t *tenant) accrueBDR(accrued float64, served int) {
+	t.mu.Lock()
+	t.bdrAccrued += accrued
+	t.bdrServed += int64(served)
+	t.mu.Unlock()
 }
 
 // submitBatch admits ticks[i] as the round tick at sequence seq+i,
@@ -590,6 +618,8 @@ func (t *tenant) release() (*releaseResp, *errResp) {
 		Weight:   max(t.weight, 1),
 		NextSeq:  t.st.Round(),
 		Blob:     blob,
+		ResRate:  t.res.Rate,
+		ResDelay: t.res.Delay,
 	}, nil
 }
 
@@ -633,5 +663,19 @@ func (t *tenant) stats() TenantStats {
 		ServedRounds:   t.served,
 		DelayFactor:    t.delayFactorLocked(),
 		MaxDelayFactor: t.maxDelayFactor,
+
+		ReservedRate:      t.res.Rate,
+		ReservedDelay:     t.res.Delay,
+		BudgetUtilization: t.budgetUtilizationLocked(),
 	}
+}
+
+// budgetUtilizationLocked is served-over-accrued for a reserved tenant
+// (0 until the first pass, or for a best-effort tenant). Callers hold
+// mu.
+func (t *tenant) budgetUtilizationLocked() float64 {
+	if t.bdrAccrued <= 0 {
+		return 0
+	}
+	return float64(t.bdrServed) / t.bdrAccrued
 }

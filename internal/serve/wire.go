@@ -31,10 +31,18 @@
 // a bare request reporting the durability backend's counters (appends,
 // bytes, fsyncs, and the group-commit log's deltas, rotations,
 // compactions and segment count); it is answered by the server a client
-// dialed directly and is not relayed by the proxy tier. Version-1
-// through version-4 peers never send any of these and keep working
-// unchanged: the legacy msgStats request and response are byte-for-byte
-// identical across versions.
+// dialed directly, and since version 6 the proxy tier relays it as a
+// fan-out with per-backend rows. Version 6 adds bounded-delay admission
+// control (docs/SCHEDULING.md "Admission"): the open and restore
+// requests may append an optional (rate, delay) reservation, an
+// infeasible reservation is rejected with a typed admission error
+// carrying the shard's residual capacity, stats-ex rows append the
+// reservation and its budget utilization, and the durability response
+// may append per-backend rows when answered by a proxy. Every v6 field
+// is an optional trailing extension encoded only when present, so
+// version-1 through version-5 peers never see any of them and keep
+// working unchanged: the legacy msgStats request and response are
+// byte-for-byte identical across versions.
 //
 // # Rounds, sequence numbers, and exactly-once ingest
 //
@@ -66,9 +74,13 @@ import (
 // added the open request's optional tenant weight and the extended
 // stats command (msgStatsEx); version 4 added the live-migration pair
 // msgRelease/msgRestore used by the proxy tier; version 5 added the
-// msgDuraStats durability-counter probe. The server still accepts older
-// peers, which simply never send any of these.
-const ProtocolVersion = 5
+// msgDuraStats durability-counter probe; version 6 added the optional
+// (rate, delay) reservation on open/restore, the typed admission
+// rejection with residual capacity, the reservation columns on
+// stats-ex rows, and the proxy fan-out rows on the durability
+// response. The server still accepts older peers, which simply never
+// send any of these.
+const ProtocolVersion = 6
 
 // MinProtocolVersion is the oldest version the server still speaks.
 // Version-1 clients use strict request/response with untagged frames;
@@ -141,9 +153,9 @@ const (
 	// msgDuraStats (protocol v5) is a bare request for the server's
 	// durability counters: the backend mode plus append/byte/fsync
 	// totals, and in log mode the group-commit log's delta, rotation,
-	// compaction and live-segment counts. Direct-dial only — the proxy
-	// tier does not relay it, since the numbers describe one server's
-	// local storage, not a fleet-level view.
+	// compaction and live-segment counts. Since protocol v6 the proxy
+	// tier relays it as a fan-out: the merged response sums every live
+	// backend's counters and appends one labelled row per backend.
 	msgDuraStats
 )
 
@@ -161,6 +173,24 @@ type DuraStats struct {
 	Rotations   int64
 	Compactions int64
 	Segments    int64
+	// Backends carries the per-backend rows of a proxy fan-out
+	// (protocol v6): when a DuraStats request is answered by the proxy
+	// tier, the top-level counters are the fleet-wide sums (Mode is
+	// "mixed" when the backends disagree) and each row names one
+	// backend's address with its own counters. A server answering a
+	// direct dial leaves it empty, which is also what pre-v6 responses
+	// decode to — the field is an optional trailing extension.
+	Backends []BackendDuraStats
+}
+
+// BackendDuraStats is one backend's row in a proxied DuraStats
+// response: the backend's address plus its own counters.
+type BackendDuraStats struct {
+	// Addr is the backend's dial address as configured on the proxy.
+	Addr string
+	// DuraStats holds the backend's own counters; its Backends field is
+	// always empty (the fan-out is one level deep).
+	DuraStats
 }
 
 func (s *DuraStats) encode(e *snap.Encoder) {
@@ -173,6 +203,23 @@ func (s *DuraStats) encode(e *snap.Encoder) {
 	e.Int64(s.Rotations)
 	e.Int64(s.Compactions)
 	e.Int64(s.Segments)
+	// Optional trailing per-backend rows (protocol v6): a direct-dial
+	// response omits them entirely, staying byte-identical to v5.
+	if len(s.Backends) > 0 {
+		e.Int(len(s.Backends))
+		for i := range s.Backends {
+			b := &s.Backends[i]
+			e.String(b.Addr)
+			e.String(b.Mode)
+			e.Int64(b.Appends)
+			e.Int64(b.Bytes)
+			e.Int64(b.Fsyncs)
+			e.Int64(b.Deltas)
+			e.Int64(b.Rotations)
+			e.Int64(b.Compactions)
+			e.Int64(b.Segments)
+		}
+	}
 }
 
 func (s *DuraStats) decode(d *snap.Decoder) {
@@ -184,6 +231,30 @@ func (s *DuraStats) decode(d *snap.Decoder) {
 	s.Rotations = d.Int64()
 	s.Compactions = d.Int64()
 	s.Segments = d.Int64()
+	s.Backends = nil
+	if d.Err() == nil && d.Remaining() > 0 {
+		n := d.Len()
+		if d.Err() != nil {
+			return
+		}
+		s.Backends = make([]BackendDuraStats, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			var b BackendDuraStats
+			b.Addr = d.String()
+			b.Mode = d.String()
+			b.Appends = d.Int64()
+			b.Bytes = d.Int64()
+			b.Fsyncs = d.Int64()
+			b.Deltas = d.Int64()
+			b.Rotations = d.Int64()
+			b.Compactions = d.Int64()
+			b.Segments = d.Int64()
+			if d.Err() != nil {
+				return
+			}
+			s.Backends = append(s.Backends, b)
+		}
+	}
 }
 
 // writeFrame sends one length-prefixed frame.
@@ -239,6 +310,13 @@ type openMsg struct {
 	// encoded as an optional trailing field: older peers simply end the
 	// message before it, which decodes as 0 and is normalized to 1).
 	Weight int
+	// ResRate/ResDelay are the tenant's BDR reservation (protocol v6,
+	// optional trailing pair after Weight; encoded only when ResRate is
+	// positive, so an unreserved v6 open stays byte-identical to v5).
+	// A positive rate asks the server to admit the tenant iff the
+	// shard's supply-bound-function check passes; see docs/SCHEDULING.md.
+	ResRate  float64
+	ResDelay float64
 }
 
 func (m *openMsg) encode(e *snap.Encoder) {
@@ -252,6 +330,10 @@ func (m *openMsg) encode(e *snap.Encoder) {
 	e.Int(m.QueueCap)
 	e.Ints(m.Delays)
 	e.Int(m.Weight)
+	if m.ResRate > 0 {
+		e.Float64(m.ResRate)
+		e.Float64(m.ResDelay)
+	}
 }
 
 func (m *openMsg) decode(d *snap.Decoder) {
@@ -266,6 +348,11 @@ func (m *openMsg) decode(d *snap.Decoder) {
 	m.Weight = 0
 	if d.Err() == nil && d.Remaining() > 0 {
 		m.Weight = d.Int()
+	}
+	m.ResRate, m.ResDelay = 0, 0
+	if d.Err() == nil && d.Remaining() > 0 {
+		m.ResRate = d.Float64()
+		m.ResDelay = d.Float64()
 	}
 }
 
@@ -448,6 +535,12 @@ type restoreMsg struct {
 	Delays   []int
 	Weight   int
 	Blob     []byte
+	// ResRate/ResDelay carry the migrating tenant's BDR reservation
+	// (protocol v6, optional trailing pair after the blob; encoded only
+	// when ResRate is positive). The target re-runs admission against
+	// its own shard capacity, so a migration can never overcommit it.
+	ResRate  float64
+	ResDelay float64
 }
 
 func (m *restoreMsg) encode(e *snap.Encoder) {
@@ -462,6 +555,10 @@ func (m *restoreMsg) encode(e *snap.Encoder) {
 	e.Ints(m.Delays)
 	e.Int(m.Weight)
 	e.Blob(m.Blob)
+	if m.ResRate > 0 {
+		e.Float64(m.ResRate)
+		e.Float64(m.ResDelay)
+	}
 }
 
 func (m *restoreMsg) decode(d *snap.Decoder) {
@@ -475,6 +572,11 @@ func (m *restoreMsg) decode(d *snap.Decoder) {
 	m.Delays = d.Ints()
 	m.Weight = d.Int()
 	m.Blob = d.Blob()
+	m.ResRate, m.ResDelay = 0, 0
+	if d.Err() == nil && d.Remaining() > 0 {
+		m.ResRate = d.Float64()
+		m.ResDelay = d.Float64()
+	}
 }
 
 // restoreResp acknowledges a restore: NextSeq is the sequence number
@@ -506,6 +608,12 @@ type releaseResp struct {
 	Weight   int
 	NextSeq  int
 	Blob     []byte
+	// ResRate/ResDelay hand the released tenant's BDR reservation to
+	// the migration target (protocol v6, optional trailing pair after
+	// the blob; encoded only when ResRate is positive), so the restore
+	// request can re-declare it for admission there.
+	ResRate  float64
+	ResDelay float64
 }
 
 func (m *releaseResp) encode(e *snap.Encoder) {
@@ -519,6 +627,10 @@ func (m *releaseResp) encode(e *snap.Encoder) {
 	e.Int(m.Weight)
 	e.Int(m.NextSeq)
 	e.Blob(m.Blob)
+	if m.ResRate > 0 {
+		e.Float64(m.ResRate)
+		e.Float64(m.ResDelay)
+	}
 }
 
 func (m *releaseResp) decode(d *snap.Decoder) {
@@ -531,6 +643,11 @@ func (m *releaseResp) decode(d *snap.Decoder) {
 	m.Weight = d.Int()
 	m.NextSeq = d.Int()
 	m.Blob = d.Blob()
+	m.ResRate, m.ResDelay = 0, 0
+	if d.Err() == nil && d.Remaining() > 0 {
+		m.ResRate = d.Float64()
+		m.ResDelay = d.Float64()
+	}
 }
 
 // tenantMsg is the shape shared by the single-tenant commands (stats,
@@ -597,6 +714,16 @@ type TenantStats struct {
 	DelayFactor    float64 `json:"delay_factor,omitempty"`
 	MaxDelayFactor float64 `json:"max_delay_factor,omitempty"`
 	ServiceShare   float64 `json:"service_share,omitempty"`
+	// BDR admission fields (protocol v6, carried only by the extended
+	// stats command). ReservedRate/ReservedDelay are the tenant's
+	// admitted reservation (zero for a best-effort tenant).
+	// BudgetUtilization is served rounds over the service the
+	// reservation accrued across the passes the tenant was backlogged
+	// in — below 1 means the tenant is drawing less than its guarantee,
+	// above 1 that it is also consuming slack. See docs/SCHEDULING.md.
+	ReservedRate      float64 `json:"reserved_rate,omitempty"`
+	ReservedDelay     float64 `json:"reserved_delay,omitempty"`
+	BudgetUtilization float64 `json:"budget_utilization,omitempty"`
 }
 
 func (s *TenantStats) encode(e *snap.Encoder) {
@@ -648,6 +775,9 @@ func (s *TenantStats) encodeEx(e *snap.Encoder) {
 	e.Float64(s.DelayFactor)
 	e.Float64(s.MaxDelayFactor)
 	e.Float64(s.ServiceShare)
+	e.Float64(s.ReservedRate)
+	e.Float64(s.ReservedDelay)
+	e.Float64(s.BudgetUtilization)
 }
 
 func (s *TenantStats) decodeEx(d *snap.Decoder) {
@@ -658,6 +788,9 @@ func (s *TenantStats) decodeEx(d *snap.Decoder) {
 	s.DelayFactor = d.Float64()
 	s.MaxDelayFactor = d.Float64()
 	s.ServiceShare = d.Float64()
+	s.ReservedRate = d.Float64()
+	s.ReservedDelay = d.Float64()
+	s.BudgetUtilization = d.Float64()
 }
 
 func encodeStatsResp(e *snap.Encoder, rows []TenantStats) {
@@ -745,11 +878,18 @@ func decodeResult(d *snap.Decoder) *sched.Result {
 
 // errResp is the error response: a machine-readable code (see
 // errors.go), the expected sequence for errBadSeq, and a human-readable
-// message.
+// message. A codeAdmission rejection additionally carries the shard's
+// residual capacity (protocol v6, trailing pair encoded only for that
+// code — only v6 clients can provoke it, so older peers never see it).
 type errResp struct {
 	Code     int
 	Expected int
 	Msg      string
+	// ResidualRate/ResidualDelay describe what would have fit when Code
+	// is codeAdmission: the shard's unreserved rate, and its own delay
+	// bound (an admissible reservation's delay must exceed it).
+	ResidualRate  float64
+	ResidualDelay float64
 }
 
 func (m *errResp) encode(e *snap.Encoder) {
@@ -757,10 +897,19 @@ func (m *errResp) encode(e *snap.Encoder) {
 	e.Int(m.Code)
 	e.Int(m.Expected)
 	e.String(m.Msg)
+	if m.Code == codeAdmission {
+		e.Float64(m.ResidualRate)
+		e.Float64(m.ResidualDelay)
+	}
 }
 
 func (m *errResp) decode(d *snap.Decoder) {
 	m.Code = d.Int()
 	m.Expected = d.Int()
 	m.Msg = d.String()
+	m.ResidualRate, m.ResidualDelay = 0, 0
+	if m.Code == codeAdmission && d.Err() == nil && d.Remaining() > 0 {
+		m.ResidualRate = d.Float64()
+		m.ResidualDelay = d.Float64()
+	}
 }

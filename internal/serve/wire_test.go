@@ -241,3 +241,185 @@ func TestSubmitCodecSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("submit encode+decode allocates %.1f per frame", allocs)
 	}
 }
+
+// TestOpenMsgV6RoundTrip pins the protocol-v6 reservation extension: a
+// reserved open round-trips its (rate, delay) pair, and an unreserved
+// v6 open encodes byte-identically to the v5 shape (the optional pair
+// is simply absent), so pre-v6 peers keep decoding it unchanged.
+func TestOpenMsgV6RoundTrip(t *testing.T) {
+	in := openMsg{Version: ProtocolVersion, Tenant: "t1", Policy: "edf",
+		N: 4, Speed: 1, Delta: 4, QueueCap: 32, Delays: []int{2, 6}, Weight: 2,
+		ResRate: 0.25, ResDelay: 16}
+	e := snap.NewEncoder()
+	in.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgOpen {
+		t.Fatalf("type = %d", typ)
+	}
+	var out openMsg
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if out.ResRate != 0.25 || out.ResDelay != 16 || out.Weight != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+
+	// Unreserved: byte-identical to the same message with the pair
+	// hand-encoded absent (the v5 shape).
+	in.ResRate, in.ResDelay = 0, 0
+	e.Reset()
+	in.encode(e)
+	v6 := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	e.Uint64(msgOpen)
+	e.Int(in.Version)
+	e.String(in.Tenant)
+	e.String(in.Policy)
+	e.Int(in.N)
+	e.Int(in.Speed)
+	e.Int(in.Delta)
+	e.Int(in.QueueCap)
+	e.Ints(in.Delays)
+	e.Int(in.Weight)
+	if !bytes.Equal(v6, e.Bytes()) {
+		t.Fatalf("unreserved v6 open differs from the v5 encoding:\n v6 %x\n v5 %x", v6, e.Bytes())
+	}
+}
+
+// TestMigrationV6RoundTrip pins the reservation pair through the
+// migration codecs: releaseResp hands it out after the blob, restoreMsg
+// re-declares it, and the unreserved encodings stay v5-shaped.
+func TestMigrationV6RoundTrip(t *testing.T) {
+	rel := releaseResp{Policy: "edf", N: 4, Speed: 1, Delta: 4, QueueCap: 32,
+		Delays: []int{2, 6}, Weight: 1, NextSeq: 9, Blob: []byte{1, 2, 3},
+		ResRate: 0.5, ResDelay: 24}
+	e := snap.NewEncoder()
+	rel.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgRelease {
+		t.Fatalf("type = %d", typ)
+	}
+	var relOut releaseResp
+	relOut.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if relOut.ResRate != 0.5 || relOut.ResDelay != 24 || !bytes.Equal(relOut.Blob, rel.Blob) {
+		t.Fatalf("release round trip: %+v", relOut)
+	}
+
+	res := restoreMsg{Version: ProtocolVersion, Tenant: "t1", Policy: "edf",
+		N: 4, Speed: 1, Delta: 4, QueueCap: 32, Delays: []int{2, 6}, Weight: 1,
+		Blob: []byte{4, 5}, ResRate: 0.5, ResDelay: 24}
+	e.Reset()
+	res.encode(e)
+	d = snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgRestore {
+		t.Fatalf("type = %d", typ)
+	}
+	var resOut restoreMsg
+	resOut.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if resOut.ResRate != 0.5 || resOut.ResDelay != 24 || !bytes.Equal(resOut.Blob, res.Blob) {
+		t.Fatalf("restore round trip: %+v", resOut)
+	}
+
+	// Unreserved messages must end at the blob, exactly as in v5.
+	rel.ResRate, rel.ResDelay = 0, 0
+	e.Reset()
+	rel.encode(e)
+	d = snap.NewDecoder(e.Bytes())
+	d.Uint64()
+	relOut = releaseResp{}
+	relOut.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if relOut.ResRate != 0 || relOut.ResDelay != 0 {
+		t.Fatalf("unreserved release round trip: %+v", relOut)
+	}
+}
+
+// TestErrRespAdmissionRoundTrip: the residual-capacity pair rides only
+// on codeAdmission responses, so every other error code keeps its exact
+// pre-v6 encoding (old clients decode those with a strict Done()).
+func TestErrRespAdmissionRoundTrip(t *testing.T) {
+	in := errResp{Code: codeAdmission, Msg: "shard full", ResidualRate: 0.375, ResidualDelay: 2}
+	e := snap.NewEncoder()
+	in.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgErr {
+		t.Fatalf("type = %d", typ)
+	}
+	var out errResp
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v, want %+v", out, in)
+	}
+
+	// A non-admission error must not grow the residual fields.
+	plain := errResp{Code: codeBadSeq, Expected: 7, Msg: "bad seq"}
+	e.Reset()
+	plain.encode(e)
+	withRes := errResp{Code: codeBadSeq, Expected: 7, Msg: "bad seq", ResidualRate: 1}
+	e2 := snap.NewEncoder()
+	withRes.encode(e2)
+	if !bytes.Equal(e.Bytes(), e2.Bytes()) {
+		t.Fatal("non-admission errResp encoding depends on residual fields")
+	}
+}
+
+// TestDuraStatsBackendsRoundTrip pins the proxy fan-out rows: a
+// response with per-backend rows round-trips them labelled, and a
+// row-less response stays byte-identical to the v5 encoding.
+func TestDuraStatsBackendsRoundTrip(t *testing.T) {
+	in := DuraStats{Mode: "mixed", Appends: 10, Bytes: 1000, Fsyncs: 3,
+		Deltas: 2, Rotations: 1, Compactions: 1, Segments: 2,
+		Backends: []BackendDuraStats{
+			{Addr: "127.0.0.1:1", DuraStats: DuraStats{Mode: "log", Appends: 6, Bytes: 600, Fsyncs: 2, Deltas: 2, Rotations: 1, Compactions: 1, Segments: 1}},
+			{Addr: "127.0.0.1:2", DuraStats: DuraStats{Mode: "files", Appends: 4, Bytes: 400, Fsyncs: 1, Segments: 1}},
+		}}
+	e := snap.NewEncoder()
+	in.encode(e)
+	d := snap.NewDecoder(e.Bytes())
+	if typ := d.Uint64(); typ != msgDuraStats {
+		t.Fatalf("type = %d", typ)
+	}
+	var out DuraStats
+	out.decode(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "mixed" || out.Appends != 10 || len(out.Backends) != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out.Backends[0].Addr != "127.0.0.1:1" || out.Backends[0].Appends != 6 ||
+		out.Backends[1].Addr != "127.0.0.1:2" || out.Backends[1].Mode != "files" {
+		t.Fatalf("backend rows: %+v", out.Backends)
+	}
+
+	// Row-less: byte-identical to the v5 shape (no trailing count).
+	in.Backends = nil
+	e.Reset()
+	in.encode(e)
+	v6 := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	e.Uint64(msgDuraStats)
+	e.String(in.Mode)
+	e.Int64(in.Appends)
+	e.Int64(in.Bytes)
+	e.Int64(in.Fsyncs)
+	e.Int64(in.Deltas)
+	e.Int64(in.Rotations)
+	e.Int64(in.Compactions)
+	e.Int64(in.Segments)
+	if !bytes.Equal(v6, e.Bytes()) {
+		t.Fatalf("row-less v6 DuraStats differs from the v5 encoding:\n v6 %x\n v5 %x", v6, e.Bytes())
+	}
+}

@@ -1,0 +1,47 @@
+package workload
+
+import "repro/internal/sched"
+
+// Reservation is the BDR (rate, delay) pair a fleet tenant declares at
+// open: a guaranteed fractional service rate and the delay bound, in
+// rounds, within which the rate must be supplied. It is the workload
+// side of the serve layer's admission model (docs/SCHEDULING.md
+// "Admission"); the zero value means best-effort.
+type Reservation struct {
+	// Rate is the guaranteed fraction of the shard's service rate, in
+	// (0, 1].
+	Rate float64
+	// Delay is the reservation's delay bound in rounds; admission
+	// requires it to strictly exceed the shard's own delay bound.
+	Delay float64
+}
+
+// ReservedFleet builds the admission-control variant of SkewedFleet:
+// the identical heavy-tailed traces — tenant 0 the adversarial
+// Appendix-A deep burst, tenants 1..tenants-1 Zipf-decaying router
+// traces — plus the per-tenant reservation each should declare at open.
+//
+// The reservation vector is constructed to exercise both admission
+// outcomes deterministically. The victims (tenants ≥ 1) split half the
+// shard's rate evenly, so their reservations are jointly feasible in
+// any admission order. The adversary (tenant 0) demands 0.9 of the
+// shard — feasible alone, infeasible against the victims' remaining
+// half — so a fleet that opens its victims first gets the adversary
+// rejected at admission with a typed error, instead of watching it
+// crowd the ring and shed everyone else's ticks. delay is the victims'
+// common delay bound (≥ 2; the adversary asks for the same).
+func ReservedFleet(seed uint64, tenants, delta, rounds int, s, load, delay float64) ([]*sched.Instance, []Reservation, error) {
+	insts, err := SkewedFleet(seed, tenants, delta, rounds, s, load)
+	if err != nil {
+		return nil, nil, err
+	}
+	if delay < 2 {
+		delay = 64
+	}
+	res := make([]Reservation, len(insts))
+	res[0] = Reservation{Rate: 0.9, Delay: delay}
+	for i := 1; i < len(insts); i++ {
+		res[i] = Reservation{Rate: 0.5 / float64(len(insts)-1), Delay: delay}
+	}
+	return insts, res, nil
+}

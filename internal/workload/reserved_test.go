@@ -1,0 +1,56 @@
+package workload
+
+import "testing"
+
+func TestReservedFleetShape(t *testing.T) {
+	insts, res, err := ReservedFleet(42, 8, 8, 64, 1.0, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 8 || len(res) != 8 {
+		t.Fatalf("fleet sizes %d/%d, want 8/8", len(insts), len(res))
+	}
+	// Traces must be exactly SkewedFleet's: the reservation vector rides
+	// along, it does not perturb the workload.
+	ref, err := SkewedFleet(42, 8, 8, 64, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if insts[i].Name != ref[i].Name || insts[i].NumRounds() != ref[i].NumRounds() {
+			t.Fatalf("tenant %d trace differs from SkewedFleet: %q/%d vs %q/%d",
+				i, insts[i].Name, insts[i].NumRounds(), ref[i].Name, ref[i].NumRounds())
+		}
+	}
+	// Victims jointly feasible (Σ rates ≤ 0.5 of a unit shard), the
+	// adversary infeasible against their residual (0.9 > 1 − 0.5), every
+	// delay past the default shard bound.
+	var victims float64
+	for i := 1; i < len(res); i++ {
+		if res[i].Rate <= 0 || res[i].Delay < 2 {
+			t.Fatalf("victim %d reservation %+v invalid", i, res[i])
+		}
+		victims += res[i].Rate
+	}
+	if victims > 0.5+1e-9 {
+		t.Fatalf("victim rates sum to %g, want ≤ 0.5", victims)
+	}
+	if res[0].Rate <= 1-victims {
+		t.Fatalf("adversary rate %g fits the residual %g; want infeasible", res[0].Rate, 1-victims)
+	}
+	if res[0].Rate > 1 {
+		t.Fatalf("adversary rate %g exceeds a whole shard; the server rejects that as a bad request, not at admission", res[0].Rate)
+	}
+}
+
+func TestReservedFleetDelayDefault(t *testing.T) {
+	_, res, err := ReservedFleet(1, 4, 8, 32, 1.0, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Delay != 64 {
+			t.Fatalf("reservation %d delay %g, want defaulted 64", i, r.Delay)
+		}
+	}
+}
